@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``test_expN_*`` benchmark regenerates one paper artefact at
+``smoke`` scale (seconds, shape-preserving), times it once via
+pytest-benchmark's pedantic mode, **asserts the paper's qualitative
+shape** on the data, and writes the full paper-style report (tables +
+ASCII figures) to ``benchmarks/reports/<name>.txt``.
+
+Full paper scale is available outside pytest::
+
+    python -m repro.experiments exp1 --scale full
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    """Directory collecting the per-benchmark report files."""
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+def save_report(report_dir: Path, name: str, text: str) -> None:
+    """Persist (and echo) one benchmark's paper-style report."""
+    path = report_dir / f"{name}.txt"
+    path.write_text(text)
+    print(f"\n[report saved to {path}]\n{text}")

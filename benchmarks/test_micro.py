@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the hot paths.
+
+Unlike the experiment benches (one pedantic round each), these use
+pytest-benchmark's statistical timing: they are the numbers to watch
+when optimizing the simulator or solver internals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dpso import DistributedPSOService
+from repro.functions.base import get_function
+from repro.pso.swarm import Swarm
+from repro.simulator.engine import CycleDrivenEngine
+from repro.simulator.network import Network
+from repro.topology.newscast import NewscastProtocol, bootstrap_views
+from repro.utils.config import NewscastConfig, PSOConfig
+from repro.utils.rng import SeedSequenceTree
+
+
+class TestFunctionEvaluation:
+    def test_sphere_batch_1k(self, benchmark):
+        f = get_function("sphere")
+        pts = f.sample_uniform(np.random.default_rng(0), 1000)
+        benchmark(f.batch, pts)
+
+    def test_griewank_batch_1k(self, benchmark):
+        f = get_function("griewank")
+        pts = f.sample_uniform(np.random.default_rng(0), 1000)
+        benchmark(f.batch, pts)
+
+    def test_rosenbrock_batch_1k(self, benchmark):
+        f = get_function("rosenbrock")
+        pts = f.sample_uniform(np.random.default_rng(0), 1000)
+        benchmark(f.batch, pts)
+
+
+class TestSolverStep:
+    def test_synchronous_sweep_k16(self, benchmark):
+        swarm = Swarm(
+            get_function("sphere"), PSOConfig(particles=16), np.random.default_rng(0)
+        )
+        benchmark(swarm.step_cycle)
+
+    def test_per_particle_step(self, benchmark):
+        swarm = Swarm(
+            get_function("sphere"), PSOConfig(particles=16), np.random.default_rng(0)
+        )
+        benchmark(swarm.step_particle)
+
+    def test_service_bulk_100_evals(self, benchmark):
+        service = DistributedPSOService(
+            get_function("sphere"), PSOConfig(particles=10), np.random.default_rng(0)
+        )
+        benchmark(service.step_evaluations, 100)
+
+
+class TestNewscastCycle:
+    def _build(self, n):
+        tree = SeedSequenceTree(0)
+        net = Network(rng=tree.rng("network"))
+        cfg = NewscastConfig(view_size=20)
+
+        def factory(node):
+            node.attach(
+                "newscast", NewscastProtocol(cfg, tree.rng("n", node.node_id))
+            )
+
+        net.populate(n, factory=factory)
+        bootstrap_views(net, tree.rng("bootstrap"))
+        return CycleDrivenEngine(net, rng=tree.rng("engine"))
+
+    def test_newscast_cycle_n100(self, benchmark):
+        engine = self._build(100)
+        benchmark(engine.run, 1)
+
+    def test_newscast_cycle_n1000(self, benchmark):
+        engine = self._build(1000)
+        benchmark(engine.run, 1)

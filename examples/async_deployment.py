@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Beyond lock-step: the framework on an asynchronous network.
+
+The paper's evaluation uses cycle-driven simulation (everyone ticks in
+lock-step), but its architecture targets real networks: independent
+clocks, message latency, losses.  This script runs the *unchanged*
+service stack in that regime — per-node jittered timers, a latency
+transport with 20% message loss, Poisson churn — and compares the
+outcome with the lock-step simulation of the same configuration.
+
+The punchline is the paper's own: asynchrony, loss and churn change
+*when* knowledge moves, not *what* the system computes.
+
+Run::
+
+    python examples/async_deployment.py
+"""
+
+import numpy as np
+
+from repro import ExperimentConfig, run_experiment
+from repro.deployment import AsyncDeployment, DeploymentConfig
+
+N, K, BUDGET = 16, 8, 2000
+
+print("=== lock-step (cycle-driven, the paper's setup) ============")
+cycle_cfg = ExperimentConfig(
+    function="sphere", nodes=N, particles_per_node=K,
+    total_evaluations=N * BUDGET, gossip_cycle=8,
+    repetitions=3, seed=11,
+)
+cycle = run_experiment(cycle_cfg)
+print(f"median quality : {np.median(cycle.qualities()):.3e}")
+
+print()
+print("=== asynchronous (latency + 20% loss + churn) ==============")
+qualities = []
+for seed in (11, 12, 13):
+    deployment = AsyncDeployment(
+        DeploymentConfig(
+            function="sphere", nodes=N, particles_per_node=K,
+            budget_per_node=BUDGET, evals_per_tick=8,
+            compute_period=1.0, gossip_period=1.0, newscast_period=2.0,
+            latency_min=0.05, latency_max=0.8,
+            loss_rate=0.2,
+            crash_rate=0.02, join_rate=0.02, min_population=6,
+            clock_jitter=0.2, seed=seed,
+        )
+    )
+    result = deployment.run(until=100_000.0)
+    qualities.append(result.quality)
+    print(
+        f"seed {seed}: quality={result.quality:.3e}  "
+        f"evals={result.total_evaluations}  t={result.sim_time:.0f}s  "
+        f"msgs={result.messages.transport_sent}  "
+        f"crashes={result.crashes} joins={result.joins}  "
+        f"stop={result.stop_reason}"
+    )
+
+print(f"median quality : {np.median(qualities):.3e}")
+print()
+ratio = np.log10(max(np.median(qualities), 1e-300)) - np.log10(
+    max(np.median(cycle.qualities()), 1e-300)
+)
+print(f"log10 gap between regimes: {ratio:+.1f} orders.")
+print("(each joining machine brings a fresh evaluation budget, so the")
+print("churned network actually performs MORE total work — losses and")
+print("latency cost nothing that new arrivals do not repay; the")
+print("computation never corrupts, which is the paper's claim.)")

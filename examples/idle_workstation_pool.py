@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""The paper's motivating scenario: an organization's idle desktops.
+
+Hundreds of workstations donate idle cycles to one optimization task.
+People come and go — machines join when idle, vanish when their owner
+returns — so the network churns continuously.  The paper's claim
+(Sec. 3.3.4): *no special provisions are needed*; NEWSCAST repairs
+the overlay, joiners adopt the incumbent optimum from their first
+epidemic message, and the computation degrades gracefully, never
+catastrophically.
+
+This script simulates a 9-to-5 office: a morning population, a lunch
+crash wave (half the machines leave), an afternoon of heavy session
+churn — while a 10-D Rosenbrock minimization keeps running.
+
+Run::
+
+    python examples/idle_workstation_pool.py
+"""
+
+import numpy as np
+
+from repro.core.metrics import GlobalQualityObserver, global_best, total_evaluations
+from repro.core.node import OptimizationNodeSpec, build_optimization_node
+from repro.functions.base import get_function
+from repro.simulator.churn import SessionChurn, lognormal_sessions
+from repro.simulator.engine import CycleDrivenEngine
+from repro.simulator.network import Network
+from repro.topology.analysis import overlay_metrics
+from repro.topology.newscast import bootstrap_views
+from repro.utils.config import CoordinationConfig, NewscastConfig, PSOConfig
+from repro.utils.rng import SeedSequenceTree
+
+MORNING_POPULATION = 80
+PARTICLES = 8
+GOSSIP_CYCLE = 8
+
+tree = SeedSequenceTree(2026)
+function = get_function("rosenbrock")
+
+spec = OptimizationNodeSpec(
+    function=function,
+    pso=PSOConfig(particles=PARTICLES),
+    newscast=NewscastConfig(view_size=20),
+    coordination=CoordinationConfig(),
+    rng_tree=tree,
+    evals_per_cycle=GOSSIP_CYCLE,
+    budget_per_node=1_000_000,  # effectively unlimited; we stop by time
+)
+
+network = Network(rng=tree.rng("network"))
+network.populate(
+    MORNING_POPULATION, factory=lambda node: build_optimization_node(node, spec)
+)
+bootstrap_views(network, tree.rng("bootstrap"))
+
+# Afternoon churn: heavy-tailed sessions (median 25 cycles), arrivals
+# keeping the pool roughly stationary.
+churn = SessionChurn(
+    session_sampler=lognormal_sessions(median_cycles=25, sigma=1.0),
+    arrivals_per_cycle=2.0,
+    factory=spec,
+    rng=tree.rng("churn"),
+    min_population=10,
+)
+
+quality = GlobalQualityObserver()
+engine = CycleDrivenEngine(network, rng=tree.rng("engine"), observers=[quality])
+
+
+def snapshot(label: str) -> None:
+    m = overlay_metrics(network)
+    print(
+        f"{label:<28} live={network.live_count:>3}  "
+        f"best={global_best(network):>12.4e}  "
+        f"evals={total_evaluations(network):>8}  "
+        f"overlay: connected={str(m.weakly_connected):<5} "
+        f"stale={m.stale_fraction:.2%}"
+    )
+
+
+print("=== morning: calm network =================================")
+for _ in range(4):
+    engine.run(10)
+    snapshot(f"cycle {engine.cycle}")
+
+print("=== lunch: half the machines leave at once ================")
+rng = np.random.default_rng(7)
+victims = rng.choice(network.live_ids(), size=network.live_count // 2, replace=False)
+for nid in victims:
+    network.crash(int(nid))
+snapshot("immediately after the wave")
+for _ in range(3):
+    engine.run(10)
+    snapshot(f"cycle {engine.cycle}")
+
+print("=== afternoon: continuous session churn ===================")
+engine.churn = churn
+for _ in range(5):
+    engine.run(10)
+    snapshot(f"cycle {engine.cycle}")
+
+print("============================================================")
+print(f"sessions ended: {churn.crashes}, machines joined: {churn.joins}")
+bests = [h.best_value for h in quality.history]
+assert all(b <= a + 1e-15 for a, b in zip(bests, bests[1:])), "best regressed!"
+print("global best was monotone through every failure — the paper's")
+print("robustness claim, reproduced.")

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Quickstart: decentralized optimization in a dozen lines.
+
+Spreads one minimization task (10-D Sphere) across a simulated
+peer-to-peer network of 32 nodes.  Each node runs a small particle
+swarm; NEWSCAST gossip keeps the overlay connected; an anti-entropy
+epidemic spreads the best-known optimum.  No node — and no line of
+this script — ever has a global view of the computation.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from repro import ExperimentConfig, run_experiment
+
+config = ExperimentConfig(
+    function="sphere",          # what to minimize (see repro.functions)
+    nodes=32,                   # network size n
+    particles_per_node=8,       # swarm size k at each node
+    total_evaluations=64_000,   # global budget e (2000 evaluations per node)
+    gossip_cycle=8,             # r: gossip after every r local evaluations
+    repetitions=5,              # independent runs
+    seed=42,                    # single master seed -> fully reproducible
+)
+
+result = run_experiment(config)
+
+print(f"configuration : {config.describe()}")
+print(f"solution quality over {config.repetitions} runs "
+      f"(distance from the known optimum 0):")
+stats = result.quality_stats
+print(f"  avg={stats.mean:.3e}  min={stats.minimum:.3e}  "
+      f"max={stats.maximum:.3e}  var={stats.variance:.3e}")
+
+one = result.runs[0]
+print("first run detail:")
+print(f"  evaluations performed : {one.total_evaluations}")
+print(f"  engine cycles         : {one.cycles}")
+print(f"  gossip messages       : {one.messages.coordination_messages}")
+print(f"  remote optima adopted : {one.messages.coordination_adoptions}")
+print(f"  node consensus spread : {one.node_best_spread:.3e} "
+      "(0 = every node ended knowing the same optimum)")

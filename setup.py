@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists
+so ``pip install -e . --no-use-pep517`` works on environments without
+the ``wheel`` package (offline boxes where PEP 660 editable builds
+cannot fetch build dependencies).
+"""
+
+from setuptools import setup
+
+setup()

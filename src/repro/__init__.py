@@ -1,0 +1,79 @@
+"""repro — a decentralized P2P architecture for optimization.
+
+A complete, self-contained reproduction of
+
+    Marco Biazzini, Mauro Brunato, Alberto Montresor,
+    *Towards a Decentralized Architecture for Optimization*,
+    IPPS 2008.
+
+The library spreads a single optimization task across a large,
+churn-prone peer-to-peer network with no central coordinator: every
+node runs a small particle swarm, learns communication partners
+through the NEWSCAST gossip peer-sampling protocol, and diffuses the
+best-known optimum with an anti-entropy epidemic.
+
+Quick start
+-----------
+
+>>> from repro import ExperimentConfig, run_experiment
+>>> config = ExperimentConfig(
+...     function="sphere", nodes=16, particles_per_node=8,
+...     total_evaluations=16_000, gossip_cycle=8,
+...     repetitions=3, seed=42,
+... )
+>>> result = run_experiment(config)
+>>> result.quality_stats.mean < 1.0
+True
+
+Package map
+-----------
+
+=======================  ====================================================
+``repro.core``           the framework: services, anti-entropy coordination,
+                         distributed PSO, experiment runner
+``repro.simulator``      PeerSim-style cycle/event-driven P2P simulator
+``repro.topology``       NEWSCAST peer sampling + static overlays + analysis
+``repro.pso``            particle swarm solvers (gbest, lbest, FIPS)
+``repro.functions``      benchmark objective suite
+``repro.aggregation``    gossip averaging substrate
+``repro.baselines``      centralized / independent / master-slave baselines
+``repro.analysis``       run statistics, paper-style tables, ASCII plots
+``repro.experiments``    one module per paper table/figure
+=======================  ====================================================
+"""
+
+from repro.core import (
+    ExperimentResult,
+    Optimum,
+    RunResult,
+    run_experiment,
+    run_single,
+)
+from repro.functions import available_functions, get_function
+from repro.utils.config import (
+    ChurnConfig,
+    CoordinationConfig,
+    ExperimentConfig,
+    NewscastConfig,
+    PSOConfig,
+    sweep,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ExperimentConfig",
+    "NewscastConfig",
+    "PSOConfig",
+    "CoordinationConfig",
+    "ChurnConfig",
+    "sweep",
+    "run_experiment",
+    "run_single",
+    "RunResult",
+    "ExperimentResult",
+    "Optimum",
+    "get_function",
+    "available_functions",
+]

@@ -1,0 +1,37 @@
+"""Gossip-based aggregation (Jelasity, Montresor & Babaoglu 2005).
+
+The paper's background (Sec. 2) highlights that once peer sampling is
+solved, "a large collection of problems may be solved on top" — its
+example being **average aggregation**: a pair of nodes exchanging
+values and each keeping the mean converges, network-wide, to the
+global average at an exponential rate.
+
+This package implements that substrate on our simulator:
+
+* :class:`~repro.aggregation.protocols.PushPullAveraging` — the
+  canonical averaging protocol (mass-conserving, variance contracts
+  by ≈ ``1/(2√e)`` per cycle);
+* min / max / count variants built on the same exchange skeleton.
+
+Within the reproduction it serves three purposes: a second worked
+example of the three-service architecture's genericity, the substrate
+for decentralized monitoring in the examples (estimating network size
+and mean progress without an oracle), and a well-understood protocol
+whose published convergence rate our simulator must reproduce — a
+strong end-to-end correctness check (see
+``tests/aggregation/test_convergence.py``).
+"""
+
+from repro.aggregation.protocols import (
+    AggregationProtocol,
+    PushPullAveraging,
+    PushPullExtremum,
+    network_counting_value,
+)
+
+__all__ = [
+    "AggregationProtocol",
+    "PushPullAveraging",
+    "PushPullExtremum",
+    "network_counting_value",
+]

@@ -1,0 +1,91 @@
+"""CSV export of experiment results.
+
+Every experiment's raw per-run data can be dumped for external
+plotting; the format is one row per (configuration, repetition) with
+the full parameter tuple, so paper figures are reproducible from the
+CSV alone.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.runner import ExperimentResult
+
+__all__ = ["results_to_csv", "rows_to_csv"]
+
+_FIELDS = (
+    "function",
+    "nodes",
+    "particles_per_node",
+    "total_evaluations",
+    "gossip_cycle",
+    "repetition",
+    "quality",
+    "best_value",
+    "evaluations_performed",
+    "cycles",
+    "stop_reason",
+    "threshold_local_time",
+    "threshold_total_evaluations",
+)
+
+
+def results_to_csv(
+    results: Iterable[ExperimentResult],
+    path: str | Path | None = None,
+) -> str:
+    """Serialize experiment results to CSV text (optionally to a file).
+
+    Returns the CSV content as a string either way, so tests and the
+    CLI can use it without touching the filesystem.
+    """
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=_FIELDS, lineterminator="\n")
+    writer.writeheader()
+    for result in results:
+        cfg = result.config
+        for rep, run in enumerate(result.runs):
+            writer.writerow(
+                {
+                    "function": cfg.function,
+                    "nodes": cfg.nodes,
+                    "particles_per_node": cfg.particles_per_node,
+                    "total_evaluations": cfg.total_evaluations,
+                    "gossip_cycle": cfg.gossip_cycle,
+                    "repetition": rep,
+                    "quality": run.quality,
+                    "best_value": run.best_value,
+                    "evaluations_performed": run.total_evaluations,
+                    "cycles": run.cycles,
+                    "stop_reason": run.stop_reason,
+                    "threshold_local_time": run.threshold_local_time,
+                    "threshold_total_evaluations": run.threshold_total_evaluations,
+                }
+            )
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def rows_to_csv(
+    rows: Sequence[Mapping[str, object]],
+    path: str | Path | None = None,
+) -> str:
+    """Serialize generic dict rows (e.g. table rows) to CSV text."""
+    if not rows:
+        return ""
+    fields = list(rows[0].keys())
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fields, lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,130 @@
+"""Convergence-trajectory analysis.
+
+The paper reports end-of-run numbers only; understanding *why* the
+shapes hold needs the quality-over-time curves behind them.  These
+helpers turn the per-cycle histories the runner can record into
+aligned, comparable trajectories:
+
+* :func:`quality_curve` — (evaluations, best-quality) series of one
+  run;
+* :func:`align_curves` — resample several runs onto a common
+  evaluation grid (staircase interpolation: a run's best at budget x
+  is the best it had found by then);
+* :func:`log_slope` — the exponential convergence rate (decades per
+  1000 evaluations), the single number that explains who wins where;
+* :func:`crossover_budget` — the budget at which one system overtakes
+  another, the quantity behind "crossovers" in shape comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import QualitySample
+from repro.utils.numerics import safe_log10
+
+__all__ = ["quality_curve", "align_curves", "log_slope", "crossover_budget"]
+
+
+def quality_curve(history: list[QualitySample]) -> tuple[np.ndarray, np.ndarray]:
+    """Extract (evaluations, best_value) arrays from a run history.
+
+    The curve is non-increasing in its second component by
+    construction (the observer records the running best).
+    """
+    if not history:
+        return np.array([]), np.array([])
+    evals = np.array([s.evaluations for s in history], dtype=float)
+    best = np.array([s.best_value for s in history], dtype=float)
+    return evals, best
+
+
+def align_curves(
+    curves: list[tuple[np.ndarray, np.ndarray]],
+    grid: np.ndarray | None = None,
+    points: int = 50,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Resample runs onto a common evaluation grid.
+
+    Parameters
+    ----------
+    curves:
+        List of (evaluations, best) pairs (monotone in evaluations).
+    grid:
+        Evaluation checkpoints; default = ``points`` evenly spaced
+        values up to the *shortest* curve's end (so every run defines
+        every grid point).
+    points:
+        Grid size when ``grid`` is None.
+
+    Returns ``(grid, values)`` with ``values[i, j]`` = run ``i``'s best
+    by budget ``grid[j]``; budgets before a run's first sample get
+    ``inf`` (nothing evaluated yet).
+    """
+    curves = [c for c in curves if len(c[0]) > 0]
+    if not curves:
+        raise ValueError("align_curves needs at least one non-empty curve")
+    if grid is None:
+        end = min(float(c[0][-1]) for c in curves)
+        if end <= 0:
+            raise ValueError("curves must reach a positive budget")
+        grid = np.linspace(0.0, end, points)
+    grid = np.asarray(grid, dtype=float)
+
+    values = np.full((len(curves), grid.size), np.inf)
+    for i, (evals, best) in enumerate(curves):
+        idx = np.searchsorted(evals, grid, side="right") - 1
+        mask = idx >= 0
+        values[i, mask] = best[idx[mask]]
+    return grid, values
+
+
+def log_slope(
+    evals: np.ndarray, best: np.ndarray, tail_fraction: float = 0.5
+) -> float:
+    """Convergence rate: decades of quality per 1000 evaluations.
+
+    Least-squares slope of ``log10(best)`` against evaluations over
+    the last ``tail_fraction`` of the curve (the asymptotic regime,
+    skipping the random-initialization transient).  Negative = still
+    improving; ~0 = stalled.
+    """
+    if not (0.0 < tail_fraction <= 1.0):
+        raise ValueError("tail_fraction must be in (0, 1]")
+    evals = np.asarray(evals, dtype=float)
+    best = np.asarray(best, dtype=float)
+    if evals.size < 3:
+        raise ValueError("need at least 3 samples")
+    start = int(evals.size * (1.0 - tail_fraction))
+    x = evals[start:]
+    y = safe_log10(np.maximum(best[start:], 0.0))
+    if x.size < 2 or np.all(x == x[0]):
+        raise ValueError("degenerate tail")
+    slope = float(np.polyfit(x, y, 1)[0])
+    return slope * 1000.0
+
+
+def crossover_budget(
+    grid: np.ndarray,
+    a_values: np.ndarray,
+    b_values: np.ndarray,
+) -> float | None:
+    """First budget at which system A's mean log-quality beats B's.
+
+    Parameters
+    ----------
+    grid:
+        Common evaluation grid.
+    a_values, b_values:
+        Aligned value matrices (runs × grid) from :func:`align_curves`.
+
+    Returns the crossover budget, 0.0 if A leads from the start, or
+    ``None`` if A never takes the lead.
+    """
+    a_log = np.mean(safe_log10(np.maximum(a_values, 0.0)), axis=0)
+    b_log = np.mean(safe_log10(np.maximum(b_values, 0.0)), axis=0)
+    ahead = a_log < b_log
+    if not np.any(ahead):
+        return None
+    first = int(np.argmax(ahead))
+    return float(grid[first])

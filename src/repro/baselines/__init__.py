@@ -1,0 +1,31 @@
+"""Baseline optimizers the framework is compared against.
+
+The paper's introduction frames two extremes of distributed
+optimization design, plus the centralized reference:
+
+* **Centralized** (:mod:`~repro.baselines.centralized`) — one big
+  swarm on "a single, but much more powerful, machine" spending the
+  same total budget.  The paper's claim (iv) is that the distributed
+  system matches it.
+* **Without coordination** (:mod:`~repro.baselines.independent`) —
+  parallel independent runs with different seeds; the final answer is
+  the best over runs.  The "exploiting stochasticity" extreme.
+* **Master–slave** (:mod:`~repro.baselines.masterslave`) — the
+  coordinated-but-centralized architecture (star topology) the paper
+  argues is fragile; here it is simply the framework running over a
+  static star overlay, demonstrating service substitutability.
+
+All baselines consume the same :class:`~repro.utils.config.ExperimentConfig`
+and report the same quality metric, so comparisons are one-liners.
+"""
+
+from repro.baselines.centralized import run_centralized
+from repro.baselines.independent import run_independent
+from repro.baselines.masterslave import run_master_slave, star_topology_factory
+
+__all__ = [
+    "run_centralized",
+    "run_independent",
+    "run_master_slave",
+    "star_topology_factory",
+]

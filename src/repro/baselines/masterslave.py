@@ -1,0 +1,66 @@
+"""Master–slave baseline: the framework over a static star overlay.
+
+The centralized-coordination architecture the paper contrasts with
+(Sec. 1: "master-slave, coordinator-cohort" and Sec. 3.2's
+"star-shaped topology used in a master-slave approach").  The
+implementation is deliberately tiny: it reuses the *entire* framework
+stack and replaces only the topology service with a static star —
+every slave's peer sampler always returns the master; the master
+samples a uniform random slave.  Anti-entropy over that topology is
+functionally the master–slave pattern: slaves report their optima to
+the master, the master accumulates the global best and hands it back.
+
+Besides serving as a baseline, this module is the library's litmus
+test of service substitutability (paper claim: the architecture is
+generic) — note how little code it is.
+
+Its weakness — the single point of failure — is demonstrated by the
+fault-injection test that crashes the master mid-run and watches
+coordination stall, while the NEWSCAST overlay sails through the loss
+of any node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.runner import ExperimentResult, run_experiment
+from repro.topology.static import StaticTopologyProtocol, star_graph
+from repro.utils.config import ExperimentConfig
+
+__all__ = ["star_topology_factory", "run_master_slave", "MASTER_NODE_ID"]
+
+#: By convention the master is node 0 (the first node created).
+MASTER_NODE_ID = 0
+
+
+def star_topology_factory(
+    nodes: int, center: int = MASTER_NODE_ID
+) -> Callable[[int], tuple[str, StaticTopologyProtocol]]:
+    """Per-node factory producing the star overlay.
+
+    Returns a callable suitable for the runner's ``topology_factory``
+    parameter: slaves know only the master; the master knows all
+    slaves.
+    """
+    adjacency = star_graph(nodes, center=center)
+
+    def factory(node_id: int) -> tuple[str, StaticTopologyProtocol]:
+        return (
+            StaticTopologyProtocol.PROTOCOL_NAME,
+            StaticTopologyProtocol(adjacency.get(node_id, [center])),
+        )
+
+    return factory
+
+
+def run_master_slave(config: ExperimentConfig) -> ExperimentResult:
+    """Run ``config`` with the star overlay instead of NEWSCAST.
+
+    Every other parameter — swarms, budgets, gossip rate, coordination
+    mode — is identical to the decentralized run, so any performance
+    difference is attributable to the topology alone.
+    """
+    return run_experiment(
+        config, topology_factory=star_topology_factory(config.nodes)
+    )

@@ -1,0 +1,195 @@
+"""Experiment metrics: the paper's figures of merit (Sec. 4).
+
+Three primary quantities:
+
+* **solution quality** — distance of the best value found anywhere in
+  the network from the known optimum (our functions all have optimum
+  0, so quality = best value);
+* **total evaluations** — summed over all swarms;
+* **time** — local evaluations per node ("we deliberately avoid
+  actual time").
+
+Plus the secondary, analytically-reported one:
+
+* **communication overhead** — messages per node per cycle and an
+  estimated bytes/second figure mirroring the paper's back-of-envelope
+  (a NEWSCAST exchange moves two views of ``c`` descriptors; a
+  coordination exchange moves one or two ``d``-dimensional optima).
+
+Measurement is *oracle-level*: observers read network-wide state the
+protocols themselves never see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.dpso import PSOStepProtocol
+from repro.simulator.observers import Observer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.engine import CycleDrivenEngine
+    from repro.simulator.network import Network
+
+__all__ = [
+    "global_best",
+    "total_evaluations",
+    "GlobalQualityObserver",
+    "MessageTally",
+    "estimate_overhead_bytes",
+]
+
+
+def global_best(network: "Network", protocol: str = PSOStepProtocol.PROTOCOL_NAME) -> float:
+    """Best objective value known by any live node (inf if none yet)."""
+    best = float("inf")
+    for node in network.live_nodes():
+        if not node.has_protocol(protocol):
+            continue
+        opt = node.protocol(protocol).service.current_best()  # type: ignore[attr-defined]
+        if opt is not None and opt.value < best:
+            best = opt.value
+    return best
+
+
+def total_evaluations(
+    network: "Network", protocol: str = PSOStepProtocol.PROTOCOL_NAME
+) -> int:
+    """Function evaluations summed over all nodes (incl. crashed ones).
+
+    Crashed nodes' past work still counts toward the global budget —
+    their evaluations happened.
+    """
+    total = 0
+    for node in network.all_nodes():
+        if node.has_protocol(protocol):
+            total += node.protocol(protocol).service.evaluations  # type: ignore[attr-defined]
+    return total
+
+
+@dataclass
+class QualitySample:
+    """One point of the quality-over-time trajectory."""
+
+    cycle: int
+    evaluations: int
+    best_value: float
+
+
+class GlobalQualityObserver(Observer):
+    """Track the network-wide best value each cycle.
+
+    Doubles as the experiment's early-stop condition: when
+    ``threshold`` is given and the best value drops to/below it, the
+    engine stops with reason ``"threshold"`` — experiment 4's
+    time-to-quality measurement.
+
+    Attributes
+    ----------
+    history:
+        Per-cycle :class:`QualitySample` trajectory.
+    threshold_cycle / threshold_evaluations:
+        When the threshold was first met (None if never).
+    """
+
+    def __init__(self, threshold: float | None = None, record_history: bool = True):
+        if threshold is not None and threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self.record_history = record_history
+        self.history: list[QualitySample] = []
+        self.best_value = float("inf")
+        self.threshold_cycle: int | None = None
+        self.threshold_evaluations: int | None = None
+
+    def observe(self, engine: "CycleDrivenEngine") -> None:
+        best = global_best(engine.network)
+        if best < self.best_value:
+            self.best_value = best
+        evals = total_evaluations(engine.network)
+        if self.record_history:
+            self.history.append(QualitySample(engine.cycle, evals, self.best_value))
+        if (
+            self.threshold is not None
+            and self.threshold_cycle is None
+            and self.best_value <= self.threshold
+        ):
+            self.threshold_cycle = engine.cycle
+            self.threshold_evaluations = evals
+            engine.stop("threshold")
+
+
+@dataclass
+class MessageTally:
+    """Communication-overhead summary extracted after a run."""
+
+    newscast_exchanges: int = 0
+    coordination_messages: int = 0
+    coordination_adoptions: int = 0
+    transport_sent: int = 0
+    transport_to_dead: int = 0
+
+    @classmethod
+    def collect(cls, engine: "CycleDrivenEngine") -> "MessageTally":
+        """Harvest counters from protocols and the transport."""
+        tally = cls()
+        for node in engine.network.all_nodes():
+            if node.has_protocol("newscast"):
+                proto = node.protocol("newscast")
+                # Cycle-driven NEWSCAST counts exchanges; the
+                # event-driven variant counts requests.
+                tally.newscast_exchanges += getattr(
+                    proto, "exchanges_initiated", 0
+                ) + getattr(proto, "requests_sent", 0)
+            if node.has_protocol("coordination"):
+                coord = node.protocol("coordination")
+                tally.coordination_messages += coord.messages_sent  # type: ignore[attr-defined]
+                tally.coordination_adoptions += coord.adoptions  # type: ignore[attr-defined]
+        tally.transport_sent = engine.transport.stats.sent
+        tally.transport_to_dead = engine.transport.stats.to_dead
+        return tally
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict snapshot for reports."""
+        return {
+            "newscast_exchanges": self.newscast_exchanges,
+            "coordination_messages": self.coordination_messages,
+            "coordination_adoptions": self.coordination_adoptions,
+            "transport_sent": self.transport_sent,
+            "transport_to_dead": self.transport_to_dead,
+        }
+
+
+def estimate_overhead_bytes(
+    view_size: int,
+    dimension: int,
+    newscast_cycle_seconds: float = 10.0,
+    gossip_cycle_seconds: float = 10.0,
+    descriptor_bytes: int = 14,
+    float_bytes: int = 8,
+) -> dict[str, float]:
+    """Paper-style bandwidth estimate, bytes/second per node (Sec. 4).
+
+    The paper: "during a cycle two messages of few hundred bytes are
+    exchanged per node, inducing an overhead of few bytes per second."
+    A descriptor is an address+port+timestamp (≈14 B); an optimum is
+    ``d`` coordinates plus the value.
+
+    Returns a dict with per-protocol and total estimates.
+    """
+    if view_size < 1 or dimension < 1:
+        raise ValueError("view_size and dimension must be >= 1")
+    if newscast_cycle_seconds <= 0 or gossip_cycle_seconds <= 0:
+        raise ValueError("cycle lengths must be positive")
+    newscast_msg = view_size * descriptor_bytes
+    newscast_bps = 2 * newscast_msg / newscast_cycle_seconds
+    optimum_msg = (dimension + 1) * float_bytes
+    coordination_bps = 2 * optimum_msg / gossip_cycle_seconds
+    return {
+        "newscast_message_bytes": float(newscast_msg),
+        "newscast_bytes_per_second": newscast_bps,
+        "coordination_message_bytes": float(optimum_msg),
+        "coordination_bytes_per_second": coordination_bps,
+        "total_bytes_per_second": newscast_bps + coordination_bps,
+    }

@@ -1,0 +1,145 @@
+"""Partitioned coordination: non-overlapping search zones per node.
+
+The paper's architecture section (3.2) names two example coordination
+strategies: broadcasting search information (the anti-entropy service
+of Sec. 3.3.3) and "partitioning of the search space in
+non-overlapping zones under the responsibility of each node".  This
+module implements the second one:
+
+* the domain box is cut into ``n`` equal-volume zones
+  (:func:`repro.functions.subdomain.partition_box`) — a deterministic
+  rule, so node ``i`` derives its zone from ``(n, i)`` alone;
+* each node runs a swarm **confined to its zone** (positions clamped,
+  velocities scaled to the zone width) — it owns that region;
+* the epidemic still diffuses the best-known optimum, but a received
+  remote optimum does **not** steer the local swarm (it usually lies
+  in someone else's zone): it is held as reported knowledge only.
+  Diffusion thus serves result collection, while exploration stays
+  partitioned.
+
+Trade-off exercised by the A6 ablation: partitioning guarantees
+coverage (every region gets attention — valuable on deceptive
+functions whose optimum hides far from the center of mass), at the
+price of not concentrating the whole network's effort on the current
+best basin (costly on unimodal functions).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.dpso import DistributedPSOService
+from repro.core.optimum import Optimum
+from repro.core.services import OptimizationService
+from repro.functions.base import Function
+from repro.functions.subdomain import SubdomainFunction, partition_box
+from repro.utils.config import PSOConfig
+
+__all__ = ["ZonePSOService", "partitioned_pso_factory"]
+
+
+class ZonePSOService(OptimizationService):
+    """A swarm that owns one zone and treats remote optima as reports.
+
+    Parameters
+    ----------
+    zone_function:
+        The objective restricted to this node's zone.
+    config:
+        PSO parameters; ``clamp_positions`` is forced on so particles
+        cannot wander out of the zone.
+    rng:
+        This node's private stream.
+    """
+
+    def __init__(
+        self, zone_function: SubdomainFunction, config: PSOConfig, rng: np.random.Generator
+    ):
+        from dataclasses import replace
+
+        self._local = DistributedPSOService(
+            zone_function, replace(config, clamp_positions=True), rng
+        )
+        self._foreign: Optimum | None = None
+
+    # -- OptimizationService -------------------------------------------------------
+
+    def local_step(self) -> float:
+        return self._local.local_step()
+
+    def step_evaluations(self, count: int) -> int:
+        """Bulk stepping passthrough (used by the cycle driver)."""
+        return self._local.step_evaluations(count)
+
+    def current_best(self) -> Optimum | None:
+        """Best knowledge: min of the zone's own best and foreign reports."""
+        mine = self._local.current_best()
+        if self._foreign is None:
+            return mine
+        if mine is None or self._foreign.value < mine.value:
+            return self._foreign
+        return mine
+
+    def offer(self, optimum: Optimum) -> bool:
+        """Adopt remote knowledge as a *report* — never as an attractor.
+
+        The zone's swarm keeps searching its own region; the foreign
+        optimum only updates what this node would answer if asked for
+        the global best.
+        """
+        current = self.current_best()
+        if current is not None and optimum.value >= current.value:
+            return False
+        self._foreign = optimum
+        return True
+
+    @property
+    def evaluations(self) -> int:
+        return self._local.evaluations
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def zone_best(self) -> Optimum | None:
+        """The best point found inside this node's own zone."""
+        return self._local.current_best()
+
+    @property
+    def swarm(self):
+        """The underlying swarm (tests inspect particle containment)."""
+        return self._local.swarm
+
+
+def partitioned_pso_factory(
+    function: Function,
+    nodes: int,
+    config: PSOConfig,
+    rng_for: Callable[[int], np.random.Generator],
+) -> Callable[[int], OptimizationService]:
+    """Build the per-node optimizer factory for a partitioned network.
+
+    Parameters
+    ----------
+    function:
+        The full-domain objective.
+    nodes:
+        Number of zones (= initial network size).  Nodes joining later
+        (churn) reuse zone ``node_id % nodes`` — a joiner adopts the
+        zone of the node it conceptually replaces.
+    config:
+        PSO parameters shared by all zones.
+    rng_for:
+        ``node_id -> Generator`` supplying private streams.
+    """
+    if nodes < 1:
+        raise ValueError("nodes must be >= 1")
+    zones = partition_box(function.lower, function.upper, nodes)
+
+    def build(node_id: int) -> OptimizationService:
+        lo, hi = zones[node_id % nodes]
+        zone = SubdomainFunction(function, lo, hi)
+        return ZonePSOService(zone, config, rng_for(node_id))
+
+    return build

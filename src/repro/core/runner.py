@@ -1,0 +1,330 @@
+"""The experiment runner: the paper's simulation scenario end-to-end.
+
+One *run* (paper Sec. 4, "Simulation scenarios") is:
+
+    ``n`` nodes, each with a swarm of ``k`` particles, globally
+    perform ``e`` evaluations of a function ``f``, evenly distributed
+    among the swarms; each node exchanges global-optimum information
+    with a random peer every ``r`` local evaluations.
+
+Mapping onto the cycle-driven engine: **one engine cycle = ``r``
+local evaluations per node**.  Within a cycle each node (shuffled
+order) runs NEWSCAST, then its PSO allowance, then one anti-entropy
+exchange.  A run ends when every node's local budget ``e/n`` is spent,
+or earlier when the optional quality threshold is reached (experiment
+4), or at the safety cycle cap.
+
+Repetitions use seed-tree streams ``("rep", i)``, so the whole
+experiment is one master seed; results are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.dpso import PSOStepProtocol
+from repro.core.metrics import (
+    GlobalQualityObserver,
+    MessageTally,
+    QualitySample,
+    total_evaluations,
+)
+from repro.core.node import OptimizationNodeSpec, build_optimization_node
+from repro.functions.base import Function, get_function
+from repro.simulator.churn import ChurnProcess
+from repro.simulator.engine import CycleDrivenEngine
+from repro.simulator.network import Network
+from repro.simulator.observers import StopCondition
+from repro.topology.newscast import bootstrap_views
+from repro.utils.config import ExperimentConfig
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.numerics import RunningStats
+from repro.utils.rng import SeedSequenceTree
+
+__all__ = ["RunResult", "ExperimentResult", "run_single", "run_experiment"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one repetition.
+
+    Attributes
+    ----------
+    best_value:
+        Best objective value found anywhere in the network.
+    quality:
+        ``best_value − f*`` (== best_value for this suite).
+    total_evaluations:
+        Function evaluations summed over all swarms.
+    cycles:
+        Engine cycles executed.
+    stop_reason:
+        ``"budget"``, ``"threshold"`` or ``"cycle cap"``.
+    threshold_local_time:
+        Local evaluations per node when the quality threshold was
+        first met (the paper's "time"), or None.
+    threshold_total_evaluations:
+        Global evaluations at that moment, or None.
+    messages:
+        Communication tally.
+    node_best_spread:
+        Max − min of per-node best values at the end: how far the
+        network is from consensus on the optimum (0 = fully diffused).
+    history:
+        Per-cycle quality trajectory (empty unless requested).
+    """
+
+    best_value: float
+    quality: float
+    total_evaluations: int
+    cycles: int
+    stop_reason: str
+    threshold_local_time: int | None
+    threshold_total_evaluations: int | None
+    messages: MessageTally
+    node_best_spread: float
+    history: list[QualitySample] = field(default_factory=list)
+
+    @property
+    def reached_threshold(self) -> bool:
+        """Whether the quality threshold was met within budget."""
+        return self.threshold_local_time is not None
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregate over the repetitions of one configuration."""
+
+    config: ExperimentConfig
+    runs: list[RunResult]
+
+    @property
+    def quality_stats(self) -> RunningStats:
+        """avg/min/max/Var of final solution quality (table columns)."""
+        stats = RunningStats()
+        stats.extend(run.quality for run in self.runs)
+        return stats
+
+    @property
+    def time_stats(self) -> RunningStats | None:
+        """Stats of local time-to-threshold over *successful* runs.
+
+        None if no run reached the threshold — rendered as the paper's
+        "–" row (Griewank in Table 4).
+        """
+        succeeded = [r.threshold_local_time for r in self.runs if r.reached_threshold]
+        if not succeeded:
+            return None
+        stats = RunningStats()
+        stats.extend(float(t) for t in succeeded)
+        return stats
+
+    @property
+    def total_eval_stats(self) -> RunningStats | None:
+        """Stats of global evaluations-to-threshold (Table 4's scale)."""
+        succeeded = [
+            r.threshold_total_evaluations for r in self.runs if r.reached_threshold
+        ]
+        if not succeeded:
+            return None
+        stats = RunningStats()
+        stats.extend(float(t) for t in succeeded)
+        return stats
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of runs that met the threshold (1.0 if no threshold)."""
+        if self.config.quality_threshold is None:
+            return 1.0
+        return sum(r.reached_threshold for r in self.runs) / len(self.runs)
+
+    def qualities(self) -> list[float]:
+        """Per-run final qualities, in repetition order (figure dots)."""
+        return [r.quality for r in self.runs]
+
+
+def _build_network(
+    config: ExperimentConfig,
+    function: Function,
+    tree: SeedSequenceTree,
+    topology_factory=None,
+) -> tuple[Network, OptimizationNodeSpec]:
+    spec = OptimizationNodeSpec(
+        function=function,
+        pso=config.pso,
+        newscast=config.newscast,
+        coordination=config.coordination,
+        rng_tree=tree,
+        evals_per_cycle=config.gossip_cycle,
+        budget_per_node=config.evaluations_per_node,
+        topology_factory=topology_factory,
+    )
+    network = Network(rng=tree.rng("network"))
+
+    def factory(node) -> None:
+        build_optimization_node(node, spec)
+
+    network.populate(config.nodes, factory=factory)
+    if topology_factory is None:
+        bootstrap_views(network, tree.rng("bootstrap"))
+    return network, spec
+
+
+def _all_budgets_exhausted(engine: CycleDrivenEngine) -> bool:
+    for node in engine.network.live_nodes():
+        proto: PSOStepProtocol = node.protocol(PSOStepProtocol.PROTOCOL_NAME)  # type: ignore[assignment]
+        if not proto.exhausted:
+            return False
+    return True
+
+
+def run_single(
+    config: ExperimentConfig,
+    repetition: int = 0,
+    record_history: bool = False,
+    topology_factory=None,
+) -> RunResult:
+    """Execute one repetition of ``config``; returns its :class:`RunResult`.
+
+    Parameters
+    ----------
+    config:
+        The experiment point.  ``config.evaluations_per_node`` must be
+        ≥ 1 (i.e. ``e ≥ n``) — fewer would mean idle nodes, which the
+        paper's scenarios never contain.
+    repetition:
+        Index selecting the seed-tree branch ``("rep", repetition)``.
+    record_history:
+        Keep the per-cycle quality trajectory (memory-heavy at scale).
+    topology_factory:
+        Optional non-NEWSCAST topology, as a callable
+        ``node_id -> (protocol_name, PeerSampler protocol)`` (see
+        :class:`~repro.core.node.OptimizationNodeSpec`).  NEWSCAST view
+        bootstrap is skipped when given.
+    """
+    if config.evaluations_per_node < 1:
+        raise ConfigurationError(
+            f"budget e={config.total_evaluations} gives node budget "
+            f"{config.evaluations_per_node} < 1 for n={config.nodes}"
+        )
+    tree = SeedSequenceTree(config.seed).subtree("rep", repetition)
+    function = get_function(config.function)
+    network, spec = _build_network(config, function, tree, topology_factory)
+
+    churn = None
+    if config.churn.enabled:
+        churn = ChurnProcess(config.churn, spec, tree.rng("churn"))
+
+    quality_obs = GlobalQualityObserver(
+        threshold=config.quality_threshold, record_history=record_history
+    )
+    budget_stop = StopCondition(_all_budgets_exhausted, reason="budget")
+    engine = CycleDrivenEngine(
+        network,
+        rng=tree.rng("engine"),
+        churn=churn,
+        observers=[quality_obs, budget_stop],
+    )
+
+    # Safety cap: without churn every original node exhausts within
+    # ceil(budget / r) cycles; joiners get headroom via the 2x factor.
+    base_cycles = math.ceil(config.evaluations_per_node / config.gossip_cycle)
+    max_cycles = 2 * base_cycles + 4 if config.churn.enabled else base_cycles + 1
+    engine.run(max_cycles)
+
+    stop_reason = engine.stop_reason or "cycle cap"
+    best = quality_obs.best_value
+    quality = function.quality(best)
+
+    # Spread of per-node bests: diffusion/consensus quality.
+    node_bests = []
+    for node in network.live_nodes():
+        opt = node.protocol(PSOStepProtocol.PROTOCOL_NAME).service.current_best()  # type: ignore[attr-defined]
+        if opt is not None:
+            node_bests.append(opt.value)
+    spread = (max(node_bests) - min(node_bests)) if node_bests else float("inf")
+
+    threshold_local = None
+    if quality_obs.threshold_cycle is not None:
+        threshold_local = quality_obs.threshold_cycle * config.gossip_cycle
+
+    return RunResult(
+        best_value=best,
+        quality=quality,
+        total_evaluations=total_evaluations(network),
+        cycles=engine.cycle,
+        stop_reason=stop_reason,
+        threshold_local_time=threshold_local,
+        threshold_total_evaluations=quality_obs.threshold_evaluations,
+        messages=MessageTally.collect(engine),
+        node_best_spread=spread,
+        history=list(quality_obs.history),
+    )
+
+
+def _run_single_star(args: tuple) -> RunResult:
+    """Top-level helper for multiprocessing (must be picklable)."""
+    config, repetition, record_history = args
+    return run_single(config, repetition=repetition, record_history=record_history)
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    record_history: bool = False,
+    progress=None,
+    topology_factory=None,
+    workers: int = 1,
+) -> ExperimentResult:
+    """Run all repetitions of ``config`` and aggregate.
+
+    Parameters
+    ----------
+    config:
+        The experiment point, including ``repetitions``.
+    record_history:
+        Forwarded to :func:`run_single`.
+    progress:
+        Optional callback ``(repetition_index, RunResult) -> None``
+        invoked after each repetition (CLI progress reporting).
+    topology_factory:
+        Forwarded to :func:`run_single` (non-NEWSCAST topologies).
+    workers:
+        Process-parallel repetitions.  Results are identical to the
+        sequential run (each repetition's randomness is derived from
+        its own seed-tree branch, independent of execution order) —
+        the test suite pins this.  Custom ``topology_factory``
+        callables are often closures and thus not picklable, so
+        parallel execution requires ``topology_factory=None``.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers > 1 and topology_factory is not None:
+        raise ValueError(
+            "parallel execution does not support custom topology factories"
+        )
+    runs: list[RunResult] = []
+    if workers == 1 or config.repetitions == 1:
+        for rep in range(config.repetitions):
+            result = run_single(
+                config,
+                repetition=rep,
+                record_history=record_history,
+                topology_factory=topology_factory,
+            )
+            runs.append(result)
+            if progress is not None:
+                progress(rep, result)
+    else:
+        import multiprocessing
+
+        jobs = [
+            (config, rep, record_history) for rep in range(config.repetitions)
+        ]
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=min(workers, config.repetitions)) as pool:
+            for rep, result in enumerate(pool.map(_run_single_star, jobs)):
+                runs.append(result)
+                if progress is not None:
+                    progress(rep, result)
+    return ExperimentResult(config=config, runs=runs)

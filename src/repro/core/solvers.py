@@ -1,0 +1,282 @@
+"""Alternative optimization services (the paper's future work).
+
+The paper's conclusion: "Our future work will include the
+implementation of various different solvers to enrich the function
+evaluation service and then be able to test module diversification
+among peers (same solver with different parameters and configurations,
+different solvers, diverse domain space allocation, etc.)."
+
+This module delivers that extension:
+
+* :class:`RandomSearchService` — uniform random sampling; the
+  zero-intelligence control every coordination benefit must beat.
+* :class:`DifferentialEvolutionService` — DE/rand/1/bin with the
+  received global optimum injected into the population, so remote
+  knowledge steers the search like PSO's social attractor.
+* :func:`mixed_solver_factory` — per-node solver assignment for
+  heterogeneous networks ("module diversification among peers").
+
+All implement :class:`~repro.core.services.OptimizationService`, so
+the coordination and topology services run unchanged over any mix —
+the ablation bench A5 exercises exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.optimum import Optimum
+from repro.core.services import OptimizationService
+from repro.functions.base import Function
+
+__all__ = [
+    "RandomSearchService",
+    "DifferentialEvolutionService",
+    "mixed_solver_factory",
+    "perturbed_pso_factory",
+]
+
+
+class RandomSearchService(OptimizationService):
+    """Uniform random sampling over the domain.
+
+    Keeps the best point seen (locally or offered).  Deliberately
+    ignores remote optima for *search* decisions — there is nothing to
+    steer — but still adopts them as knowledge, so a random-search
+    node acts as a pure relay in a heterogeneous network.
+    """
+
+    def __init__(self, function: Function, rng: np.random.Generator):
+        self.function = function
+        self.rng = rng
+        self._best: Optimum | None = None
+        self._evaluations = 0
+
+    def local_step(self) -> float:
+        point = self.function.sample_uniform(self.rng, 1)[0]
+        value = float(self.function.batch(point[None, :])[0])
+        self._evaluations += 1
+        if self._best is None or value < self._best.value:
+            self._best = Optimum(point, value)
+        return value
+
+    def current_best(self) -> Optimum | None:
+        return self._best
+
+    def offer(self, optimum: Optimum) -> bool:
+        if optimum.better_than(self._best):
+            self._best = optimum
+            return True
+        return False
+
+    @property
+    def evaluations(self) -> int:
+        return self._evaluations
+
+
+class DifferentialEvolutionService(OptimizationService):
+    """DE/rand/1/bin population, one trial evaluation per step.
+
+    Classic differential evolution (Storn & Price): for target ``i``,
+    mutant ``v = a + F·(b − c)`` from three distinct random members,
+    binomial crossover with rate ``CR``, greedy replacement.  Remote
+    optima are injected by replacing the current *worst* member — the
+    DE analogue of redirecting PSO's social attractor: the good point
+    immediately becomes breeding material.
+
+    Parameters
+    ----------
+    function:
+        Objective to minimize.
+    population:
+        Population size (≥ 4 for rand/1 mutation).
+    rng:
+        Private stream.
+    f_weight:
+        Differential weight ``F``.
+    crossover:
+        Crossover rate ``CR``.
+    """
+
+    def __init__(
+        self,
+        function: Function,
+        population: int,
+        rng: np.random.Generator,
+        f_weight: float = 0.7,
+        crossover: float = 0.9,
+    ):
+        if population < 4:
+            raise ValueError("DE needs a population of at least 4")
+        if not 0.0 < f_weight <= 2.0:
+            raise ValueError("f_weight must be in (0, 2]")
+        if not 0.0 <= crossover <= 1.0:
+            raise ValueError("crossover must be in [0, 1]")
+        self.function = function
+        self.rng = rng
+        self.f_weight = f_weight
+        self.crossover = crossover
+        self.population = function.sample_uniform(rng, population)
+        self.values = np.full(population, np.inf)
+        self._initialized = 0  # members evaluated so far
+        self._cursor = 0
+        self._best: Optimum | None = None
+        self._evaluations = 0
+
+    def _record(self, index: int, point: np.ndarray, value: float) -> None:
+        self.population[index] = point
+        self.values[index] = value
+        if self._best is None or value < self._best.value:
+            self._best = Optimum(point, value)
+
+    def local_step(self) -> float:
+        n, d = self.population.shape
+        if self._initialized < n:
+            # Evaluate the initial population first, one member per step.
+            i = self._initialized
+            value = float(self.function.batch(self.population[i][None, :])[0])
+            self._evaluations += 1
+            self._initialized += 1
+            self._record(i, self.population[i].copy(), value)
+            return value
+
+        i = self._cursor
+        self._cursor = (i + 1) % n
+        # Three distinct members, all != i.
+        choices = self.rng.choice(n - 1, size=3, replace=False)
+        abc = [(c + 1 + i) % n for c in choices]
+        a, b, c = (self.population[j] for j in abc)
+        mutant = a + self.f_weight * (b - c)
+        cross = self.rng.random(d) < self.crossover
+        cross[int(self.rng.integers(d))] = True  # at least one gene
+        trial = np.where(cross, mutant, self.population[i])
+        np.clip(trial, self.function.lower, self.function.upper, out=trial)
+        value = float(self.function.batch(trial[None, :])[0])
+        self._evaluations += 1
+        if value <= self.values[i]:
+            self._record(i, trial, value)
+        elif self._best is None or value < self._best.value:  # pragma: no cover
+            self._best = Optimum(trial, value)
+        return value
+
+    def current_best(self) -> Optimum | None:
+        return self._best
+
+    def offer(self, optimum: Optimum) -> bool:
+        if not optimum.better_than(self._best):
+            return False
+        self._best = optimum
+        # Inject as breeding material over the current worst member
+        # (only once the initial population is evaluated; earlier the
+        # slot would be re-evaluated anyway).
+        if self._initialized == self.population.shape[0]:
+            worst = int(np.argmax(self.values))
+            self.population[worst] = optimum.position
+            self.values[worst] = optimum.value
+        return True
+
+    @property
+    def evaluations(self) -> int:
+        return self._evaluations
+
+
+def mixed_solver_factory(
+    function: Function,
+    assignments: Sequence[str],
+    swarm_particles: int,
+    rng_for: Callable[[int, str], np.random.Generator],
+) -> Callable[[int], OptimizationService]:
+    """Per-node solver assignment for heterogeneous networks.
+
+    Parameters
+    ----------
+    function:
+        The shared objective.
+    assignments:
+        One solver name per node index (cycled if shorter than the
+        network): ``"pso"``, ``"de"`` or ``"random"``.
+    swarm_particles:
+        Population size for PSO/DE nodes.
+    rng_for:
+        ``(node_id, solver_name) -> Generator`` supplying private
+        streams (pass ``tree.rng`` composition).
+
+    Returns a callable ``node_id -> OptimizationService``.
+    """
+    from repro.core.dpso import DistributedPSOService
+    from repro.utils.config import PSOConfig
+
+    valid = {"pso", "de", "random"}
+    unknown = set(assignments) - valid
+    if unknown:
+        raise ValueError(f"unknown solver names: {sorted(unknown)}")
+    if not assignments:
+        raise ValueError("assignments must be non-empty")
+
+    def build(node_id: int) -> OptimizationService:
+        name = assignments[node_id % len(assignments)]
+        rng = rng_for(node_id, name)
+        if name == "pso":
+            return DistributedPSOService(
+                function, PSOConfig(particles=swarm_particles), rng
+            )
+        if name == "de":
+            return DifferentialEvolutionService(
+                function, max(4, swarm_particles), rng
+            )
+        return RandomSearchService(function, rng)
+
+    return build
+
+
+def perturbed_pso_factory(
+    function: Function,
+    base: "PSOConfig",
+    rng_for: Callable[[int], np.random.Generator],
+    inertia_range: tuple[float, float] = (0.55, 0.85),
+    accel_range: tuple[float, float] = (1.2, 1.8),
+) -> Callable[[int], OptimizationService]:
+    """Per-node PSO *parameter* diversification.
+
+    The other half of the paper's future work: "same solver with
+    different parameters and configurations".  Each node's swarm draws
+    its inertia and (shared) acceleration coefficients uniformly from
+    the given ranges, using its private stream — so the network hosts
+    a family of related-but-distinct search dynamics, hedging against
+    any single parameterization's failure mode.
+
+    Parameters
+    ----------
+    function:
+        The shared objective.
+    base:
+        Template config (swarm size, clamping) whose inertia/c1/c2 are
+        replaced per node.
+    rng_for:
+        ``node_id -> Generator``; the first draws parameterize the
+        node, the rest drive its swarm.
+    inertia_range, accel_range:
+        Uniform sampling ranges.  Defaults bracket the constriction
+        defaults and stay inside the parameter region where
+        trajectories are stable (w < 1, moderate φ).
+    """
+    from repro.core.dpso import DistributedPSOService
+    from dataclasses import replace
+
+    w_lo, w_hi = inertia_range
+    c_lo, c_hi = accel_range
+    if not (0 < w_lo <= w_hi):
+        raise ValueError("invalid inertia_range")
+    if not (0 < c_lo <= c_hi):
+        raise ValueError("invalid accel_range")
+
+    def build(node_id: int) -> OptimizationService:
+        rng = rng_for(node_id)
+        w = float(rng.uniform(w_lo, w_hi))
+        c = float(rng.uniform(c_lo, c_hi))
+        cfg = replace(base, inertia=w, c1=c, c2=c)
+        return DistributedPSOService(function, cfg, rng)
+
+    return build

@@ -1,0 +1,127 @@
+"""Event-driven NEWSCAST: view exchange as real request/reply messages.
+
+The cycle-driven :class:`~repro.topology.newscast.NewscastProtocol`
+performs a symmetric atomic exchange (PeerSim's shortcut).  On a real
+network the exchange is two messages::
+
+    p → q : SHUFFLE_REQ  (p's view + fresh descriptor of p)
+    q → p : SHUFFLE_REP  (q's view + fresh descriptor of q,
+                          snapshotted *before* merging p's offer)
+
+and either leg can be delayed, reordered or dropped.  The protocol
+tolerates all of it because the merge is idempotent and commutative
+up to truncation: a lost REQ means no exchange; a lost REP leaves a
+one-sided (push) exchange — both merely slow mixing, exactly the
+degradation the paper predicts for lost messages (Sec. 3.3.4).
+
+The reply snapshot mirrors the reference implementation: ``q`` answers
+with what it had *before* learning ``p``'s entries, so one exchange
+never echoes a node's own descriptors back (which would refresh stale
+entries artificially and slow self-repair).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.simulator.protocol import EventProtocol
+from repro.simulator import trace as trace_mod
+from repro.topology.sampler import PeerSampler
+from repro.topology.views import NodeDescriptor, PartialView
+from repro.utils.config import NewscastConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.engine import EngineBase
+    from repro.simulator.network import Node, NodeId
+    from repro.simulator.transport import Message
+
+__all__ = ["EventNewscastProtocol"]
+
+_REQ = "shuffle_req"
+_REP = "shuffle_rep"
+
+
+class EventNewscastProtocol(EventProtocol, PeerSampler):
+    """Message-passing NEWSCAST instance for event-driven engines.
+
+    The runtime drives it by calling :meth:`initiate` from a per-node
+    periodic timer; everything else happens in :meth:`deliver`.
+    """
+
+    PROTOCOL_NAME = "newscast"
+
+    def __init__(self, config: NewscastConfig, rng: np.random.Generator):
+        self.config = config
+        self.rng = rng
+        self.view = PartialView(config.view_size)
+        self.requests_sent = 0
+        self.replies_sent = 0
+        self.merges = 0
+
+    # -- PeerSampler -------------------------------------------------------------
+
+    def sample_peer(self, node: "Node", rng: np.random.Generator) -> "NodeId | None":
+        desc = self.view.sample(rng)
+        return desc.node_id if desc is not None else None
+
+    def known_peers(self, node: "Node") -> list["NodeId"]:
+        return self.view.ids()
+
+    # -- timer entry point ----------------------------------------------------------
+
+    def initiate(self, node: "Node", engine: "EngineBase") -> bool:
+        """Start one shuffle: send our offer to a random view entry.
+
+        Returns whether a request was sent (False for empty views).
+        """
+        desc = self.view.sample(self.rng)
+        if desc is None:
+            return False
+        offer = self._offer(node.node_id, engine)
+        self.send(engine, node.node_id, desc.node_id, (_REQ, offer))
+        self.requests_sent += 1
+        trace_mod.emit(engine, "newscast.req", node.node_id, desc.node_id)
+        return True
+
+    def _offer(self, own_id: int, engine: "EngineBase") -> list[NodeDescriptor]:
+        stamp = float(engine.now) + float(self.rng.random())
+        return self.view.descriptors() + [NodeDescriptor(own_id, stamp)]
+
+    # -- message handling ---------------------------------------------------------------
+
+    def deliver(self, node: "Node", engine: "EngineBase", message: "Message") -> None:
+        kind, descriptors = message.payload
+        if kind == _REQ:
+            # Snapshot-then-merge: the reply must not contain what we
+            # just learned from the requester.
+            reply = self._offer(node.node_id, engine)
+            self.view.merge(descriptors, own_id=node.node_id)
+            self.merges += 1
+            self.send(engine, node.node_id, message.src, (_REP, reply))
+            self.replies_sent += 1
+            trace_mod.emit(engine, "newscast.rep", node.node_id, message.src)
+        elif kind == _REP:
+            self.view.merge(descriptors, own_id=node.node_id)
+            self.merges += 1
+        else:
+            raise ValueError(f"unknown newscast payload kind {kind!r}")
+
+    def on_join(self, node: "Node", engine: "EngineBase") -> None:
+        """Bootstrap with one live contact (out-of-band, as in any P2P join)."""
+        if len(self.view) > 0:
+            return
+        try:
+            contact = engine.network.random_live_node(exclude=node.node_id)
+        except Exception:
+            return
+        self.view.merge(
+            [NodeDescriptor(contact.node_id, float(engine.now))],
+            own_id=node.node_id,
+        )
+
+    @property
+    def view_size(self) -> int:
+        """Current number of view entries (≤ ``c``)."""
+        return len(self.view)

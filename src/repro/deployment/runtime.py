@@ -1,0 +1,329 @@
+"""The asynchronous deployment runtime.
+
+Builds the full three-service stack on an event-driven engine and
+gives every node its own clocks:
+
+* a **compute timer** — every ``compute_period`` (± jitter) the node
+  spends ``evals_per_tick`` function evaluations of its budget;
+* a **peer-sampling timer** — every ``newscast_period`` the node
+  initiates a NEWSCAST shuffle (the paper envisions 10–60 s);
+* a **gossip timer** — every ``gossip_period`` the node initiates one
+  anti-entropy optimum exchange.
+
+Messages travel over a uniform-latency transport with optional loss.
+Timer phases are randomized per node, so nothing in the system is
+synchronized — the regime the paper's architecture targets but never
+simulates.  Optional Poisson churn crashes and joins nodes as
+scheduled events.
+
+A periodic monitor samples the oracle global best for the quality
+trajectory and enforces threshold/budget stopping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.coordination import CoordinationProtocol
+from repro.core.dpso import DistributedPSOService, PSOStepProtocol
+from repro.core.metrics import MessageTally, global_best, total_evaluations
+from repro.deployment.newscast_ed import EventNewscastProtocol
+from repro.functions.base import Function, get_function
+from repro.simulator.engine import EventDrivenEngine
+from repro.simulator.network import Network, Node
+from repro.simulator.transport import LossyTransport, UniformLatencyTransport
+from repro.topology.newscast import bootstrap_views
+from repro.utils.config import CoordinationConfig, NewscastConfig, PSOConfig
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import SeedSequenceTree
+
+__all__ = ["DeploymentConfig", "DeploymentResult", "AsyncDeployment"]
+
+
+@dataclass(frozen=True)
+class DeploymentConfig:
+    """Parameters of one asynchronous deployment.
+
+    Time is in abstract seconds; defaults model the paper's
+    back-of-envelope (10 s protocol cycles) with computation much
+    faster than communication.
+    """
+
+    function: str
+    nodes: int
+    particles_per_node: int = 8
+    budget_per_node: int = 1000
+    #: evaluations performed per compute tick (the async analogue of r).
+    evals_per_tick: int = 8
+    compute_period: float = 1.0
+    newscast_period: float = 10.0
+    gossip_period: float = 10.0
+    #: uniform per-message latency band.
+    latency_min: float = 0.05
+    latency_max: float = 0.5
+    loss_rate: float = 0.0
+    #: uniform jitter added to every timer period (fraction of period).
+    clock_jitter: float = 0.1
+    quality_threshold: float | None = None
+    #: expected crashes (and joins) per second, Poisson.  0 = no churn.
+    crash_rate: float = 0.0
+    join_rate: float = 0.0
+    min_population: int = 1
+    monitor_period: float = 5.0
+    seed: int = 0
+    newscast: NewscastConfig = field(default_factory=NewscastConfig)
+    pso: PSOConfig = field(default_factory=PSOConfig)
+    coordination: CoordinationConfig = field(default_factory=CoordinationConfig)
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ConfigurationError("nodes must be >= 1")
+        if self.budget_per_node < 1:
+            raise ConfigurationError("budget_per_node must be >= 1")
+        if self.evals_per_tick < 1:
+            raise ConfigurationError("evals_per_tick must be >= 1")
+        for name in ("compute_period", "newscast_period", "gossip_period",
+                     "monitor_period"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if not (0 <= self.latency_min <= self.latency_max):
+            raise ConfigurationError("require 0 <= latency_min <= latency_max")
+        if not (0.0 <= self.loss_rate < 1.0):
+            raise ConfigurationError("loss_rate must be in [0, 1)")
+        if not (0.0 <= self.clock_jitter <= 1.0):
+            raise ConfigurationError("clock_jitter must be in [0, 1]")
+        if self.crash_rate < 0 or self.join_rate < 0:
+            raise ConfigurationError("churn rates must be >= 0")
+        object.__setattr__(
+            self, "pso",
+            PSOConfig(
+                particles=self.particles_per_node,
+                c1=self.pso.c1, c2=self.pso.c2,
+                vmax_fraction=self.pso.vmax_fraction,
+                inertia=self.pso.inertia,
+                clamp_positions=self.pso.clamp_positions,
+            ),
+        )
+
+
+@dataclass
+class DeploymentResult:
+    """Outcome of one asynchronous run."""
+
+    best_value: float
+    quality: float
+    total_evaluations: int
+    sim_time: float
+    stop_reason: str
+    threshold_time: float | None
+    messages: MessageTally
+    crashes: int
+    joins: int
+    history: list[tuple[float, int, float]] = field(default_factory=list)
+    #: (time, evaluations, best) samples from the monitor.
+
+
+class AsyncDeployment:
+    """Build and run one asynchronous deployment.
+
+    Usage::
+
+        result = AsyncDeployment(config).run(until=600.0)
+    """
+
+    def __init__(self, config: DeploymentConfig):
+        self.config = config
+        self.tree = SeedSequenceTree(config.seed)
+        self.function: Function = get_function(config.function)
+        self.network = Network(rng=self.tree.rng("network"))
+
+        transport = UniformLatencyTransport(
+            self.tree.rng("latency"),
+            min_delay=config.latency_min,
+            max_delay=config.latency_max,
+        )
+        if config.loss_rate > 0:
+            transport = LossyTransport(
+                transport, config.loss_rate, self.tree.rng("loss")
+            )
+        self.engine = EventDrivenEngine(
+            self.network, transport=transport, rng=self.tree.rng("engine")
+        )
+
+        self.history: list[tuple[float, int, float]] = []
+        self.threshold_time: float | None = None
+        self.crashes = 0
+        self.joins = 0
+        self._stop_reason = "horizon"
+
+        for _ in range(config.nodes):
+            self._spawn_node(bootstrap=False)
+        bootstrap_views(
+            self.network, self.tree.rng("bootstrap"),
+            protocol_name=EventNewscastProtocol.PROTOCOL_NAME,
+        )
+        self._schedule_monitor()
+        if config.crash_rate > 0:
+            self._schedule_crash()
+        if config.join_rate > 0:
+            self._schedule_join()
+
+    # -- node lifecycle ---------------------------------------------------------
+
+    def _spawn_node(self, bootstrap: bool) -> Node:
+        cfg = self.config
+        node = self.network.create_node(birth_cycle=int(self.engine.now))
+        nid = node.node_id
+
+        newscast = EventNewscastProtocol(
+            cfg.newscast, self.tree.rng("node", nid, "newscast")
+        )
+        node.attach(EventNewscastProtocol.PROTOCOL_NAME, newscast)
+
+        service = DistributedPSOService(
+            self.function, cfg.pso, self.tree.rng("node", nid, "pso")
+        )
+        stepper = PSOStepProtocol(
+            service, evals_per_cycle=cfg.evals_per_tick, budget=cfg.budget_per_node
+        )
+        node.attach(PSOStepProtocol.PROTOCOL_NAME, stepper)
+
+        coordination = CoordinationProtocol(
+            cfg.coordination,
+            service,
+            topology_protocol=EventNewscastProtocol.PROTOCOL_NAME,
+            rng=self.tree.rng("node", nid, "coordination"),
+        )
+        node.attach(CoordinationProtocol.PROTOCOL_NAME, coordination)
+
+        if bootstrap:
+            newscast.on_join(node, self.engine)
+
+        timer_rng = self.tree.rng("node", nid, "timers")
+        self._schedule_node_timer(
+            node, cfg.compute_period, timer_rng,
+            lambda n, e: n.protocol("pso").next_cycle(n, e),
+        )
+        self._schedule_node_timer(
+            node, cfg.newscast_period, timer_rng,
+            lambda n, e: n.protocol("newscast").initiate(n, e),
+        )
+        self._schedule_node_timer(
+            node, cfg.gossip_period, timer_rng,
+            lambda n, e: n.protocol("coordination").maybe_exchange(n, e),
+        )
+        return node
+
+    def _schedule_node_timer(self, node: Node, period: float, rng, action) -> None:
+        """Periodic per-node timer with random phase and jitter.
+
+        The timer silently dies when its node does — crashed machines
+        tick no clocks.
+        """
+        cfg = self.config
+        nid = node.node_id
+
+        def fire(engine) -> None:
+            if engine.stopped or not self.network.is_alive(nid):
+                return
+            action(self.network.node(nid), engine)
+            delay = period * (1.0 + cfg.clock_jitter * float(rng.random()))
+            engine.schedule(engine.now + delay, fire)
+
+        phase = period * float(rng.random())
+        self.engine.schedule(self.engine.now + phase, fire)
+
+    # -- churn --------------------------------------------------------------------
+
+    def _schedule_crash(self) -> None:
+        cfg = self.config
+        rng = self.tree.rng("churn", "crash")
+
+        def fire(engine) -> None:
+            if engine.stopped:
+                return
+            if self.network.live_count > cfg.min_population:
+                victim = self.network.random_live_node()
+                self.network.crash(victim.node_id)
+                self.crashes += 1
+            engine.schedule(
+                engine.now + float(rng.exponential(1.0 / cfg.crash_rate)), fire
+            )
+
+        self.engine.schedule(
+            float(rng.exponential(1.0 / cfg.crash_rate)), fire
+        )
+
+    def _schedule_join(self) -> None:
+        cfg = self.config
+        rng = self.tree.rng("churn", "join")
+
+        def fire(engine) -> None:
+            if engine.stopped:
+                return
+            self._spawn_node(bootstrap=True)
+            self.joins += 1
+            engine.schedule(
+                engine.now + float(rng.exponential(1.0 / cfg.join_rate)), fire
+            )
+
+        self.engine.schedule(
+            float(rng.exponential(1.0 / cfg.join_rate)), fire
+        )
+
+    # -- monitoring and stopping ------------------------------------------------------
+
+    def _schedule_monitor(self) -> None:
+        cfg = self.config
+
+        def fire(engine) -> None:
+            if engine.stopped:
+                return
+            best = global_best(self.network)
+            evals = total_evaluations(self.network)
+            self.history.append((engine.now, evals, best))
+            if (
+                cfg.quality_threshold is not None
+                and self.threshold_time is None
+                and best <= cfg.quality_threshold
+            ):
+                self.threshold_time = engine.now
+                self._stop_reason = "threshold"
+                engine.stop("threshold")
+                return
+            if self._all_exhausted():
+                self._stop_reason = "budget"
+                engine.stop("budget")
+                return
+            engine.schedule(engine.now + cfg.monitor_period, fire)
+
+        self.engine.schedule(cfg.monitor_period, fire)
+
+    def _all_exhausted(self) -> bool:
+        for node in self.network.live_nodes():
+            if not node.protocol(PSOStepProtocol.PROTOCOL_NAME).exhausted:  # type: ignore[attr-defined]
+                return False
+        return True
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self, until: float) -> DeploymentResult:
+        """Run until the horizon, the budget, or the quality threshold."""
+        if until <= 0:
+            raise ValueError("until must be positive")
+        self.engine.run(until=until)
+        best = global_best(self.network)
+        return DeploymentResult(
+            best_value=best,
+            quality=self.function.quality(best),
+            total_evaluations=total_evaluations(self.network),
+            sim_time=self.engine.now,
+            stop_reason=self._stop_reason if self.engine.stopped else "horizon",
+            threshold_time=self.threshold_time,
+            messages=MessageTally.collect(self.engine),
+            crashes=self.crashes,
+            joins=self.joins,
+            history=list(self.history),
+        )

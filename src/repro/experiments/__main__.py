@@ -1,0 +1,65 @@
+"""Command-line entry point for the paper experiments.
+
+Usage::
+
+    python -m repro.experiments exp1 [--scale smoke|reduced|full]
+                                     [--seed N] [--csv PATH] [--quiet]
+    python -m repro.experiments all --scale smoke
+
+Prints the paper-style report (tables + ASCII figures) to stdout;
+``--csv`` additionally dumps the raw per-run data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.export import results_to_csv
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import stderr_progress
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which paper artefact to regenerate (expN = Table N / Figure N)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="reduced",
+        choices=("smoke", "reduced", "full"),
+        help="sweep extent: smoke=seconds, reduced=minutes, full=paper scale",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="master seed")
+    parser.add_argument("--csv", default=None, help="also dump raw runs to CSV")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-config progress on stderr"
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    progress = None if args.quiet else stderr_progress
+
+    all_results = []
+    for name in names:
+        module = EXPERIMENTS[name]
+        data = module.run(scale=args.scale, seed=args.seed, progress=progress)
+        print(module.report(data))
+        all_results.extend(res for _, res in data.entries)
+
+    if args.csv:
+        results_to_csv(all_results, path=args.csv)
+        print(f"raw runs written to {args.csv}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

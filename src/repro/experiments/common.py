@@ -1,0 +1,102 @@
+"""Shared sweep machinery for the experiment modules.
+
+A *sweep* is an ordered list of :class:`ExperimentConfig` points; its
+result, :class:`SweepData`, keeps (config, result) pairs and offers
+the groupings the reports need (per function, per series parameter).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.runner import ExperimentResult, run_experiment
+from repro.utils.config import ExperimentConfig
+from repro.utils.numerics import safe_log10
+
+__all__ = ["SweepData", "run_sweep", "stderr_progress"]
+
+
+@dataclass
+class SweepData:
+    """All results of one experiment sweep."""
+
+    name: str
+    scale: str
+    entries: list[tuple[ExperimentConfig, ExperimentResult]] = field(
+        default_factory=list
+    )
+    elapsed_seconds: float = 0.0
+
+    def functions(self) -> list[str]:
+        """Function names present, in first-seen order."""
+        seen: dict[str, None] = {}
+        for cfg, _ in self.entries:
+            seen.setdefault(cfg.function, None)
+        return list(seen)
+
+    def for_function(self, function: str) -> list[tuple[ExperimentConfig, ExperimentResult]]:
+        """Entries restricted to one function, sweep order preserved."""
+        return [(c, r) for c, r in self.entries if c.function == function]
+
+    def best_per_function(self) -> dict[str, ExperimentResult]:
+        """For each function, the entry with the lowest mean quality.
+
+        This is how the paper's "best results" tables are built: the
+        table row is the best configuration of the sweep.
+        """
+        best: dict[str, ExperimentResult] = {}
+        for cfg, res in self.entries:
+            cur = best.get(cfg.function)
+            if cur is None or res.quality_stats.mean < cur.quality_stats.mean:
+                best[cfg.function] = res
+        return best
+
+    def series(
+        self,
+        function: str,
+        x_of: Callable[[ExperimentConfig], float],
+        group_of: Callable[[ExperimentConfig], object],
+        y_of: Callable[[ExperimentResult], float] | None = None,
+    ) -> dict[object, tuple[list[float], list[float]]]:
+        """Build figure series: group → (xs, ys).
+
+        Default ``y`` is log10 of mean quality (the paper's axes).
+        """
+        if y_of is None:
+            y_of = lambda res: float(safe_log10(max(res.quality_stats.mean, 0.0)))
+        out: dict[object, tuple[list[float], list[float]]] = {}
+        for cfg, res in self.for_function(function):
+            key = group_of(cfg)
+            xs, ys = out.setdefault(key, ([], []))
+            xs.append(float(x_of(cfg)))
+            ys.append(float(y_of(res)))
+        return out
+
+
+def run_sweep(
+    name: str,
+    scale: str,
+    configs: Sequence[ExperimentConfig],
+    progress: Callable[[str], None] | None = None,
+) -> SweepData:
+    """Execute every config in order; returns the collected data."""
+    data = SweepData(name=name, scale=scale)
+    t0 = time.perf_counter()
+    for i, cfg in enumerate(configs):
+        res = run_experiment(cfg)
+        data.entries.append((cfg, res))
+        if progress is not None:
+            progress(
+                f"[{name}:{scale}] {i + 1}/{len(configs)} {cfg.describe()} "
+                f"-> mean quality {res.quality_stats.mean:.3e}"
+            )
+    data.elapsed_seconds = time.perf_counter() - t0
+    return data
+
+
+def stderr_progress(message: str) -> None:
+    """Default progress sink: one line per configuration on stderr."""
+    print(message, file=sys.stderr, flush=True)

@@ -1,0 +1,159 @@
+"""Experiment 4 — time to reach a target quality (Table 4 / Figure 4).
+
+Paper setup (Sec. 4.3, fourth set): stop as soon as the global
+solution quality reaches ``1e-10``; network sizes ``n = 2^i,
+i = 0..10``, swarm sizes ``k ∈ {1,4,8,16}``, gossip every sweep
+(``r = k``), total budget capped at ``2^20`` evaluations.  "Time" is
+the number of evaluations performed locally at each node.
+
+Paper findings our reproduction must show:
+
+* required time is **inversely proportional to the number of nodes**
+  (twice the machines, half the wall-clock) …
+* … and **proportional to swarm size** (more particles per node = more
+  local evaluations per unit progress);
+* Griewank never reaches the threshold (the paper's all-dash Table 4
+  row) — the distributed design does not rescue an unsuited solver.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.analysis.plots import Series, ascii_plot
+from repro.analysis.tables import format_paper_table, time_table_rows
+from repro.experiments.common import SweepData, run_sweep
+from repro.functions.suite import PAPER_FUNCTIONS
+from repro.utils.config import ExperimentConfig
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["SCALES", "configs", "run", "report"]
+
+NAME = "exp4"
+TITLE = "Experiment 4: time to quality 1e-10 vs network size (Table 4 / Figure 4)"
+
+#: The paper's stopping quality.
+THRESHOLD = 1e-10
+
+SCALES: dict[str, dict] = {
+    "smoke": {
+        "functions": ("sphere", "f2", "griewank"),
+        "node_exponents": (0, 2, 4),
+        "particles": (4, 16),
+        "budget": 2**16,
+        "repetitions": 2,
+    },
+    "reduced": {
+        "functions": PAPER_FUNCTIONS,
+        "node_exponents": (0, 2, 4, 6),
+        "particles": (4, 16),
+        "budget": 2**18,
+        "repetitions": 5,
+    },
+    "full": {
+        "functions": PAPER_FUNCTIONS,
+        "node_exponents": tuple(range(0, 11)),
+        "particles": (1, 4, 8, 16),
+        "budget": 2**20,
+        "repetitions": 50,
+    },
+}
+
+
+def configs(scale: str = "reduced", seed: int = 42) -> list[ExperimentConfig]:
+    """The sweep at ``scale``; budget-infeasible points are skipped."""
+    try:
+        p = SCALES[scale]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale {scale!r}; available: {sorted(SCALES)}"
+        ) from None
+    out = []
+    for function in p["functions"]:
+        for i in p["node_exponents"]:
+            n = 2**i
+            for k in p["particles"]:
+                if p["budget"] // n < k:
+                    continue
+                out.append(
+                    ExperimentConfig(
+                        function=function,
+                        nodes=n,
+                        particles_per_node=k,
+                        total_evaluations=p["budget"],
+                        gossip_cycle=k,
+                        repetitions=p["repetitions"],
+                        seed=seed,
+                        quality_threshold=THRESHOLD,
+                    )
+                )
+    return out
+
+
+def run(
+    scale: str = "reduced",
+    seed: int = 42,
+    progress: Callable[[str], None] | None = None,
+) -> SweepData:
+    """Execute the sweep; see module docstring for the setup."""
+    return run_sweep(NAME, scale, configs(scale, seed), progress)
+
+
+def report(data: SweepData) -> str:
+    """Table 4 rows + one Figure-4 panel per function.
+
+    The figure's y axis is log10 of the mean *local time* (evaluations
+    per node) to threshold, over the runs that reached it; points with
+    no successful run are omitted (Griewank's panel is empty, as the
+    paper's Figure 4 has no Griewank panel at all).
+    """
+    sections = [TITLE, f"(scale={data.scale}, {data.elapsed_seconds:.1f}s)", ""]
+
+    # Table 4: global evaluations-to-threshold of the best config.
+    best: dict[str, object] = {}
+    for cfg, res in data.entries:
+        stats = res.total_eval_stats
+        cur = best.get(cfg.function)
+        if stats is None:
+            best.setdefault(cfg.function, res)
+            continue
+        cur_stats = cur.total_eval_stats if cur is not None else None  # type: ignore[union-attr]
+        if cur_stats is None or stats.mean < cur_stats.mean:
+            best[cfg.function] = res
+    sections.append(
+        format_paper_table(
+            time_table_rows(best),  # type: ignore[arg-type]
+            title="Table 4 — total evaluations to reach 1e-10 (best config)",
+        )
+    )
+    sections.append("")
+
+    def mean_local_time(res) -> float:
+        stats = res.time_stats
+        if stats is None:
+            return float("nan")
+        return math.log10(max(stats.mean, 1.0))
+
+    for function in data.functions():
+        series_map = data.series(
+            function,
+            x_of=lambda c: c.nodes,
+            group_of=lambda c: c.particles_per_node,
+            y_of=mean_local_time,
+        )
+        series = [
+            Series(label=f"particles={k}", xs=xs, ys=ys)
+            for k, (xs, ys) in sorted(series_map.items())
+        ]
+        sections.append(
+            ascii_plot(
+                series,
+                title=f"Figure 4 ({function}): log10 local time to 1e-10 vs network size",
+                xlabel="network size (n, log2 axis)",
+                ylabel="logT",
+                logx=True,
+            )
+        )
+        sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,58 @@
+"""Benchmark objective functions.
+
+The paper evaluates six "well known testing functions" (Sec. 4):
+De Jong's F2, Zakharov, Rosenbrock, Sphere, Schaffer's F6 and
+Griewank — F2 in 2 dimensions, the rest in 10.  The paper omits the
+analytic expressions ("widely used ... therefore we omit"); this
+package supplies the canonical definitions, documented per function,
+plus a registry so experiments refer to functions by name.
+
+Difficulty spectrum claimed by the paper and preserved here:
+F2 is *easy*; Zakharov, Sphere, Rosenbrock are *nice*; Griewank and
+Schaffer are *hard* for PSO.
+
+All functions are **minimization** problems with global optimum value
+0 (Schwefel in :mod:`repro.functions.extra` is shifted to make that
+true), so *solution quality* = best objective value found, exactly as
+the paper measures it.
+
+Extra functions (Rastrigin, Ackley, Schwefel, Levy) extend the suite
+for the ablation/extension experiments.
+"""
+
+from repro.functions.base import (
+    Function,
+    available_functions,
+    get_function,
+    register_function,
+)
+from repro.functions.counting import CountingFunction
+from repro.functions.suite import (
+    DeJongF2,
+    Griewank,
+    Rosenbrock,
+    SchafferF6,
+    Sphere,
+    Zakharov,
+    PAPER_FUNCTIONS,
+)
+from repro.functions.extra import Ackley, Levy, Rastrigin, Schwefel
+
+__all__ = [
+    "Function",
+    "CountingFunction",
+    "get_function",
+    "register_function",
+    "available_functions",
+    "DeJongF2",
+    "Zakharov",
+    "Rosenbrock",
+    "Sphere",
+    "SchafferF6",
+    "Griewank",
+    "Rastrigin",
+    "Ackley",
+    "Schwefel",
+    "Levy",
+    "PAPER_FUNCTIONS",
+]

@@ -1,0 +1,82 @@
+"""Evaluation-counting function wrapper.
+
+The paper's budget ``e`` and its time axis are both measured in
+*function evaluations*; the wrapper makes that accounting exact and
+tamper-proof: every scalar or batch evaluation increments the counter
+by the number of points evaluated, and an optional hard budget raises
+:class:`~repro.utils.exceptions.BudgetExhaustedError` on overrun.
+
+Experiments wrap one :class:`CountingFunction` per *node* so per-node
+"local time" (Sec. 4, figures of merit) falls out of the counters; the
+runner sums them for the global ``e``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.functions.base import Function
+from repro.utils.exceptions import BudgetExhaustedError
+
+__all__ = ["CountingFunction"]
+
+
+class CountingFunction(Function):
+    """Decorator around a :class:`Function` that counts evaluations.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped objective.
+    budget:
+        Optional maximum number of evaluations; exceeding it raises
+        :class:`BudgetExhaustedError` *before* evaluating the points
+        that would overrun.
+    """
+
+    def __init__(self, inner: Function, budget: int | None = None):
+        # Intentionally not calling super().__init__: we mirror the
+        # inner function's geometry instead of building our own.
+        if budget is not None and budget < 0:
+            raise ValueError("budget must be non-negative")
+        self.inner = inner
+        self.budget = budget
+        self.evaluations = 0
+        self.NAME = inner.NAME
+        self.dimension = inner.dimension
+        self.lower = inner.lower
+        self.upper = inner.upper
+
+    @property
+    def remaining(self) -> int | None:
+        """Evaluations left before the budget trips (None = unlimited)."""
+        if self.budget is None:
+            return None
+        return self.budget - self.evaluations
+
+    def batch(self, points: np.ndarray) -> np.ndarray:
+        pts = np.asarray(points, dtype=float)
+        m = pts.shape[0] if pts.ndim == 2 else 1
+        if self.budget is not None and self.evaluations + m > self.budget:
+            raise BudgetExhaustedError(
+                f"evaluating {m} points would exceed budget "
+                f"{self.budget} (used {self.evaluations})"
+            )
+        out = self.inner.batch(pts)
+        self.evaluations += m
+        return out
+
+    @property
+    def optimum_value(self) -> float:
+        return self.inner.optimum_value
+
+    @property
+    def optimum_position(self) -> np.ndarray | None:
+        return self.inner.optimum_position
+
+    def quality(self, value: float) -> float:
+        return self.inner.quality(value)
+
+    def reset(self) -> None:
+        """Zero the counter (budget unchanged)."""
+        self.evaluations = 0

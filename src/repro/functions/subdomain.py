@@ -1,0 +1,109 @@
+"""Sub-domain views of a function and box partitioning.
+
+Support for the paper's *partitioned* coordination strategy (Sec. 3.2:
+"partitioning of the search space in non-overlapping zones under the
+responsibility of each node").  A :class:`SubdomainFunction` is the
+same objective restricted to a sub-box: evaluation is unchanged, but
+sampling, domain width (and therefore velocity clamping) and
+containment use the zone.  :func:`partition_box` cuts a box into ``n``
+axis-aligned zones of equal volume by recursive bisection of the
+currently largest zone along its widest dimension — a deterministic
+k-d-style split, so every node can derive the full partition from
+``(n, node_index)`` alone with no coordination.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.functions.base import Function
+
+__all__ = ["SubdomainFunction", "partition_box"]
+
+
+class SubdomainFunction(Function):
+    """A function restricted to an axis-aligned sub-box of its domain.
+
+    Parameters
+    ----------
+    inner:
+        The full-domain objective.
+    lower, upper:
+        Zone bounds, arrays of shape ``(d,)`` inside the inner box.
+    """
+
+    def __init__(self, inner: Function, lower: np.ndarray, upper: np.ndarray):
+        lo = np.asarray(lower, dtype=float)
+        hi = np.asarray(upper, dtype=float)
+        if lo.shape != (inner.dimension,) or hi.shape != (inner.dimension,):
+            raise ValueError("zone bounds must have the function's dimension")
+        if np.any(lo >= hi):
+            raise ValueError("zone must have positive extent in every dimension")
+        if np.any(lo < inner.lower - 1e-12) or np.any(hi > inner.upper + 1e-12):
+            raise ValueError("zone must lie within the inner function's domain")
+        self.inner = inner
+        self.NAME = f"{inner.NAME}[zone]"
+        self.dimension = inner.dimension
+        self.lower = lo
+        self.upper = hi
+
+    def batch(self, points: np.ndarray) -> np.ndarray:
+        # Evaluation is the *full* function — zones restrict search,
+        # not the objective.
+        return self.inner.batch(points)
+
+    @property
+    def optimum_value(self) -> float:
+        # Quality stays comparable across zones: measured against the
+        # global optimum, which may lie outside this zone.
+        return self.inner.optimum_value
+
+    @property
+    def optimum_position(self) -> np.ndarray | None:
+        pos = self.inner.optimum_position
+        if pos is None:
+            return None
+        inside = np.all((pos >= self.lower) & (pos <= self.upper))
+        return pos if inside else None
+
+
+def partition_box(
+    lower: np.ndarray,
+    upper: np.ndarray,
+    count: int,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Split a box into ``count`` equal-volume axis-aligned zones.
+
+    Greedy bisection: repeatedly halve the zone with the largest
+    volume along its widest dimension (ties: lowest dimension index),
+    until ``count`` zones exist.  For ``count = 2^m`` this is a
+    regular k-d split; other counts give zones of at most 2× volume
+    ratio.
+
+    Returns zones in a deterministic order (split order), so node ``i``
+    owning ``zones[i]`` is a convention every node can compute alone.
+    """
+    lo = np.asarray(lower, dtype=float).copy()
+    hi = np.asarray(upper, dtype=float).copy()
+    if lo.shape != hi.shape or lo.ndim != 1:
+        raise ValueError("bounds must be 1-D arrays of equal shape")
+    if np.any(lo >= hi):
+        raise ValueError("require lower < upper")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+
+    zones: list[tuple[np.ndarray, np.ndarray]] = [(lo, hi)]
+    while len(zones) < count:
+        # Largest volume zone; ties broken by insertion order (stable).
+        volumes = [float(np.prod(z_hi - z_lo)) for z_lo, z_hi in zones]
+        idx = int(np.argmax(volumes))
+        z_lo, z_hi = zones.pop(idx)
+        dim = int(np.argmax(z_hi - z_lo))
+        mid = 0.5 * (z_lo[dim] + z_hi[dim])
+        left_hi = z_hi.copy()
+        left_hi[dim] = mid
+        right_lo = z_lo.copy()
+        right_lo[dim] = mid
+        zones.insert(idx, (z_lo, left_hi))
+        zones.insert(idx + 1, (right_lo, z_hi))
+    return zones

@@ -1,0 +1,94 @@
+"""Swarm state container.
+
+Separating state from behaviour keeps the solver testable (tests build
+states directly), serializable (checkpointing an experiment is
+pickling states) and lets swarm variants share storage layout.
+
+All arrays are row-per-particle, so a vectorized update touches each
+array once; this is the layout the HPC guide's cache-effects section
+prescribes for per-row operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SwarmState"]
+
+
+@dataclass
+class SwarmState:
+    """Complete mutable state of one particle swarm.
+
+    Attributes
+    ----------
+    positions:
+        Current particle positions ``x_i``, shape ``(k, d)``.
+    velocities:
+        Current particle velocities ``v_i``, shape ``(k, d)``.
+    pbest_positions:
+        Per-particle best positions ``p_i``, shape ``(k, d)``.
+    pbest_values:
+        Objective values at ``p_i``, shape ``(k,)``.
+    best_position / best_value:
+        The *swarm optimum* ``g_p`` of paper Sec. 3.3.2 — the best
+        point this swarm knows, whether found locally or received from
+        a peer.  Always at least as good as every ``pbest``.
+    evaluations:
+        Local function evaluations performed so far ("local time").
+    cursor:
+        Round-robin index of the next particle for per-particle
+        stepping.
+    """
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    pbest_positions: np.ndarray
+    pbest_values: np.ndarray
+    best_position: np.ndarray
+    best_value: float
+    evaluations: int = 0
+    cursor: int = 0
+
+    @property
+    def size(self) -> int:
+        """Number of particles ``k``."""
+        return self.positions.shape[0]
+
+    @property
+    def dimension(self) -> int:
+        """Search-space dimensionality ``d``."""
+        return self.positions.shape[1]
+
+    def validate(self) -> None:
+        """Check internal shape/ordering invariants (used by tests).
+
+        Raises ``AssertionError`` on violation; cheap enough to call in
+        property-based tests after every operation.
+        """
+        k, d = self.positions.shape
+        assert self.velocities.shape == (k, d)
+        assert self.pbest_positions.shape == (k, d)
+        assert self.pbest_values.shape == (k,)
+        assert self.best_position.shape == (d,)
+        assert np.isfinite(self.best_value) or self.best_value == np.inf
+        # The swarm optimum can only be better than or equal to any pbest.
+        if k > 0 and np.all(np.isfinite(self.pbest_values)):
+            assert self.best_value <= float(np.min(self.pbest_values)) + 1e-12
+        assert 0 <= self.cursor < max(k, 1)
+        assert self.evaluations >= 0
+
+    def copy(self) -> "SwarmState":
+        """Deep copy (checkpointing)."""
+        return SwarmState(
+            positions=self.positions.copy(),
+            velocities=self.velocities.copy(),
+            pbest_positions=self.pbest_positions.copy(),
+            pbest_values=self.pbest_values.copy(),
+            best_position=self.best_position.copy(),
+            best_value=float(self.best_value),
+            evaluations=self.evaluations,
+            cursor=self.cursor,
+        )

@@ -1,0 +1,239 @@
+"""Incomplete-topology PSO variants (paper Sec. 2 background).
+
+The paper positions its distributed PSO against the literature on PSO
+with restricted social topologies: Kennedy's small-world studies, the
+ring/von Neumann *lbest* swarms, and Mendes' fully informed particle
+swarm (FIPS).  These single-machine variants are implemented here as
+reference points:
+
+* :class:`LbestSwarm` — each particle's social attractor is the best
+  pbest within a fixed neighborhood graph (ring, von Neumann, or a
+  custom adjacency), instead of the global best.
+* :class:`FullyInformedSwarm` — FIPS: every neighbor's pbest pulls the
+  particle, with the acceleration budget split across neighbors.
+
+They share :class:`~repro.pso.state.SwarmState` with the main solver
+and update synchronously (the formulation used in those papers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.functions.base import Function
+from repro.pso.state import SwarmState
+from repro.pso.velocity import domain_fraction_clamp, no_clamp
+from repro.utils.config import PSOConfig
+
+__all__ = ["LbestSwarm", "FullyInformedSwarm", "NEIGHBORHOODS", "ring_neighborhood", "von_neumann_neighborhood"]
+
+
+def ring_neighborhood(k: int, radius: int = 1) -> np.ndarray:
+    """Boolean adjacency of a ring lattice: neighbors within ``radius``.
+
+    Each particle is its own neighbor (standard lbest convention), so
+    row ``i`` has ``2·radius + 1`` true entries (mod wrap-around).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if radius < 1:
+        raise ValueError("radius must be >= 1")
+    adj = np.zeros((k, k), dtype=bool)
+    idx = np.arange(k)
+    adj[idx, idx] = True
+    for off in range(1, radius + 1):
+        adj[idx, (idx + off) % k] = True
+        adj[idx, (idx - off) % k] = True
+    return adj
+
+
+def von_neumann_neighborhood(k: int) -> np.ndarray:
+    """Von Neumann (2-D torus, 4-neighbor) adjacency over ``k`` particles.
+
+    Particles are arranged row-major on the most-square ``rows × cols``
+    grid with ``rows·cols = k`` (requires ``k`` composite or 1; raises
+    for primes > 3 where no grid exists other than ``1 × k``, in which
+    case the ring is the honest fallback and the caller should use it
+    explicitly).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    rows = int(np.sqrt(k))
+    while rows > 1 and k % rows != 0:
+        rows -= 1
+    cols = k // rows
+    if rows == 1 and k > 3:
+        raise ValueError(
+            f"k={k} admits only a 1-row grid; use ring_neighborhood instead"
+        )
+    adj = np.zeros((k, k), dtype=bool)
+    for r in range(rows):
+        for c in range(cols):
+            i = r * cols + c
+            adj[i, i] = True
+            adj[i, ((r + 1) % rows) * cols + c] = True
+            adj[i, ((r - 1) % rows) * cols + c] = True
+            adj[i, r * cols + (c + 1) % cols] = True
+            adj[i, r * cols + (c - 1) % cols] = True
+    return adj
+
+
+#: Named neighborhood builders for config-driven selection.
+NEIGHBORHOODS: dict[str, Callable[[int], np.ndarray]] = {
+    "ring": lambda k: ring_neighborhood(k, 1),
+    "ring2": lambda k: ring_neighborhood(k, 2),
+    "von_neumann": von_neumann_neighborhood,
+    "complete": lambda k: np.ones((k, k), dtype=bool),
+}
+
+
+class _TopologySwarmBase:
+    """Shared machinery of the synchronous topology variants."""
+
+    def __init__(
+        self,
+        function: Function,
+        config: PSOConfig,
+        rng: np.random.Generator,
+        adjacency: np.ndarray | str = "ring",
+    ):
+        self.function = function
+        self.config = config
+        self.rng = rng
+        k = config.particles
+        if isinstance(adjacency, str):
+            try:
+                adjacency = NEIGHBORHOODS[adjacency](k)
+            except KeyError:
+                raise ValueError(
+                    f"unknown neighborhood {adjacency!r}; "
+                    f"available: {sorted(NEIGHBORHOODS)}"
+                ) from None
+        adjacency = np.asarray(adjacency, dtype=bool)
+        if adjacency.shape != (k, k):
+            raise ValueError(f"adjacency must be ({k}, {k}), got {adjacency.shape}")
+        if not np.all(adjacency.diagonal()):
+            raise ValueError("adjacency must include self-loops (lbest convention)")
+        self.adjacency = adjacency
+        if config.vmax_fraction is None:
+            self._clamp = no_clamp()
+        else:
+            self._clamp = domain_fraction_clamp(function, config.vmax_fraction)
+        self.state = self._initialize()
+
+    def _initialize(self) -> SwarmState:
+        k, d = self.config.particles, self.function.dimension
+        positions = self.function.sample_uniform(self.rng, k)
+        width = self.function.domain_width
+        vmax = (self.config.vmax_fraction or 1.0) * width
+        velocities = self.rng.uniform(-vmax, vmax, size=(k, d))
+        return SwarmState(
+            positions=positions,
+            velocities=velocities,
+            pbest_positions=positions.copy(),
+            pbest_values=np.full(k, np.inf),
+            best_position=positions[0].copy(),
+            best_value=np.inf,
+        )
+
+    @property
+    def best_value(self) -> float:
+        """Best objective value found by any particle so far."""
+        return self.state.best_value
+
+    @property
+    def best_position(self) -> np.ndarray:
+        """Position of the best value found so far (a copy)."""
+        return self.state.best_position.copy()
+
+    def _evaluate_and_update_bests(self) -> None:
+        st = self.state
+        values = self.function.batch(st.positions)
+        st.evaluations += st.size
+        improved = values < st.pbest_values
+        st.pbest_values = np.where(improved, values, st.pbest_values)
+        st.pbest_positions = np.where(
+            improved[:, None], st.positions, st.pbest_positions
+        )
+        best_i = int(np.argmin(st.pbest_values))
+        if st.pbest_values[best_i] < st.best_value:
+            st.best_value = float(st.pbest_values[best_i])
+            st.best_position = st.pbest_positions[best_i].copy()
+
+    def run(self, evaluations: int) -> float:
+        """Spend ``evaluations`` (whole cycles of ``k``); return best value."""
+        if evaluations < 0:
+            raise ValueError("evaluations must be non-negative")
+        for _ in range(evaluations // self.state.size):
+            self.step_cycle()
+        return self.state.best_value
+
+    def step_cycle(self) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class LbestSwarm(_TopologySwarmBase):
+    """Synchronous PSO with a fixed neighborhood topology (*lbest*).
+
+    Each particle's social attractor is the best pbest among its
+    neighbors (including itself).  With the complete graph this
+    reduces exactly to classical gbest PSO.
+    """
+
+    def step_cycle(self) -> int:
+        st = self.state
+        cfg = self.config
+        k, d = st.size, st.dimension
+
+        if np.all(np.isfinite(st.pbest_values)):
+            # Neighborhood best: for each row, the neighbor with minimal pbest.
+            masked = np.where(self.adjacency, st.pbest_values[None, :], np.inf)
+            lbest_idx = np.argmin(masked, axis=1)
+            lbest_pos = st.pbest_positions[lbest_idx]
+            r1 = self.rng.random((k, d))
+            r2 = self.rng.random((k, d))
+            st.velocities = (
+                cfg.inertia * st.velocities
+                + cfg.c1 * r1 * (st.pbest_positions - st.positions)
+                + cfg.c2 * r2 * (lbest_pos - st.positions)
+            )
+            self._clamp(st.velocities)
+            st.positions = st.positions + st.velocities
+
+        self._evaluate_and_update_bests()
+        return k
+
+
+class FullyInformedSwarm(_TopologySwarmBase):
+    """Mendes' fully informed particle swarm (FIPS).
+
+    Every neighbor contributes an attraction toward its pbest; the
+    total acceleration ``φ = c1 + c2`` is split evenly across the
+    ``n_i`` neighbors.  Uses the constriction-free form consistent
+    with the rest of the library (inertia + clamping).
+    """
+
+    def step_cycle(self) -> int:
+        st = self.state
+        cfg = self.config
+        k, d = st.size, st.dimension
+
+        if np.all(np.isfinite(st.pbest_values)):
+            phi = cfg.c1 + cfg.c2
+            counts = self.adjacency.sum(axis=1).astype(float)  # n_i >= 1
+            # Random weight per (particle, neighbor, dimension):
+            # accumulate sum_j u_ijd * (p_j − x_i) for j in N(i).
+            accel = np.zeros((k, d))
+            for i in range(k):
+                nbrs = np.flatnonzero(self.adjacency[i])
+                u = self.rng.random((nbrs.size, d))
+                diffs = st.pbest_positions[nbrs] - st.positions[i]
+                accel[i] = (phi / counts[i]) * np.sum(u * diffs, axis=0)
+            st.velocities = cfg.inertia * st.velocities + accel
+            self._clamp(st.velocities)
+            st.positions = st.positions + st.velocities
+
+        self._evaluate_and_update_bests()
+        return k

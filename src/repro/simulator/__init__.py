@@ -1,0 +1,65 @@
+"""A PeerSim-style peer-to-peer network simulator.
+
+The paper evaluates its framework on PeerSim, a Java simulator with
+two execution models; this package reimplements both:
+
+* **Cycle-driven** (:class:`~repro.simulator.engine.CycleDrivenEngine`)
+  — logical lock-step time.  Each cycle, every live node's protocols
+  get a callback, in a freshly shuffled node order.  This is the model
+  behind all of the paper's experiments, where "time" is counted in
+  local function evaluations.
+* **Event-driven** (:class:`~repro.simulator.engine.EventDrivenEngine`)
+  — a priority-queue of timestamped events with configurable message
+  transports (latency distributions, loss).  Used by the churn and
+  robustness scenarios where message timing matters.
+
+Supporting pieces:
+
+* :mod:`~repro.simulator.network` — node/network bookkeeping,
+* :mod:`~repro.simulator.protocol` — protocol base classes,
+* :mod:`~repro.simulator.transport` — message delivery models,
+* :mod:`~repro.simulator.churn` — synthetic join/crash processes,
+* :mod:`~repro.simulator.observers` — periodic measurement hooks,
+* :mod:`~repro.simulator.trace` — structured event tracing.
+"""
+
+from repro.simulator.network import Network, Node, NodeId
+from repro.simulator.protocol import CycleProtocol, EventProtocol, Protocol
+from repro.simulator.engine import (
+    CycleDrivenEngine,
+    EventDrivenEngine,
+    SimulationEvent,
+)
+from repro.simulator.transport import (
+    LossyTransport,
+    Message,
+    ReliableTransport,
+    Transport,
+    UniformLatencyTransport,
+)
+from repro.simulator.churn import ChurnProcess, NodeFactory
+from repro.simulator.observers import FunctionObserver, Observer, StopCondition
+from repro.simulator.trace import TraceRecorder
+
+__all__ = [
+    "Network",
+    "Node",
+    "NodeId",
+    "Protocol",
+    "CycleProtocol",
+    "EventProtocol",
+    "CycleDrivenEngine",
+    "EventDrivenEngine",
+    "SimulationEvent",
+    "Transport",
+    "Message",
+    "ReliableTransport",
+    "LossyTransport",
+    "UniformLatencyTransport",
+    "ChurnProcess",
+    "NodeFactory",
+    "Observer",
+    "FunctionObserver",
+    "StopCondition",
+    "TraceRecorder",
+]

@@ -1,0 +1,79 @@
+"""Observers: periodic measurement and stop-condition hooks.
+
+PeerSim separates *protocols* (the system under test) from *controls*
+(code with global visibility that measures or perturbs it).  Observers
+are our controls: they run at the end of each cycle with full access
+to the engine and may record measurements or request a stop.  Keeping
+measurement out of the protocols keeps the protocols honest — they
+never act on information a real node could not have.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.engine import CycleDrivenEngine
+
+__all__ = ["Observer", "FunctionObserver", "StopCondition", "PeriodicObserver"]
+
+
+class Observer(abc.ABC):
+    """Base observer protocol."""
+
+    @abc.abstractmethod
+    def observe(self, engine: "CycleDrivenEngine") -> None:
+        """Inspect the engine at the end of a cycle."""
+
+
+class FunctionObserver(Observer):
+    """Adapter turning a plain callable into an observer.
+
+    >>> seen = []
+    >>> obs = FunctionObserver(lambda eng: seen.append(eng.cycle))
+    """
+
+    def __init__(self, fn: Callable[["CycleDrivenEngine"], None]):
+        self._fn = fn
+
+    def observe(self, engine: "CycleDrivenEngine") -> None:
+        self._fn(engine)
+
+
+class PeriodicObserver(Observer):
+    """Run an inner observer every ``period`` cycles (cheap sampling)."""
+
+    def __init__(self, inner: Observer, period: int):
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.inner = inner
+        self.period = period
+
+    def observe(self, engine: "CycleDrivenEngine") -> None:
+        if engine.cycle % self.period == 0:
+            self.inner.observe(engine)
+
+
+class StopCondition(Observer):
+    """Stop the engine when a predicate over it becomes true.
+
+    Parameters
+    ----------
+    predicate:
+        ``engine -> bool``; truthy means stop.
+    reason:
+        Recorded as the engine's stop reason (experiments distinguish
+        "threshold reached" from "budget exhausted" through this).
+    """
+
+    def __init__(self, predicate: Callable[["CycleDrivenEngine"], bool],
+                 reason: str = "stop condition met"):
+        self.predicate = predicate
+        self.reason = reason
+        self.triggered_at: int | None = None
+
+    def observe(self, engine: "CycleDrivenEngine") -> None:
+        if self.predicate(engine):
+            self.triggered_at = engine.cycle
+            engine.stop(self.reason)

@@ -1,0 +1,97 @@
+"""Protocol base classes — the simulator's extension points.
+
+A *protocol* is the per-node state plus behaviour of one distributed
+algorithm (NEWSCAST, the PSO service, the coordination service, a
+gossip aggregator, ...).  One protocol **instance** lives on each node;
+instances of the same protocol on different nodes interact only
+through the engine (cycle callbacks) and the transport (messages),
+never by direct method calls — that discipline is what makes the
+simulation faithful to a message-passing system.
+
+Two flavours mirror PeerSim:
+
+* :class:`CycleProtocol` — gets a :meth:`~CycleProtocol.next_cycle`
+  callback once per simulation cycle.
+* :class:`EventProtocol` — gets :meth:`~EventProtocol.deliver` for
+  each message addressed to it in an event-driven simulation.
+
+A protocol may be both (NEWSCAST is: cycle-driven view exchange, but
+exchanges are messages when run on a latency transport).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.engine import EngineBase
+    from repro.simulator.network import Node
+    from repro.simulator.transport import Message
+
+__all__ = ["Protocol", "CycleProtocol", "EventProtocol"]
+
+
+class Protocol(abc.ABC):
+    """Common base: identity and lifecycle hooks.
+
+    Subclasses hold *only this node's* state.  The node and engine are
+    passed into callbacks rather than stored, so protocol instances
+    remain picklable and reusable across engines.
+    """
+
+    #: Name under which instances of this protocol are attached to
+    #: nodes.  Subclasses should override with a stable identifier;
+    #: engines and services look protocols up by this name.
+    PROTOCOL_NAME: str = "protocol"
+
+    def on_join(self, node: "Node", engine: "EngineBase") -> None:
+        """Hook invoked when the owning node joins a running network.
+
+        Default: no-op.  NEWSCAST uses it to bootstrap the view; the
+        distributed PSO service uses it to initialize particles.
+        """
+
+    def on_crash(self, node: "Node", engine: "EngineBase") -> None:
+        """Hook invoked when the owning node crashes.  Default: no-op."""
+
+
+class CycleProtocol(Protocol):
+    """Protocol driven by the cycle-based engine."""
+
+    @abc.abstractmethod
+    def next_cycle(self, node: "Node", engine: "EngineBase") -> None:
+        """Perform this node's work for the current cycle.
+
+        Called once per cycle while the node is alive.  The protocol
+        may send messages, read/write its own state, and access peers'
+        protocol state **only** through engine-mediated exchanges.
+        """
+
+
+class EventProtocol(Protocol):
+    """Protocol driven by message delivery in the event-based engine."""
+
+    @abc.abstractmethod
+    def deliver(self, node: "Node", engine: "EngineBase", message: "Message") -> None:
+        """Handle a message addressed to this protocol on ``node``.
+
+        ``message.payload`` is protocol-defined.  Implementations must
+        tolerate duplicate and out-of-order delivery when run over
+        lossy/latency transports.
+        """
+
+    def send(
+        self,
+        engine: "EngineBase",
+        src: int,
+        dst: int,
+        payload: Any,
+    ) -> bool:
+        """Convenience: send ``payload`` from ``src`` to ``dst`` for this protocol.
+
+        Returns the transport's accept decision (False = dropped at
+        send time; losses in flight are invisible to the sender, as in
+        a real network).
+        """
+        return engine.transport.send(engine, src, dst, self.PROTOCOL_NAME, payload)

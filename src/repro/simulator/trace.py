@@ -1,0 +1,96 @@
+"""Structured event tracing for debugging and analysis.
+
+A :class:`TraceRecorder` is an optional ring buffer of ``(time, kind,
+node, detail)`` records that protocols and engines may emit into.
+Traces power two things:
+
+* regression tests asserting *sequences* of protocol behaviour (e.g.
+  "a joining node's optimum is updated by the first epidemic message
+  it receives", paper Sec. 3.3.4), and
+* the examples' human-readable run narration.
+
+Tracing is off unless a recorder is attached, and emitting to a
+detached recorder is a no-op, so the hot path pays one attribute check.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.engine import EngineBase
+
+__all__ = ["TraceRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    kind: str
+    node: int | None
+    detail: Any
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        who = f"node {self.node}" if self.node is not None else "engine"
+        return f"[t={self.time:g}] {who}: {self.kind} {self.detail}"
+
+
+class TraceRecorder:
+    """Bounded in-memory trace sink.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained records (oldest evicted first).  ``None``
+        keeps everything — only sensible in tests.
+    kinds:
+        Optional whitelist of record kinds to retain.
+    """
+
+    def __init__(self, capacity: int | None = 100_000, kinds: Iterable[str] | None = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        self._records: deque[TraceRecord] = deque(maxlen=capacity)
+        self._kinds = frozenset(kinds) if kinds is not None else None
+        self.emitted = 0
+
+    def attach(self, engine: "EngineBase") -> "TraceRecorder":
+        """Install this recorder on ``engine`` and return self."""
+        engine.trace = self
+        return self
+
+    def emit(self, time: float, kind: str, node: int | None, detail: Any = None) -> None:
+        """Record one event (subject to the kind filter)."""
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        self._records.append(TraceRecord(time, kind, node, detail))
+        self.emitted += 1
+
+    def records(self, kind: str | None = None, node: int | None = None) -> list[TraceRecord]:
+        """Snapshot of retained records, optionally filtered."""
+        out = []
+        for rec in self._records:
+            if kind is not None and rec.kind != kind:
+                continue
+            if node is not None and rec.node != node:
+                continue
+            out.append(rec)
+        return out
+
+    def clear(self) -> None:
+        """Drop all retained records (the emitted counter survives)."""
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def emit(engine: "EngineBase", kind: str, node: int | None, detail: Any = None) -> None:
+    """Module-level helper: emit into the engine's recorder if attached."""
+    rec = getattr(engine, "trace", None)
+    if rec is not None:
+        rec.emit(engine.now, kind, node, detail)

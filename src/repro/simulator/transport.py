@@ -1,0 +1,200 @@
+"""Message transports: how bytes (logically) move between nodes.
+
+The cycle-driven experiments in the paper assume exchanges complete
+within a cycle; the event-driven robustness scenarios need latency and
+loss.  Transports encapsulate that choice:
+
+* :class:`ReliableTransport` — immediate, lossless delivery (PeerSim's
+  default for cycle-driven protocols).
+* :class:`UniformLatencyTransport` — delivery after a uniform random
+  delay, for event-driven runs.
+* :class:`LossyTransport` — wraps another transport and drops each
+  message independently with probability ``loss_rate``; the paper's
+  claim "messages can eventually be lost, with the only effect of
+  slowing down the spreading of information" (Sec. 3.3.4) is tested
+  through this.
+
+Delivery — for any transport — means: look up the destination node;
+if it is alive and has the addressed protocol, call that protocol's
+:meth:`~repro.simulator.protocol.EventProtocol.deliver`.  Messages to
+dead nodes vanish silently, as on a real network.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.engine import EngineBase
+
+__all__ = [
+    "Message",
+    "Transport",
+    "ReliableTransport",
+    "UniformLatencyTransport",
+    "LossyTransport",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message.
+
+    Attributes
+    ----------
+    src, dst:
+        Node ids of sender and addressee.
+    protocol:
+        Name of the destination protocol (see
+        :attr:`repro.simulator.protocol.Protocol.PROTOCOL_NAME`).
+    payload:
+        Arbitrary protocol-defined content.  Protocols should treat
+        payloads as immutable; transports never copy them.
+    sent_at:
+        Engine time at which the message was sent.
+    """
+
+    src: int
+    dst: int
+    protocol: str
+    payload: Any
+    sent_at: float = 0.0
+
+
+@dataclass
+class TransportStats:
+    """Counters every transport maintains; the basis of the paper's
+    communication-overhead figure of merit."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    to_dead: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict snapshot for reports."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "to_dead": self.to_dead,
+        }
+
+
+class Transport(abc.ABC):
+    """Base transport: accepts messages, eventually delivers them."""
+
+    def __init__(self) -> None:
+        self.stats = TransportStats()
+
+    @abc.abstractmethod
+    def send(
+        self,
+        engine: "EngineBase",
+        src: int,
+        dst: int,
+        protocol: str,
+        payload: Any,
+    ) -> bool:
+        """Accept a message for delivery.
+
+        Returns ``True`` if the transport accepted the message (it may
+        still be lost in flight), ``False`` if it was refused/dropped
+        at the sender.
+        """
+
+    def _deliver_now(self, engine: "EngineBase", message: Message) -> None:
+        """Shared terminal delivery step (liveness + protocol dispatch)."""
+        network = engine.network
+        if not network.is_alive(message.dst):
+            self.stats.to_dead += 1
+            return
+        node = network.node(message.dst)
+        if not node.has_protocol(message.protocol):
+            # Addressing a missing protocol is a programming error, not
+            # a network condition: fail loudly.
+            from repro.utils.exceptions import ProtocolError
+
+            raise ProtocolError(
+                f"node {message.dst} has no protocol {message.protocol!r}"
+            )
+        proto = node.protocol(message.protocol)
+        proto.deliver(node, engine, message)  # type: ignore[attr-defined]
+        self.stats.delivered += 1
+
+
+class ReliableTransport(Transport):
+    """Synchronous, lossless delivery (cycle-driven default)."""
+
+    def send(self, engine, src, dst, protocol, payload) -> bool:
+        self.stats.sent += 1
+        msg = Message(src=src, dst=dst, protocol=protocol, payload=payload,
+                      sent_at=engine.now)
+        self._deliver_now(engine, msg)
+        return True
+
+
+class UniformLatencyTransport(Transport):
+    """Delivery after a uniform random delay in ``[min_delay, max_delay]``.
+
+    Requires an event-driven engine (delivery is scheduled as an
+    event).  Delays are drawn from the transport's own RNG stream so
+    that latency jitter does not perturb protocol randomness.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        min_delay: float = 1.0,
+        max_delay: float = 10.0,
+    ):
+        super().__init__()
+        if min_delay < 0 or max_delay < min_delay:
+            raise ValueError("require 0 <= min_delay <= max_delay")
+        self._rng = rng
+        self.min_delay = min_delay
+        self.max_delay = max_delay
+
+    def send(self, engine, src, dst, protocol, payload) -> bool:
+        self.stats.sent += 1
+        delay = float(self._rng.uniform(self.min_delay, self.max_delay))
+        msg = Message(src=src, dst=dst, protocol=protocol, payload=payload,
+                      sent_at=engine.now)
+        engine.schedule(engine.now + delay, lambda eng, m=msg: self._deliver_now(eng, m))
+        return True
+
+
+class LossyTransport(Transport):
+    """Decorator transport dropping each message with fixed probability.
+
+    Parameters
+    ----------
+    inner:
+        The transport that carries surviving messages.
+    loss_rate:
+        Independent drop probability per message, in ``[0, 1)``.
+    rng:
+        Stream for drop decisions.
+    """
+
+    def __init__(self, inner: Transport, loss_rate: float, rng: np.random.Generator):
+        super().__init__()
+        if not (0.0 <= loss_rate < 1.0):
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.inner = inner
+        self.loss_rate = loss_rate
+        self._rng = rng
+
+    def send(self, engine, src, dst, protocol, payload) -> bool:
+        self.stats.sent += 1
+        if self._rng.random() < self.loss_rate:
+            self.stats.dropped += 1
+            return False
+        accepted = self.inner.send(engine, src, dst, protocol, payload)
+        if accepted:
+            self.stats.delivered += 1
+        return accepted

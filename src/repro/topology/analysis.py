@@ -1,0 +1,159 @@
+"""Overlay graph extraction and metrics.
+
+NEWSCAST's value rests on graph-theoretic claims (random-graph-like
+overlay, connectivity at ``c ≈ 20``, self-repair).  This module turns
+a live simulation's views into :mod:`networkx` graphs and computes the
+metrics our tests check against the published behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import networkx as nx
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.network import Network
+
+__all__ = ["overlay_digraph", "overlay_metrics", "OverlayMetrics"]
+
+
+def overlay_digraph(
+    network: "Network",
+    protocol_name: str = "newscast",
+    live_only: bool = True,
+) -> nx.DiGraph:
+    """Directed overlay: edge ``p → q`` iff ``q`` is in ``p``'s view.
+
+    Parameters
+    ----------
+    network:
+        The population to inspect.
+    protocol_name:
+        Name under which the topology protocol is attached; it must
+        expose ``known_peers`` (any :class:`~repro.topology.sampler.PeerSampler`).
+    live_only:
+        Restrict vertices to live nodes; edges pointing at dead nodes
+        are kept only if ``live_only`` is false (they represent stale
+        view entries, interesting for self-repair analysis).
+    """
+    g = nx.DiGraph()
+    nodes = list(network.live_nodes()) if live_only else list(network.all_nodes())
+    live_ids = {nd.node_id for nd in nodes}
+    for node in nodes:
+        g.add_node(node.node_id)
+    for node in nodes:
+        if not node.has_protocol(protocol_name):
+            continue
+        proto = node.protocol(protocol_name)
+        for peer in proto.known_peers(node):  # type: ignore[attr-defined]
+            if live_only and peer not in live_ids:
+                continue
+            g.add_edge(node.node_id, peer)
+    return g
+
+
+@dataclass(frozen=True)
+class OverlayMetrics:
+    """Summary statistics of one overlay snapshot."""
+
+    nodes: int
+    edges: int
+    weakly_connected: bool
+    mean_out_degree: float
+    max_in_degree: int
+    in_degree_std: float
+    clustering: float
+    stale_fraction: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict form for reports."""
+        return {
+            "nodes": float(self.nodes),
+            "edges": float(self.edges),
+            "weakly_connected": float(self.weakly_connected),
+            "mean_out_degree": self.mean_out_degree,
+            "max_in_degree": float(self.max_in_degree),
+            "in_degree_std": self.in_degree_std,
+            "clustering": self.clustering,
+            "stale_fraction": self.stale_fraction,
+        }
+
+
+def overlay_metrics(
+    network: "Network",
+    protocol_name: str = "newscast",
+) -> OverlayMetrics:
+    """Compute :class:`OverlayMetrics` for the current overlay.
+
+    ``stale_fraction`` is the fraction of view entries pointing at
+    dead nodes — the quantity NEWSCAST's self-repair drives to zero a
+    few cycles after a crash wave.
+    """
+    g = overlay_digraph(network, protocol_name, live_only=True)
+    n = g.number_of_nodes()
+    if n == 0:
+        return OverlayMetrics(0, 0, False, 0.0, 0, 0.0, 0.0, 0.0)
+
+    # Stale entries: count over raw views, not the live-only graph.
+    total_entries = 0
+    stale_entries = 0
+    for node in network.live_nodes():
+        if not node.has_protocol(protocol_name):
+            continue
+        for peer in node.protocol(protocol_name).known_peers(node):  # type: ignore[attr-defined]
+            total_entries += 1
+            if not network.is_alive(peer):
+                stale_entries += 1
+    stale_fraction = stale_entries / total_entries if total_entries else 0.0
+
+    in_degrees = np.array([d for _, d in g.in_degree()], dtype=float)
+    out_degrees = np.array([d for _, d in g.out_degree()], dtype=float)
+    # Clustering on the undirected projection; exact below 2000 nodes,
+    # sampled above to keep snapshots cheap on big overlays.
+    und = g.to_undirected()
+    if n <= 2000:
+        clustering = nx.average_clustering(und) if n > 1 else 0.0
+    else:  # pragma: no cover - large-network path
+        sample = list(und.nodes)[:500]
+        clustering = float(np.mean(list(nx.clustering(und, sample).values())))
+
+    return OverlayMetrics(
+        nodes=n,
+        edges=g.number_of_edges(),
+        weakly_connected=bool(n == 1 or nx.is_weakly_connected(g)),
+        mean_out_degree=float(out_degrees.mean()) if n else 0.0,
+        max_in_degree=int(in_degrees.max()) if n else 0,
+        in_degree_std=float(in_degrees.std()) if n else 0.0,
+        clustering=float(clustering),
+        stale_fraction=stale_fraction,
+    )
+
+
+def path_length_sample(
+    network: "Network",
+    protocol_name: str = "newscast",
+    pairs: int = 200,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Mean shortest-path length over sampled node pairs (undirected).
+
+    Returns ``inf`` if any sampled pair is disconnected.  Sampling
+    keeps the metric affordable on large overlays; tests use small
+    overlays where 200 pairs is effectively exhaustive.
+    """
+    g = overlay_digraph(network, protocol_name).to_undirected()
+    nodes = list(g.nodes)
+    if len(nodes) < 2:
+        return 0.0
+    rng = rng if rng is not None else np.random.default_rng()
+    total = 0.0
+    for _ in range(pairs):
+        a, b = rng.choice(len(nodes), size=2, replace=False)
+        try:
+            total += nx.shortest_path_length(g, nodes[int(a)], nodes[int(b)])
+        except nx.NetworkXNoPath:
+            return float("inf")
+    return total / pairs

@@ -1,0 +1,229 @@
+"""CYCLON: shuffle-based peer sampling (Voulgaris, Gavidia & van Steen).
+
+The peer-sampling literature the paper builds on offers two classic
+protocols: NEWSCAST (the paper's choice) and CYCLON.  Implementing
+both makes the topology service genuinely pluggable and lets the
+ablation quantify what the choice costs:
+
+* NEWSCAST: both exchange partners keep the *freshest* ``c`` of the
+  merged views — fast self-repair, but correlated views (higher
+  clustering) and a wide in-degree distribution.
+* CYCLON: partners *swap* fixed-size subsets ("shuffles"), replacing
+  exactly what they sent — views stay size-``c`` forever, in-degree
+  concentrates tightly around ``c``, clustering is near-random-graph.
+
+Protocol, per cycle, at node ``p``:
+
+1. select the **oldest** entry ``q`` in the view and remove it;
+2. pick ``l − 1`` further random entries, remove them, and send them
+   to ``q`` together with a fresh descriptor of ``p`` itself;
+3. ``q`` answers with up to ``l`` random entries of its own view,
+   removing them;
+4. both sides absorb what they received: discard descriptors of
+   themselves and of peers already in the view, then fill the freed
+   slots (never exceeding ``c``).
+
+Selecting the *oldest* entry doubles as failure detection: a crashed
+peer stops refreshing its descriptor, becomes the oldest entry
+everywhere, gets selected for a shuffle, the shuffle fails, and the
+entry is gone — its removal is permanent because entries only
+re-enter views through live shuffles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.simulator.protocol import CycleProtocol
+from repro.simulator import trace as trace_mod
+from repro.topology.sampler import PeerSampler
+from repro.topology.views import NodeDescriptor
+from repro.utils.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.engine import EngineBase
+    from repro.simulator.network import Network, Node, NodeId
+
+__all__ = ["CyclonConfig", "CyclonProtocol", "bootstrap_cyclon"]
+
+
+@dataclass(frozen=True)
+class CyclonConfig:
+    """CYCLON parameters.
+
+    Attributes
+    ----------
+    view_size:
+        ``c``: entries per view.
+    shuffle_length:
+        ``l``: entries exchanged per shuffle (≤ ``c``).  Voulgaris et
+        al. use ``l ≈ c/2``; smaller values mix more slowly.
+    """
+
+    view_size: int = 20
+    shuffle_length: int = 8
+
+    def __post_init__(self) -> None:
+        if self.view_size < 1:
+            raise ConfigurationError("CYCLON view_size must be >= 1")
+        if not (1 <= self.shuffle_length <= self.view_size):
+            raise ConfigurationError(
+                "CYCLON shuffle_length must be in [1, view_size]"
+            )
+
+
+class CyclonProtocol(CycleProtocol, PeerSampler):
+    """Per-node CYCLON instance.
+
+    The view is a plain ``id -> birth-timestamp`` map; *age* is the
+    engine clock minus the timestamp, so "oldest entry" = smallest
+    timestamp.
+    """
+
+    PROTOCOL_NAME = "cyclon"
+
+    def __init__(self, config: CyclonConfig, rng: np.random.Generator):
+        self.config = config
+        self.rng = rng
+        self.view: dict[int, float] = {}
+        self.shuffles_initiated = 0
+        self.shuffles_received = 0
+        self.shuffles_failed = 0
+
+    # -- PeerSampler -----------------------------------------------------------
+
+    def sample_peer(self, node: "Node", rng: np.random.Generator) -> "NodeId | None":
+        if not self.view:
+            return None
+        ids = list(self.view)
+        return ids[int(rng.integers(len(ids)))]
+
+    def known_peers(self, node: "Node") -> list["NodeId"]:
+        return list(self.view)
+
+    # -- view maintenance ----------------------------------------------------------
+
+    def _oldest(self) -> int:
+        """Id of the entry with the smallest timestamp (ties: lowest id)."""
+        return min(self.view, key=lambda nid: (self.view[nid], nid))
+
+    def _absorb(self, own_id: int, incoming: list[NodeDescriptor]) -> None:
+        """CYCLON acceptance rule: skip self and known ids, fill slots."""
+        for desc in incoming:
+            if len(self.view) >= self.config.view_size:
+                break
+            if desc.node_id == own_id or desc.node_id in self.view:
+                continue
+            self.view[desc.node_id] = desc.timestamp
+
+    def _extract_random(self, count: int) -> list[NodeDescriptor]:
+        """Remove and return up to ``count`` random entries."""
+        count = min(count, len(self.view))
+        if count == 0:
+            return []
+        ids = list(self.view)
+        picks = self.rng.choice(len(ids), size=count, replace=False)
+        out = []
+        for p in np.atleast_1d(picks):
+            nid = ids[int(p)]
+            out.append(NodeDescriptor(nid, self.view.pop(nid)))
+        return out
+
+    # -- protocol behaviour -----------------------------------------------------------
+
+    def next_cycle(self, node: "Node", engine: "EngineBase") -> None:
+        if not self.view:
+            return
+        cfg = self.config
+        now = float(engine.now)
+
+        # 1. oldest neighbor is the shuffle partner (and is removed —
+        #    permanently if the shuffle fails: built-in failure
+        #    detection).
+        q_id = self._oldest()
+        del self.view[q_id]
+
+        network = engine.network
+        if not network.is_alive(q_id):
+            self.shuffles_failed += 1
+            trace_mod.emit(engine, "cyclon.shuffle_failed", node.node_id, q_id)
+            return
+
+        # 2. build the outgoing subset: l-1 random entries + fresh self.
+        outgoing = self._extract_random(cfg.shuffle_length - 1)
+        my_set = outgoing + [NodeDescriptor(node.node_id, now + float(self.rng.random()))]
+
+        peer_node = network.node(q_id)
+        peer: CyclonProtocol = peer_node.protocol(self.PROTOCOL_NAME)  # type: ignore[assignment]
+
+        # 3. the partner answers with up to l random entries of its own.
+        their_set = peer._extract_random(cfg.shuffle_length)
+
+        # 4. both absorb (CYCLON keeps existing entries on id clashes;
+        #    freed slots guarantee room for what was actually new).
+        peer._absorb(q_id, my_set)
+        self._absorb(node.node_id, their_set)
+        # Anything not absorbed on our side is lost — but we put our
+        # own extracted entries back if slots remain, mirroring the
+        # reference implementation's "fill with sent entries" rule.
+        for desc in outgoing:
+            if len(self.view) >= cfg.view_size:
+                break
+            if desc.node_id != node.node_id and desc.node_id not in self.view:
+                self.view[desc.node_id] = desc.timestamp
+        for desc in their_set:
+            if len(peer.view) >= cfg.view_size:
+                break
+            if desc.node_id != q_id and desc.node_id not in peer.view:
+                peer.view[desc.node_id] = desc.timestamp
+
+        self.shuffles_initiated += 1
+        peer.shuffles_received += 1
+        trace_mod.emit(engine, "cyclon.shuffle", node.node_id, q_id)
+
+    def on_join(self, node: "Node", engine: "EngineBase") -> None:
+        """Bootstrap a joiner with one live contact (as NEWSCAST does)."""
+        if self.view:
+            return
+        try:
+            contact = engine.network.random_live_node(exclude=node.node_id)
+        except Exception:
+            return
+        self.view[contact.node_id] = float(engine.now)
+
+    @property
+    def view_size(self) -> int:
+        """Current number of view entries (≤ configured ``c``)."""
+        return len(self.view)
+
+
+def bootstrap_cyclon(
+    network: "Network",
+    rng: np.random.Generator,
+    protocol_name: str = CyclonProtocol.PROTOCOL_NAME,
+    contacts_per_node: int | None = None,
+    timestamp: float = 0.0,
+) -> None:
+    """Seed CYCLON views with random contacts (see NEWSCAST's note on
+    why the contact count matters for initial connectivity)."""
+    if contacts_per_node is not None and contacts_per_node < 1:
+        raise ValueError("contacts_per_node must be >= 1")
+    live = network.live_ids()
+    n = len(live)
+    if n <= 1:
+        return
+    live_arr = np.asarray(live)
+    for nid in live:
+        node = network.node(nid)
+        proto: CyclonProtocol = node.protocol(protocol_name)  # type: ignore[assignment]
+        wanted = (
+            proto.config.view_size if contacts_per_node is None else contacts_per_node
+        )
+        count = min(wanted, n - 1)
+        choices = live_arr[live_arr != nid]
+        idx = rng.choice(choices.shape[0], size=count, replace=False)
+        for i in np.atleast_1d(idx):
+            proto.view[int(choices[int(i)])] = timestamp

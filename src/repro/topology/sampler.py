@@ -1,0 +1,40 @@
+"""The peer-sampling interface shared by all topology services.
+
+The coordination service is written against this interface only, so
+swapping NEWSCAST for a static star or ring (topology ablation A2)
+requires no coordination changes — exactly the modularity the paper's
+three-service architecture claims.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.network import Node, NodeId
+
+__all__ = ["PeerSampler"]
+
+
+class PeerSampler(abc.ABC):
+    """A source of communication partners for one node.
+
+    Implementations must draw only on node-local knowledge (the
+    node's view / neighbor list), never on global network state —
+    that discipline is what the decentralization claims rest on.
+    """
+
+    @abc.abstractmethod
+    def sample_peer(self, node: "Node", rng: np.random.Generator) -> "NodeId | None":
+        """Return a peer id for ``node``, or ``None`` if it knows nobody.
+
+        The returned peer may be dead — a node cannot know — and the
+        caller must tolerate the resulting message loss.
+        """
+
+    @abc.abstractmethod
+    def known_peers(self, node: "Node") -> list["NodeId"]:
+        """All peer ids this node currently knows (for analysis/tests)."""

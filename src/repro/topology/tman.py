@@ -1,0 +1,224 @@
+"""T-Man: gossip-based overlay topology construction (Jelasity & Babaoglu).
+
+The paper cites T-Man (its reference [2]) as the gossip toolbox's
+topology-*construction* member: where NEWSCAST maintains a random
+overlay, T-Man evolves the overlay toward a **target structure**
+defined by a ranking function — a ring, a grid, a proximity mesh —
+using nothing but the same periodic pairwise exchanges.
+
+Why it belongs in this reproduction: the paper's architecture section
+(3.2) explicitly imagines "a mesh topology connecting nodes
+responsible for different partitions of the search space".  T-Man is
+how such a mesh self-assembles in a decentralized way; combined with
+:mod:`repro.core.partitioning` it closes that loop — zone owners can
+find their zone neighbors without any central wiring.
+
+Protocol, per cycle, at node ``p``:
+
+1. pick the peer ``q`` that ranks **closest** to ``p`` among a random
+   sample of ``p``'s current view (T-Man's "best" partner selection);
+2. exchange views (plus self-descriptors), as NEWSCAST does;
+3. *merge by rank*: keep the ``c`` entries closest to yourself
+   according to the ranking function — not the freshest.
+
+The ranking function ``rank(a, b) -> float`` measures how badly node
+``b`` fits node ``a``'s neighborhood (smaller = better neighbor).
+The emergent overlay approximates each node linking its ``c`` nearest
+peers under that metric.
+
+T-Man assumes an underlying peer-sampling service for bootstrap and
+long-range mixing; here a fraction of each exchange's candidates comes
+from an attached NEWSCAST instance (``random_fraction``), matching the
+published protocol's use of random peers to escape local minima.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.simulator.protocol import CycleProtocol
+from repro.simulator import trace as trace_mod
+from repro.topology.sampler import PeerSampler
+from repro.utils.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.engine import EngineBase
+    from repro.simulator.network import Node, NodeId
+
+__all__ = ["RankingFunction", "TManProtocol", "ring_distance", "line_distance"]
+
+#: rank(a, b): how badly node b fits node a's neighborhood (lower = better).
+RankingFunction = Callable[[int, int], float]
+
+
+def ring_distance(n: int) -> RankingFunction:
+    """Target structure: a ring over ids ``0..n-1`` (wrap-around metric)."""
+    if n < 2:
+        raise ConfigurationError("ring needs at least 2 nodes")
+
+    def rank(a: int, b: int) -> float:
+        d = abs(a - b) % n
+        return float(min(d, n - d))
+
+    return rank
+
+
+def line_distance() -> RankingFunction:
+    """Target structure: a line over the integer ids."""
+
+    def rank(a: int, b: int) -> float:
+        return float(abs(a - b))
+
+    return rank
+
+
+class TManProtocol(CycleProtocol, PeerSampler):
+    """Per-node T-Man instance.
+
+    Parameters
+    ----------
+    rank:
+        The target structure's ranking function.
+    view_size:
+        ``c``: neighbors kept.
+    rng:
+        Private stream.
+    peer_sampling_protocol:
+        Attachment name of the node's random peer sampler (NEWSCAST),
+        used for bootstrap candidates; ``None`` disables the random
+        injection (pure T-Man, fine on small networks).
+    random_fraction:
+        Probability per cycle of taking the exchange partner from the
+        random sampler instead of the rank-best view entry.
+    """
+
+    PROTOCOL_NAME = "tman"
+
+    def __init__(
+        self,
+        rank: RankingFunction,
+        view_size: int,
+        rng: np.random.Generator,
+        peer_sampling_protocol: str | None = None,
+        random_fraction: float = 0.2,
+    ):
+        if view_size < 1:
+            raise ConfigurationError("T-Man view_size must be >= 1")
+        if not (0.0 <= random_fraction <= 1.0):
+            raise ConfigurationError("random_fraction must be in [0, 1]")
+        self.rank = rank
+        self.view_size = view_size
+        self.rng = rng
+        self.peer_sampling_protocol = peer_sampling_protocol
+        self.random_fraction = random_fraction
+        self.view: set[int] = set()
+        self.exchanges = 0
+
+    # -- PeerSampler ---------------------------------------------------------------
+
+    def sample_peer(self, node: "Node", rng: np.random.Generator) -> "NodeId | None":
+        if not self.view:
+            return None
+        ids = sorted(self.view)
+        return ids[int(rng.integers(len(ids)))]
+
+    def known_peers(self, node: "Node") -> list["NodeId"]:
+        return sorted(self.view)
+
+    # -- view management ---------------------------------------------------------------
+
+    def _trim(self, own_id: int) -> None:
+        """Keep the ``c`` best-ranked entries (deterministic tie-break)."""
+        self.view.discard(own_id)
+        if len(self.view) <= self.view_size:
+            return
+        ranked = sorted(self.view, key=lambda b: (self.rank(own_id, b), b))
+        self.view = set(ranked[: self.view_size])
+
+    def absorb(self, own_id: int, candidates) -> None:
+        """Merge candidate ids and keep the best-ranked ``c``."""
+        self.view.update(int(c) for c in candidates)
+        self._trim(own_id)
+
+    def best_neighbor(self, own_id: int) -> int | None:
+        """The entry ranked closest to this node, or None."""
+        if not self.view:
+            return None
+        return min(self.view, key=lambda b: (self.rank(own_id, b), b))
+
+    def _partner_from_view(self, own_id: int) -> int | None:
+        """Uniform pick among the best-ranked half of the view.
+
+        Always contacting the single best entry reaches a fixed point
+        where both parties' views stop changing and construction
+        stalls; the published T-Man therefore randomizes within the
+        top of the view.
+        """
+        if not self.view:
+            return None
+        ranked = sorted(self.view, key=lambda b: (self.rank(own_id, b), b))
+        half = ranked[: max(1, (len(ranked) + 1) // 2)]
+        return half[int(self.rng.integers(len(half)))]
+
+    # -- protocol behaviour ---------------------------------------------------------------
+
+    def next_cycle(self, node: "Node", engine: "EngineBase") -> None:
+        own = node.node_id
+        partner = self._choose_partner(node, engine)
+        if partner is None:
+            return
+        if not engine.network.is_alive(partner):
+            # Dead neighbor: drop it (rank-based views have no aging,
+            # so eviction is explicit on failed contact).
+            self.view.discard(partner)
+            trace_mod.emit(engine, "tman.exchange_failed", own, partner)
+            return
+
+        peer_node = engine.network.node(partner)
+        if not peer_node.has_protocol(self.PROTOCOL_NAME):
+            return
+        peer: TManProtocol = peer_node.protocol(self.PROTOCOL_NAME)  # type: ignore[assignment]
+
+        my_offer = set(self.view) | {own}
+        their_offer = set(peer.view) | {partner}
+        self.absorb(own, their_offer)
+        peer.absorb(partner, my_offer)
+        self.exchanges += 1
+        trace_mod.emit(engine, "tman.exchange", own, partner)
+
+    def _choose_partner(self, node: "Node", engine: "EngineBase") -> int | None:
+        own = node.node_id
+        # Occasionally go random (escape hatch + bootstrap).
+        if (
+            self.peer_sampling_protocol is not None
+            and node.has_protocol(self.peer_sampling_protocol)
+            and (not self.view or self.rng.random() < self.random_fraction)
+        ):
+            sampler = node.protocol(self.peer_sampling_protocol)
+            candidate = sampler.sample_peer(node, self.rng)  # type: ignore[attr-defined]
+            if candidate is not None and candidate != own:
+                return candidate
+        return self._partner_from_view(own)
+
+    def on_join(self, node: "Node", engine: "EngineBase") -> None:
+        """Bootstrap from one live contact."""
+        if self.view:
+            return
+        try:
+            contact = engine.network.random_live_node(exclude=node.node_id)
+        except Exception:
+            return
+        self.view.add(contact.node_id)
+
+
+def target_neighbors(rank: RankingFunction, node_id: int, all_ids, count: int) -> set[int]:
+    """The ideal ``count`` neighbors of ``node_id`` under ``rank``.
+
+    Analysis helper: tests compare the emergent views against this
+    ground truth to score convergence toward the target topology.
+    """
+    others = [i for i in all_ids if i != node_id]
+    ranked = sorted(others, key=lambda b: (rank(node_id, b), b))
+    return set(ranked[:count])

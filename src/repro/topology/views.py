@@ -1,0 +1,158 @@
+"""Partial views: the data structure at the heart of NEWSCAST.
+
+A *view* is a bounded set of :class:`NodeDescriptor` entries — peer
+identifier plus logical timestamp — with the NEWSCAST merge rule:
+union two views, deduplicate by id keeping the freshest timestamp,
+drop the owner's own entry, truncate to the ``c`` freshest.
+
+The merge rule is implemented once, here, and property-tested heavily
+(idempotence, commutativity of the dedup step, size bound, freshness
+selection) because every connectivity property of the emergent overlay
+rests on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["NodeDescriptor", "PartialView"]
+
+
+@dataclass(frozen=True, order=True)
+class NodeDescriptor:
+    """One view entry: ``(node_id, timestamp)``.
+
+    Ordering is lexicographic (id, then timestamp) — used only for
+    deterministic tie-breaking; *freshness* comparisons go through
+    :meth:`fresher_than`.
+    """
+
+    node_id: int
+    timestamp: float
+
+    def fresher_than(self, other: "NodeDescriptor") -> bool:
+        """Strictly fresher = strictly larger timestamp."""
+        return self.timestamp > other.timestamp
+
+
+class PartialView:
+    """A bounded, duplicate-free collection of descriptors.
+
+    Parameters
+    ----------
+    capacity:
+        ``c``: maximum number of descriptors retained.
+    entries:
+        Optional initial descriptors (deduplicated, truncated).
+    """
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int, entries: Iterable[NodeDescriptor] = ()):
+        if capacity < 1:
+            raise ValueError("view capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: dict[int, NodeDescriptor] = {}
+        for desc in entries:
+            self._absorb(desc)
+        self._truncate()
+
+    # -- basic container behaviour ---------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[NodeDescriptor]:
+        return iter(self._entries.values())
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._entries
+
+    def ids(self) -> list[int]:
+        """Peer ids currently in the view (unspecified order)."""
+        return list(self._entries)
+
+    def descriptors(self) -> list[NodeDescriptor]:
+        """Snapshot of the descriptors."""
+        return list(self._entries.values())
+
+    def timestamp_of(self, node_id: int) -> float | None:
+        """Timestamp of ``node_id``'s entry, or None if absent."""
+        desc = self._entries.get(node_id)
+        return desc.timestamp if desc is not None else None
+
+    # -- mutation -----------------------------------------------------------------
+
+    def _absorb(self, desc: NodeDescriptor) -> None:
+        """Insert/refresh one descriptor (no truncation)."""
+        cur = self._entries.get(desc.node_id)
+        if cur is None or desc.fresher_than(cur):
+            self._entries[desc.node_id] = desc
+
+    def _truncate(self) -> None:
+        """Keep the ``capacity`` freshest entries.
+
+        Ties on timestamp break by node id (descending) so truncation
+        is deterministic — important for reproducibility, irrelevant
+        for protocol correctness.
+        """
+        if len(self._entries) <= self.capacity:
+            return
+        ranked = sorted(
+            self._entries.values(),
+            key=lambda d: (d.timestamp, d.node_id),
+            reverse=True,
+        )
+        self._entries = {d.node_id: d for d in ranked[: self.capacity]}
+
+    def merge(
+        self,
+        incoming: Iterable[NodeDescriptor],
+        own_id: int,
+    ) -> None:
+        """NEWSCAST merge: absorb ``incoming``, drop self, truncate.
+
+        Parameters
+        ----------
+        incoming:
+            Descriptors received from the exchange partner (their view
+            plus their fresh self-descriptor).
+        own_id:
+            The view owner's id — its own entry is always removed (a
+            node does not gossip about itself to itself).
+        """
+        for desc in incoming:
+            self._absorb(desc)
+        self._entries.pop(own_id, None)
+        self._truncate()
+
+    def remove(self, node_id: int) -> bool:
+        """Drop an entry if present; returns whether it was there."""
+        return self._entries.pop(node_id, None) is not None
+
+    def sample(self, rng: np.random.Generator) -> NodeDescriptor | None:
+        """Uniform random descriptor, or None if the view is empty."""
+        if not self._entries:
+            return None
+        ids = list(self._entries)
+        return self._entries[ids[int(rng.integers(len(ids)))]]
+
+    def oldest(self) -> NodeDescriptor | None:
+        """The stalest descriptor (smallest timestamp), or None."""
+        if not self._entries:
+            return None
+        return min(self._entries.values(), key=lambda d: (d.timestamp, -d.node_id))
+
+    def copy(self) -> "PartialView":
+        """Independent copy with the same capacity and entries."""
+        return PartialView(self.capacity, self.descriptors())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(
+            f"{d.node_id}@{d.timestamp:g}"
+            for d in sorted(self._entries.values())
+        )
+        return f"PartialView(c={self.capacity}, [{inner}])"

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch everything the library may raise with a single
+``except`` clause while still letting programming errors (``TypeError``
+etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment or protocol configuration is invalid.
+
+    Raised during validation, before any simulation work starts, so
+    that bad parameter sweeps fail fast rather than mid-run.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulation engine reached an inconsistent state.
+
+    Examples: scheduling an event in the past, delivering a message to
+    a node that was never part of the network, running an engine that
+    has already been finalized.
+    """
+
+
+class ProtocolError(SimulationError):
+    """A protocol implementation violated the engine's contract."""
+
+
+class BudgetExhaustedError(ReproError, RuntimeError):
+    """An operation required more function evaluations than the budget allows.
+
+    The experiment runner uses this internally to stop swarms exactly
+    at the configured global budget; it is not normally visible to
+    users.
+    """

@@ -1,0 +1,157 @@
+"""Tests for gossip aggregation — including the published convergence rate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregation.protocols import (
+    PushPullAveraging,
+    PushPullExtremum,
+    aggregate_values,
+    network_counting_value,
+)
+from repro.simulator.engine import CycleDrivenEngine
+from repro.simulator.network import Network
+from repro.topology.newscast import NewscastProtocol, bootstrap_views
+from repro.utils.config import NewscastConfig
+from repro.utils.rng import SeedSequenceTree
+
+
+def build_aggregation_network(n, values, seed=0, mode=None):
+    tree = SeedSequenceTree(seed)
+    net = Network(rng=tree.rng("network"))
+
+    def factory(node):
+        nid = node.node_id
+        node.attach(
+            "newscast",
+            NewscastProtocol(NewscastConfig(view_size=15), tree.rng("nc", nid)),
+        )
+        if mode is None:
+            proto = PushPullAveraging(values[nid], "newscast", tree.rng("agg", nid))
+        else:
+            proto = PushPullExtremum(
+                values[nid], "newscast", tree.rng("agg", nid), mode=mode
+            )
+        node.attach("aggregation", proto)
+
+    net.populate(n, factory=factory)
+    bootstrap_views(net, tree.rng("bootstrap"))
+    return net, CycleDrivenEngine(net, rng=tree.rng("engine"))
+
+
+class TestAveraging:
+    def test_sum_conserved_exactly(self):
+        values = list(np.linspace(-5, 20, 32))
+        net, engine = build_aggregation_network(32, values)
+        total_before = aggregate_values(net).sum()
+        engine.run(15)
+        assert aggregate_values(net).sum() == pytest.approx(total_before, rel=1e-12)
+
+    def test_converges_to_global_average(self):
+        rng = np.random.default_rng(4)
+        values = list(rng.normal(10.0, 5.0, size=64))
+        net, engine = build_aggregation_network(64, values)
+        engine.run(30)
+        estimates = aggregate_values(net)
+        assert np.allclose(estimates, np.mean(values), atol=1e-3)
+
+    def test_variance_contraction_rate(self):
+        """Jelasity et al. 2005: variance contracts ≈ 1/(2√e) ≈ 0.39
+        per cycle under push–pull averaging.  Assert the empirical
+        per-cycle factor lands in a generous band around it."""
+        rng = np.random.default_rng(9)
+        values = list(rng.normal(0.0, 1.0, size=256))
+        net, engine = build_aggregation_network(256, values, seed=2)
+        variances = [aggregate_values(net).var()]
+        for _ in range(10):
+            engine.run(1)
+            variances.append(aggregate_values(net).var())
+        factors = [b / a for a, b in zip(variances, variances[1:]) if a > 0]
+        mean_factor = float(np.mean(factors))
+        assert 0.15 < mean_factor < 0.65
+
+    def test_size_estimation_trick(self):
+        n = 48
+        values = [network_counting_value(i) for i in range(n)]
+        net, engine = build_aggregation_network(n, values, seed=3)
+        engine.run(30)
+        estimates = aggregate_values(net)
+        sizes = 1.0 / estimates
+        assert np.allclose(sizes, n, rtol=0.05)
+
+    def test_isolated_node_keeps_value(self):
+        # Single node: no partners; estimate unchanged.
+        net, engine = build_aggregation_network(1, [7.0])
+        engine.run(5)
+        assert aggregate_values(net)[0] == 7.0
+
+
+class TestExtremum:
+    def test_min_spreads(self):
+        values = [float(i + 1) for i in range(32)]
+        net, engine = build_aggregation_network(32, values, mode="min")
+        engine.run(15)
+        assert np.all(aggregate_values(net) == 1.0)
+
+    def test_max_spreads(self):
+        values = [float(i + 1) for i in range(32)]
+        net, engine = build_aggregation_network(32, values, mode="max")
+        engine.run(15)
+        assert np.all(aggregate_values(net) == 32.0)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            PushPullExtremum(0.0, "newscast", np.random.default_rng(0), mode="median")
+
+
+class TestCustomProtocolName:
+    def test_two_aggregators_side_by_side(self):
+        """Distinct protocol_name instances coexist on one overlay
+        without cross-talk (size estimator + progress averager)."""
+        tree = SeedSequenceTree(42)
+        net = Network(rng=tree.rng("network"))
+
+        def factory(node):
+            nid = node.node_id
+            node.attach(
+                "newscast",
+                NewscastProtocol(NewscastConfig(view_size=10), tree.rng("nc", nid)),
+            )
+            node.attach(
+                "agg_a",
+                PushPullAveraging(
+                    float(nid), "newscast", tree.rng("a", nid), protocol_name="agg_a"
+                ),
+            )
+            node.attach(
+                "agg_b",
+                PushPullAveraging(
+                    100.0 + nid, "newscast", tree.rng("b", nid), protocol_name="agg_b"
+                ),
+            )
+
+        net.populate(16, factory=factory)
+        bootstrap_views(net, tree.rng("bootstrap"))
+        engine = CycleDrivenEngine(net, rng=tree.rng("engine"))
+        engine.run(25)
+        a_vals = aggregate_values(net, "agg_a")
+        b_vals = aggregate_values(net, "agg_b")
+        assert np.allclose(a_vals, 7.5, atol=1e-3)      # mean of 0..15
+        assert np.allclose(b_vals, 107.5, atol=1e-3)    # mean of 100..115
+
+
+class TestChurnTolerance:
+    def test_crashes_do_not_break_averaging(self):
+        """Averaging under crashes loses the dead nodes' mass but the
+        survivors still reach consensus on a finite value."""
+        values = list(np.linspace(0, 10, 40))
+        net, engine = build_aggregation_network(40, values, seed=6)
+        engine.run(5)
+        for nid in range(10):
+            net.crash(nid)
+        engine.run(30)
+        estimates = aggregate_values(net)
+        assert estimates.std() < 1e-3  # survivors agree
+        assert np.all(np.isfinite(estimates))

@@ -1,0 +1,153 @@
+"""Tests for the baseline optimizers and their comparisons."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.centralized import run_centralized
+from repro.baselines.independent import run_independent
+from repro.baselines.masterslave import (
+    MASTER_NODE_ID,
+    run_master_slave,
+    star_topology_factory,
+)
+from repro.core.runner import run_experiment, run_single
+from repro.utils.config import ExperimentConfig
+
+
+def make_config(**overrides) -> ExperimentConfig:
+    base = dict(
+        function="sphere",
+        nodes=8,
+        particles_per_node=8,
+        total_evaluations=16_000,
+        gossip_cycle=8,
+        repetitions=2,
+        seed=21,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestCentralized:
+    def test_converges(self):
+        result = run_centralized(make_config())
+        assert all(q < 1e-3 for q in result.qualities)
+        assert result.stats.count == 2
+
+    def test_defaults_to_total_particles(self):
+        # n*k = 64 particles; explicit same size must match exactly.
+        a = run_centralized(make_config())
+        b = run_centralized(make_config(), swarm_size=64)
+        assert a.qualities == b.qualities
+
+    def test_custom_swarm_size(self):
+        result = run_centralized(make_config(), swarm_size=16)
+        assert all(np.isfinite(q) for q in result.qualities)
+
+    def test_invalid_swarm_size(self):
+        with pytest.raises(ValueError):
+            run_centralized(make_config(), swarm_size=0)
+
+    def test_deterministic(self):
+        a = run_centralized(make_config())
+        b = run_centralized(make_config())
+        assert a.qualities == b.qualities
+
+
+class TestIndependent:
+    def test_best_of_n_at_most_each_node(self):
+        result = run_independent(make_config())
+        for rep, best in enumerate(result.qualities):
+            assert best == min(result.per_node_qualities[rep])
+
+    def test_shapes(self):
+        cfg = make_config(nodes=5, repetitions=3)
+        result = run_independent(cfg)
+        assert len(result.qualities) == 3
+        assert all(len(pq) == 5 for pq in result.per_node_qualities)
+
+    def test_infeasible_budget_raises(self):
+        with pytest.raises(ValueError):
+            run_independent(make_config(nodes=8, total_evaluations=4))
+
+    def test_coordination_beats_independence(self):
+        """Ablation A3's headline: the coordinated framework matches or
+        beats independent multi-start at equal total budget (the
+        shared attractor concentrates the search)."""
+        cfg = make_config(
+            nodes=8, particles_per_node=8, total_evaluations=32_000,
+            gossip_cycle=8, repetitions=3,
+        )
+        coordinated = run_experiment(cfg)
+        independent = run_independent(cfg)
+        # Compare medians of log-quality to be robust to outliers.
+        coord_q = np.log10(np.maximum(coordinated.qualities(), 1e-300))
+        indep_q = np.log10(np.maximum(independent.qualities, 1e-300))
+        assert np.median(coord_q) <= np.median(indep_q) + 0.5
+
+
+class TestMasterSlave:
+    def test_star_factory_shapes(self):
+        factory = star_topology_factory(5)
+        name, proto = factory(0)
+        assert name == "topology"
+        assert sorted(proto.neighbors) == [1, 2, 3, 4]
+        _, slave = factory(3)
+        assert slave.neighbors == [MASTER_NODE_ID]
+
+    def test_runs_and_converges(self):
+        result = run_master_slave(make_config())
+        assert result.quality_stats.mean < 10.0
+
+    def test_comparable_to_newscast_on_static_network(self):
+        """Without churn a star diffuses optima fine — quality within
+        a couple of orders of the decentralized run (claim: topology
+        choice is about robustness, not raw quality)."""
+        cfg = make_config(repetitions=3)
+        star = run_master_slave(cfg)
+        newscast = run_experiment(cfg)
+        star_q = np.median(np.log10(np.maximum(star.qualities(), 1e-300)))
+        nc_q = np.median(np.log10(np.maximum(newscast.qualities(), 1e-300)))
+        assert abs(star_q - nc_q) < 6.0
+
+    def test_master_crash_stalls_coordination(self):
+        """The single point of failure, demonstrated: crash the master
+        and slaves stop hearing about remote optima entirely (their
+        only contact is gone), while a NEWSCAST network keeps
+        diffusing after losing any one node."""
+        from repro.core.dpso import PSOStepProtocol
+        from repro.simulator.engine import CycleDrivenEngine
+        from repro.simulator.network import Network
+        from repro.core.node import OptimizationNodeSpec, build_optimization_node
+        from repro.functions.base import get_function
+        from repro.utils.rng import SeedSequenceTree
+
+        cfg = make_config(nodes=6, total_evaluations=60_000)
+        tree = SeedSequenceTree(5)
+        spec = OptimizationNodeSpec(
+            function=get_function(cfg.function),
+            pso=cfg.pso,
+            newscast=cfg.newscast,
+            coordination=cfg.coordination,
+            rng_tree=tree,
+            evals_per_cycle=cfg.gossip_cycle,
+            budget_per_node=cfg.evaluations_per_node,
+            topology_factory=star_topology_factory(cfg.nodes),
+        )
+        net = Network(rng=tree.rng("network"))
+        net.populate(cfg.nodes, factory=lambda n: build_optimization_node(n, spec))
+        engine = CycleDrivenEngine(net, rng=tree.rng("engine"))
+        engine.run(5)
+        net.crash(MASTER_NODE_ID)
+        engine.run(5)
+        adoptions_before = {
+            i: net.node(i).protocol("coordination").adoptions for i in range(1, 6)
+        }
+        engine.run(20)
+        adoptions_after = {
+            i: net.node(i).protocol("coordination").adoptions for i in range(1, 6)
+        }
+        # No slave can adopt anything new: the only route is dead.
+        assert adoptions_after == adoptions_before

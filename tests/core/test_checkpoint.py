@@ -1,0 +1,120 @@
+"""Tests for simulation checkpointing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    load_checkpoint,
+    peek_metadata,
+    save_checkpoint,
+)
+from repro.core.metrics import GlobalQualityObserver, global_best
+from repro.core.node import OptimizationNodeSpec, build_optimization_node
+from repro.functions.base import get_function
+from repro.simulator.engine import CycleDrivenEngine
+from repro.simulator.network import Network
+from repro.topology.newscast import bootstrap_views
+from repro.utils.config import CoordinationConfig, NewscastConfig, PSOConfig
+from repro.utils.exceptions import SimulationError
+from repro.utils.rng import SeedSequenceTree
+
+
+def build_engine(seed=33, n=8, budget=10_000) -> CycleDrivenEngine:
+    tree = SeedSequenceTree(seed)
+    spec = OptimizationNodeSpec(
+        function=get_function("sphere"),
+        pso=PSOConfig(particles=4),
+        newscast=NewscastConfig(view_size=8),
+        coordination=CoordinationConfig(),
+        rng_tree=tree,
+        evals_per_cycle=4,
+        budget_per_node=budget,
+    )
+    net = Network(rng=tree.rng("network"))
+    net.populate(n, factory=lambda node: build_optimization_node(node, spec))
+    bootstrap_views(net, tree.rng("bootstrap"))
+    return CycleDrivenEngine(
+        net, rng=tree.rng("engine"), observers=[GlobalQualityObserver()]
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_roundtrip(self, tmp_path):
+        engine = build_engine()
+        engine.run(10)
+        path = tmp_path / "run.ckpt"
+        meta = save_checkpoint(engine, path)
+        assert meta.cycle == 10
+        assert meta.network_size == 8
+
+        restored = load_checkpoint(path)
+        assert restored.cycle == 10
+        assert restored.network.size == 8
+        assert global_best(restored.network) == global_best(engine.network)
+
+    def test_resume_is_bit_identical(self, tmp_path):
+        """run(60) == run(30) + checkpoint + restore + run(30)."""
+        straight = build_engine()
+        straight.run(60)
+
+        engine = build_engine()
+        engine.run(30)
+        path = tmp_path / "mid.ckpt"
+        save_checkpoint(engine, path)
+        resumed = load_checkpoint(path)
+        resumed.run(30)
+
+        assert resumed.cycle == straight.cycle
+        assert global_best(resumed.network) == global_best(straight.network)
+        # Per-node state identical, not just the aggregate:
+        for nid in range(8):
+            a = straight.network.node(nid).protocol("pso").service
+            b = resumed.network.node(nid).protocol("pso").service
+            assert a.evaluations == b.evaluations
+            assert np.array_equal(
+                a.swarm.state.positions, b.swarm.state.positions
+            )
+
+    def test_original_unaffected_by_resumed_run(self, tmp_path):
+        engine = build_engine()
+        engine.run(10)
+        path = tmp_path / "x.ckpt"
+        save_checkpoint(engine, path)
+        restored = load_checkpoint(path)
+        restored.run(20)
+        assert engine.cycle == 10  # untouched
+
+    def test_peek_metadata(self, tmp_path):
+        engine = build_engine()
+        engine.run(5)
+        path = tmp_path / "y.ckpt"
+        save_checkpoint(engine, path)
+        meta = peek_metadata(path)
+        assert meta.cycle == 5
+        assert meta.live_count == 8
+
+
+class TestCorruptionHandling:
+    def test_wrong_magic(self, tmp_path):
+        path = tmp_path / "bogus.ckpt"
+        path.write_bytes(b"not a checkpoint at all")
+        with pytest.raises(SimulationError):
+            load_checkpoint(path)
+
+    def test_truncated_payload(self, tmp_path):
+        engine = build_engine()
+        engine.run(3)
+        path = tmp_path / "t.ckpt"
+        save_checkpoint(engine, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-100])
+        with pytest.raises(SimulationError):
+            load_checkpoint(path)
+
+    def test_peek_rejects_garbage(self, tmp_path):
+        path = tmp_path / "g.ckpt"
+        path.write_bytes(b"garbage")
+        with pytest.raises(SimulationError):
+            peek_metadata(path)

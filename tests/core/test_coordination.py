@@ -1,0 +1,202 @@
+"""Tests for the anti-entropy coordination protocol.
+
+The key invariants (module docstring of repro.core.coordination):
+monotone non-increase of every node's known optimum, no fabricated
+values, epidemic spreading of the best value, idempotence under
+duplication/loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coordination import CoordinationProtocol
+from repro.core.dpso import DistributedPSOService
+from repro.core.optimum import Optimum
+from repro.functions.suite import Sphere
+from repro.simulator.engine import CycleDrivenEngine
+from repro.simulator.network import Network
+from repro.simulator.transport import LossyTransport, ReliableTransport
+from repro.topology.static import StaticTopologyProtocol, complete_graph, ring_lattice
+from repro.utils.config import CoordinationConfig, PSOConfig
+
+
+def build_coordination_network(
+    n: int,
+    mode: str = "push-pull",
+    adjacency: dict | None = None,
+    seed: int = 0,
+    loss_rate: float = 0.0,
+):
+    """n nodes with static topology + PSO service + coordination."""
+    adjacency = adjacency if adjacency is not None else complete_graph(n)
+    rng_master = np.random.default_rng(seed)
+    net = Network(rng=np.random.default_rng(seed + 1))
+    services = []
+
+    def factory(node):
+        nid = node.node_id
+        node.attach("topology", StaticTopologyProtocol(adjacency.get(nid, [])))
+        service = DistributedPSOService(
+            Sphere(4), PSOConfig(particles=2), np.random.default_rng(seed + 10 + nid)
+        )
+        services.append(service)
+        coord = CoordinationProtocol(
+            CoordinationConfig(mode=mode),
+            service,
+            topology_protocol="topology",
+            rng=np.random.default_rng(seed + 1000 + nid),
+        )
+        node.attach("coordination", coord)
+
+    net.populate(n, factory=factory)
+    transport = ReliableTransport()
+    if loss_rate > 0:
+        transport = LossyTransport(transport, loss_rate, np.random.default_rng(99))
+    engine = CycleDrivenEngine(net, transport=transport, rng=np.random.default_rng(2))
+    return net, engine, services
+
+
+def seed_optima(services, values):
+    """Give each service a known artificial optimum."""
+    for service, value in zip(services, values):
+        service.local_step()  # establish a finite best first
+        service.offer(Optimum(np.full(4, value), value))
+
+
+class TestPushPull:
+    def test_best_value_spreads_to_all(self):
+        net, engine, services = build_coordination_network(16)
+        seed_optima(services, np.linspace(1.0, 16.0, 16) * 1e-6)
+        engine.run(10)  # ≫ log2(16) rounds
+        target = min(s.current_best().value for s in services)
+        assert all(s.current_best().value == pytest.approx(target) for s in services)
+
+    def test_monotone_nonincreasing_everywhere(self):
+        net, engine, services = build_coordination_network(8)
+        seed_optima(services, [float(i + 1) for i in range(8)])
+        history = [[] for _ in services]
+        for _ in range(8):
+            engine.run(1)
+            for i, s in enumerate(services):
+                history[i].append(s.current_best().value)
+        for series in history:
+            assert all(b <= a + 1e-15 for a, b in zip(series, series[1:]))
+
+    def test_no_fabricated_values(self):
+        """Every value present after gossip was some node's optimum."""
+        net, engine, services = build_coordination_network(8)
+        values = [float(i + 1) * 1e-3 for i in range(8)]
+        seed_optima(services, values)
+        initial = {s.current_best().value for s in services}
+        engine.run(6)
+        final = {s.current_best().value for s in services}
+        assert final <= initial
+
+    def test_spread_time_logarithmic(self):
+        """Epidemic diffusion reaches all of n=64 within ~2·log2(n)+slack
+        push-pull rounds (complete topology)."""
+        net, engine, services = build_coordination_network(64, seed=5)
+        seed_optima(services, [1.0] * 63 + [1e-9])
+        rounds = 0
+        while rounds < 20:
+            engine.run(1)
+            rounds += 1
+            if all(s.current_best().value == pytest.approx(1e-9) for s in services):
+                break
+        assert rounds <= 16
+
+    def test_works_over_ring(self):
+        """Diffusion also completes on a sparse static ring, just slower."""
+        net, engine, services = build_coordination_network(
+            12, adjacency=ring_lattice(12)
+        )
+        seed_optima(services, [1.0] * 11 + [1e-9])
+        engine.run(40)
+        assert all(s.current_best().value == pytest.approx(1e-9) for s in services)
+
+
+class TestModes:
+    @pytest.mark.parametrize("mode", ["push", "pull", "push-pull"])
+    def test_all_modes_eventually_spread(self, mode):
+        net, engine, services = build_coordination_network(16, mode=mode)
+        seed_optima(services, [1.0] * 15 + [1e-9])
+        engine.run(30)
+        reached = sum(
+            s.current_best().value == pytest.approx(1e-9) for s in services
+        )
+        assert reached == 16
+
+    def test_push_never_replies(self):
+        net, engine, services = build_coordination_network(8, mode="push")
+        seed_optima(services, [float(i + 1) for i in range(8)])
+        engine.run(5)
+        # In push mode messages = exchanges (no replies ever).
+        total_sent = sum(
+            net.node(i).protocol("coordination").messages_sent for i in range(8)
+        )
+        total_exchanges = sum(
+            net.node(i).protocol("coordination").exchanges_initiated for i in range(8)
+        )
+        assert total_sent == total_exchanges
+
+    def test_push_pull_replies_when_receiver_better(self):
+        net, engine, services = build_coordination_network(2, mode="push-pull")
+        seed_optima(services, [1.0, 1e-9])
+        engine.run(2)
+        # Node 0 must have adopted node 1's optimum, whichever
+        # direction initiated (offer or reply path).
+        assert services[0].current_best().value == pytest.approx(1e-9)
+
+    def test_unknown_payload_rejected(self):
+        net, engine, services = build_coordination_network(2)
+        coord = net.node(0).protocol("coordination")
+        from repro.simulator.transport import Message
+
+        with pytest.raises(ValueError):
+            coord.deliver(net.node(0), engine, Message(1, 0, "coordination", ("bogus", None)))
+
+
+class TestRobustness:
+    def test_lossy_transport_only_slows_spreading(self):
+        """Paper Sec. 3.3.4: losses slow diffusion but cannot corrupt
+        it — with 30% loss the best value still reaches everyone."""
+        net, engine, services = build_coordination_network(16, loss_rate=0.3, seed=8)
+        seed_optima(services, [1.0] * 15 + [1e-9])
+        engine.run(40)
+        assert all(s.current_best().value == pytest.approx(1e-9) for s in services)
+
+    def test_exchange_with_dead_peer_is_lost_quietly(self):
+        net, engine, services = build_coordination_network(4)
+        seed_optima(services, [1.0, 2.0, 3.0, 4.0])
+        net.crash(1)
+        engine.run(5)  # must not raise
+        live_best = [
+            net.node(i).protocol("coordination").optimizer.current_best().value
+            for i in (0, 2, 3)
+        ]
+        assert all(v == pytest.approx(1.0) for v in live_best)
+
+    def test_node_with_empty_view_skips(self):
+        net, engine, services = build_coordination_network(
+            2, adjacency={0: [], 1: []}
+        )
+        seed_optima(services, [1.0, 2.0])
+        engine.run(3)
+        # No partners -> no exchanges, no crash, optima unchanged.
+        assert services[0].current_best().value == pytest.approx(1.0)
+        assert services[1].current_best().value == pytest.approx(2.0)
+
+    def test_duplicate_delivery_idempotent(self):
+        net, engine, services = build_coordination_network(2)
+        seed_optima(services, [1.0, 2.0])
+        from repro.simulator.transport import Message
+
+        best = services[0].current_best()
+        msg = Message(0, 1, "coordination", ("offer", best))
+        coord1 = net.node(1).protocol("coordination")
+        coord1.deliver(net.node(1), engine, msg)
+        v1 = services[1].current_best().value
+        coord1.deliver(net.node(1), engine, msg)  # duplicate
+        assert services[1].current_best().value == v1

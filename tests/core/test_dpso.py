@@ -1,0 +1,126 @@
+"""Tests for the distributed-PSO optimization service and its driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dpso import DistributedPSOService, PSOStepProtocol
+from repro.core.optimum import Optimum
+from repro.functions.counting import CountingFunction
+from repro.functions.suite import Sphere
+from repro.simulator.engine import CycleDrivenEngine
+from repro.simulator.network import Network
+from repro.utils.config import PSOConfig
+
+
+def make_service(k=4, seed=0, counting=False):
+    f = CountingFunction(Sphere(4)) if counting else Sphere(4)
+    return DistributedPSOService(f, PSOConfig(particles=k), np.random.default_rng(seed)), f
+
+
+class TestService:
+    def test_no_best_before_any_evaluation(self):
+        service, _ = make_service()
+        assert service.current_best() is None
+        assert service.evaluations == 0
+
+    def test_local_step_produces_best(self):
+        service, _ = make_service()
+        service.local_step()
+        best = service.current_best()
+        assert best is not None
+        assert np.isfinite(best.value)
+        assert service.evaluations == 1
+
+    def test_offer_better_adopted(self):
+        service, _ = make_service()
+        service.local_step()
+        assert service.offer(Optimum(np.zeros(4), 1e-20))
+        assert service.current_best().value == 1e-20
+        assert service.offers_accepted == 1
+
+    def test_offer_worse_rejected(self):
+        service, _ = make_service()
+        service.local_step()
+        before = service.current_best().value
+        assert not service.offer(Optimum(np.ones(4), before + 10.0))
+        assert service.offers_rejected == 1
+        assert service.current_best().value == before
+
+    def test_step_evaluations_vectorized_path_counts(self):
+        service, f = make_service(k=4, counting=True)
+        service.step_evaluations(12)  # 3 whole sweeps -> vectorized
+        assert f.evaluations == 12
+        assert service.evaluations == 12
+
+    def test_step_evaluations_fallback_path_counts(self):
+        service, f = make_service(k=4, counting=True)
+        service.step_evaluations(7)  # not a multiple of k
+        assert f.evaluations == 7
+
+    def test_vectorized_and_fallback_both_improve(self):
+        sync_service, _ = make_service(k=8, seed=1)
+        sync_service.step_evaluations(8 * 100)
+        async_service, _ = make_service(k=8, seed=1)
+        for _ in range(100):
+            async_service.step_evaluations(8)
+        assert sync_service.current_best().value < 1e3
+        assert async_service.current_best().value < 1e3
+
+    def test_negative_count_raises(self):
+        service, _ = make_service()
+        with pytest.raises(ValueError):
+            service.step_evaluations(-1)
+
+
+class TestStepProtocol:
+    def build_engine(self, k=4, evals_per_cycle=8, budget=40):
+        net = Network(rng=np.random.default_rng(0))
+        services = []
+
+        def factory(node):
+            service, _ = make_service(k=k, seed=node.node_id)
+            services.append(service)
+            node.attach("pso", PSOStepProtocol(service, evals_per_cycle, budget))
+
+        net.populate(3, factory=factory)
+        return CycleDrivenEngine(net, rng=np.random.default_rng(1)), services
+
+    def test_budget_respected_exactly(self):
+        engine, services = self.build_engine(evals_per_cycle=8, budget=40)
+        engine.run(10)  # more cycles than needed
+        assert all(s.evaluations == 40 for s in services)
+
+    def test_partial_last_cycle(self):
+        engine, services = self.build_engine(evals_per_cycle=16, budget=40)
+        engine.run(5)
+        assert all(s.evaluations == 40 for s in services)  # 16+16+8
+
+    def test_exhausted_flag(self):
+        engine, services = self.build_engine(evals_per_cycle=8, budget=16)
+        net = engine.network
+        proto = net.node(0).protocol("pso")
+        assert not proto.exhausted
+        engine.run(2)
+        assert proto.exhausted
+        assert proto.remaining == 0
+
+    def test_unlimited_budget(self):
+        net = Network(rng=np.random.default_rng(0))
+        service, _ = make_service()
+        net.populate(1, factory=lambda n: n.attach(
+            "pso", PSOStepProtocol(service, 8, None)))
+        engine = CycleDrivenEngine(net, rng=np.random.default_rng(1))
+        engine.run(5)
+        assert service.evaluations == 40
+        proto = net.node(0).protocol("pso")
+        assert proto.remaining is None
+        assert not proto.exhausted
+
+    def test_invalid_construction(self):
+        service, _ = make_service()
+        with pytest.raises(ValueError):
+            PSOStepProtocol(service, 0, 10)
+        with pytest.raises(ValueError):
+            PSOStepProtocol(service, 1, -1)

@@ -1,0 +1,79 @@
+"""Tests for process-parallel repetition execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runner import run_experiment
+from repro.utils.config import ExperimentConfig
+
+
+def make_config(**overrides) -> ExperimentConfig:
+    base = dict(
+        function="sphere",
+        nodes=4,
+        particles_per_node=4,
+        total_evaluations=800,
+        gossip_cycle=4,
+        repetitions=4,
+        seed=50,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestParallelRuns:
+    def test_parallel_equals_sequential(self):
+        seq = run_experiment(make_config(), workers=1)
+        par = run_experiment(make_config(), workers=2)
+        assert [r.best_value for r in par.runs] == [r.best_value for r in seq.runs]
+        assert [r.total_evaluations for r in par.runs] == [
+            r.total_evaluations for r in seq.runs
+        ]
+
+    def test_progress_called_in_order(self):
+        seen = []
+        run_experiment(
+            make_config(repetitions=3),
+            workers=2,
+            progress=lambda i, r: seen.append(i),
+        )
+        assert seen == [0, 1, 2]
+
+    def test_single_repetition_stays_inline(self):
+        result = run_experiment(make_config(repetitions=1), workers=4)
+        assert len(result.runs) == 1
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            run_experiment(make_config(), workers=0)
+
+    def test_topology_factory_rejected_in_parallel(self):
+        with pytest.raises(ValueError):
+            run_experiment(
+                make_config(), workers=2, topology_factory=lambda nid: None
+            )
+
+
+class TestDeploymentCli:
+    def test_cli_runs(self, capsys):
+        from repro.deployment.__main__ import main
+
+        code = main(
+            ["--function", "sphere", "--nodes", "6", "--budget", "200",
+             "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "solution quality" in out
+        assert "stop reason         : budget" in out
+
+    def test_cli_threshold(self, capsys):
+        from repro.deployment.__main__ import main
+
+        code = main(
+            ["--nodes", "8", "--budget", "50000", "--threshold", "1e-2",
+             "--seed", "3"]
+        )
+        assert code == 0
+        assert "threshold reached" in capsys.readouterr().out

@@ -1,0 +1,97 @@
+"""Tests for per-node PSO parameter diversification (future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import global_best, total_evaluations
+from repro.core.node import OptimizationNodeSpec, build_optimization_node
+from repro.core.solvers import perturbed_pso_factory
+from repro.functions.base import get_function
+from repro.simulator.engine import CycleDrivenEngine
+from repro.simulator.network import Network
+from repro.topology.newscast import bootstrap_views
+from repro.utils.config import CoordinationConfig, NewscastConfig, PSOConfig
+from repro.utils.rng import SeedSequenceTree
+
+
+class TestFactory:
+    def test_parameters_vary_across_nodes(self):
+        f = get_function("sphere")
+        factory = perturbed_pso_factory(
+            f, PSOConfig(particles=4),
+            rng_for=lambda nid: np.random.default_rng(nid),
+        )
+        inertias = {factory(i).swarm.config.inertia for i in range(10)}
+        accels = {factory(i).swarm.config.c1 for i in range(10)}
+        assert len(inertias) == 10
+        assert len(accels) == 10
+
+    def test_parameters_within_ranges(self):
+        f = get_function("sphere")
+        factory = perturbed_pso_factory(
+            f, PSOConfig(particles=4),
+            rng_for=lambda nid: np.random.default_rng(nid),
+            inertia_range=(0.6, 0.8),
+            accel_range=(1.3, 1.7),
+        )
+        for i in range(20):
+            cfg = factory(i).swarm.config
+            assert 0.6 <= cfg.inertia <= 0.8
+            assert 1.3 <= cfg.c1 <= 1.7
+            assert cfg.c1 == cfg.c2
+
+    def test_swarm_size_preserved(self):
+        f = get_function("sphere")
+        factory = perturbed_pso_factory(
+            f, PSOConfig(particles=7),
+            rng_for=lambda nid: np.random.default_rng(nid),
+        )
+        assert factory(0).swarm.state.size == 7
+
+    def test_deterministic_per_node(self):
+        f = get_function("sphere")
+        mk = lambda: perturbed_pso_factory(
+            f, PSOConfig(particles=4),
+            rng_for=lambda nid: np.random.default_rng(nid),
+        )
+        assert mk()(3).swarm.config.inertia == mk()(3).swarm.config.inertia
+
+    def test_invalid_ranges(self):
+        f = get_function("sphere")
+        with pytest.raises(ValueError):
+            perturbed_pso_factory(
+                f, PSOConfig(), lambda nid: None, inertia_range=(0.8, 0.6)
+            )
+        with pytest.raises(ValueError):
+            perturbed_pso_factory(
+                f, PSOConfig(), lambda nid: None, accel_range=(0.0, 1.0)
+            )
+
+
+class TestInNetwork:
+    def test_heterogeneous_parameters_network_converges(self):
+        tree = SeedSequenceTree(404)
+        f = get_function("sphere")
+        factory = perturbed_pso_factory(
+            f, PSOConfig(particles=8),
+            rng_for=lambda nid: tree.rng("pp", nid),
+        )
+        spec = OptimizationNodeSpec(
+            function=f,
+            pso=PSOConfig(particles=8),
+            newscast=NewscastConfig(view_size=10),
+            coordination=CoordinationConfig(),
+            rng_tree=tree,
+            evals_per_cycle=8,
+            budget_per_node=1500,
+            optimizer_factory=factory,
+        )
+        net = Network(rng=tree.rng("network"))
+        net.populate(16, factory=lambda node: build_optimization_node(node, spec))
+        bootstrap_views(net, tree.rng("bootstrap"))
+        engine = CycleDrivenEngine(net, rng=tree.rng("engine"))
+        engine.run(1500 // 8 + 1)
+        assert total_evaluations(net) == 16 * 1500
+        assert global_best(net) < 1.0

@@ -1,0 +1,173 @@
+"""Tests for the alternative solvers (future-work extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.node import OptimizationNodeSpec, build_optimization_node
+from repro.core.optimum import Optimum
+from repro.core.solvers import (
+    DifferentialEvolutionService,
+    RandomSearchService,
+    mixed_solver_factory,
+)
+from repro.functions.suite import Sphere
+from repro.functions.base import get_function
+from repro.simulator.engine import CycleDrivenEngine
+from repro.simulator.network import Network
+from repro.topology.newscast import bootstrap_views
+from repro.utils.config import CoordinationConfig, NewscastConfig, PSOConfig
+from repro.utils.rng import SeedSequenceTree
+
+
+class TestRandomSearch:
+    def test_one_evaluation_per_step(self):
+        service = RandomSearchService(Sphere(4), np.random.default_rng(0))
+        for i in range(10):
+            service.local_step()
+        assert service.evaluations == 10
+
+    def test_best_monotone(self):
+        service = RandomSearchService(Sphere(4), np.random.default_rng(0))
+        bests = []
+        for _ in range(200):
+            service.local_step()
+            bests.append(service.current_best().value)
+        assert all(b <= a for a, b in zip(bests, bests[1:]))
+
+    def test_offer_adopted_if_better(self):
+        service = RandomSearchService(Sphere(4), np.random.default_rng(0))
+        service.local_step()
+        assert service.offer(Optimum(np.zeros(4), 0.0))
+        assert service.current_best().value == 0.0
+        assert not service.offer(Optimum(np.ones(4), 1.0))
+
+    def test_no_best_initially(self):
+        service = RandomSearchService(Sphere(4), np.random.default_rng(0))
+        assert service.current_best() is None
+
+
+class TestDifferentialEvolution:
+    def make(self, pop=8, seed=0, dim=4):
+        return DifferentialEvolutionService(
+            Sphere(dim), pop, np.random.default_rng(seed)
+        )
+
+    def test_initial_population_evaluated_first(self):
+        service = self.make(pop=6)
+        for i in range(6):
+            service.local_step()
+        assert service.evaluations == 6
+        assert np.all(np.isfinite(service.values))
+
+    def test_converges_on_sphere(self):
+        service = self.make(pop=16, seed=1)
+        for _ in range(16 * 400):
+            service.local_step()
+        assert service.current_best().value < 1e-2
+
+    def test_best_monotone(self):
+        service = self.make()
+        bests = []
+        for _ in range(300):
+            service.local_step()
+            bests.append(service.current_best().value)
+        assert all(b <= a for a, b in zip(bests, bests[1:]))
+
+    def test_population_values_consistent(self):
+        service = self.make()
+        for _ in range(200):
+            service.local_step()
+        recomputed = service.function.batch(service.population)
+        assert np.allclose(recomputed, service.values)
+
+    def test_trial_points_respect_domain(self):
+        service = self.make()
+        for _ in range(300):
+            service.local_step()
+        assert np.all(service.function.contains(service.population))
+
+    def test_offer_injected_over_worst(self):
+        service = self.make(pop=5)
+        for _ in range(5):
+            service.local_step()
+        worst_before = float(service.values.max())
+        assert service.offer(Optimum(np.zeros(4), 1e-20))
+        assert service.current_best().value == 1e-20
+        assert float(service.values.max()) <= worst_before
+
+    def test_invalid_params(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            DifferentialEvolutionService(Sphere(4), 3, rng)
+        with pytest.raises(ValueError):
+            DifferentialEvolutionService(Sphere(4), 8, rng, f_weight=0.0)
+        with pytest.raises(ValueError):
+            DifferentialEvolutionService(Sphere(4), 8, rng, crossover=1.5)
+
+
+class TestMixedNetwork:
+    def build_mixed(self, assignments, n=9, budget=600):
+        tree = SeedSequenceTree(66)
+        function = get_function("sphere")
+        factory = mixed_solver_factory(
+            function,
+            assignments,
+            swarm_particles=6,
+            rng_for=lambda nid, name: tree.rng("solver", nid, name),
+        )
+        spec = OptimizationNodeSpec(
+            function=function,
+            pso=PSOConfig(particles=6),
+            newscast=NewscastConfig(view_size=8),
+            coordination=CoordinationConfig(),
+            rng_tree=tree,
+            evals_per_cycle=6,
+            budget_per_node=budget,
+            optimizer_factory=factory,
+        )
+        net = Network(rng=tree.rng("network"))
+        net.populate(n, factory=lambda node: build_optimization_node(node, spec))
+        bootstrap_views(net, tree.rng("bootstrap"))
+        engine = CycleDrivenEngine(net, rng=tree.rng("engine"))
+        return net, engine
+
+    def test_heterogeneous_network_runs(self):
+        net, engine = self.build_mixed(["pso", "de", "random"])
+        engine.run(100)
+        from repro.core.metrics import global_best, total_evaluations
+
+        assert np.isfinite(global_best(net))
+        assert total_evaluations(net) == 9 * 600
+
+    def test_knowledge_flows_across_solver_types(self):
+        net, engine = self.build_mixed(["pso", "de", "random"])
+        engine.run(100)
+        # After exhaustion + extra gossip, all nodes agree regardless
+        # of solver type.
+        engine.run(20)
+        bests = [
+            net.node(nid).protocol("pso").service.current_best().value
+            for nid in net.live_ids()
+        ]
+        assert max(bests) - min(bests) < 1e-12
+
+    def test_mixed_beats_pure_random(self):
+        net_mixed, eng_mixed = self.build_mixed(["pso", "random"])
+        net_rand, eng_rand = self.build_mixed(["random"])
+        eng_mixed.run(100)
+        eng_rand.run(100)
+        from repro.core.metrics import global_best
+
+        assert global_best(net_mixed) < global_best(net_rand)
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(ValueError):
+            mixed_solver_factory(
+                Sphere(4), ["pso", "annealing"], 6, lambda n, s: None
+            )
+
+    def test_empty_assignments_rejected(self):
+        with pytest.raises(ValueError):
+            mixed_solver_factory(Sphere(4), [], 6, lambda n, s: None)

@@ -1,0 +1,136 @@
+"""Tests for the event-driven NEWSCAST protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.deployment.newscast_ed import EventNewscastProtocol
+from repro.simulator.engine import EventDrivenEngine
+from repro.simulator.network import Network
+from repro.simulator.transport import (
+    LossyTransport,
+    ReliableTransport,
+    UniformLatencyTransport,
+)
+from repro.topology.analysis import overlay_metrics
+from repro.topology.newscast import bootstrap_views
+from repro.utils.config import NewscastConfig
+from repro.utils.rng import SeedSequenceTree
+
+
+def build(n, view_size=10, seed=0, loss_rate=0.0, latency=(0.1, 0.5)):
+    tree = SeedSequenceTree(seed)
+    net = Network(rng=tree.rng("network"))
+    cfg = NewscastConfig(view_size=view_size)
+
+    def factory(node):
+        node.attach(
+            "newscast", EventNewscastProtocol(cfg, tree.rng("nc", node.node_id))
+        )
+
+    net.populate(n, factory=factory)
+    bootstrap_views(net, tree.rng("bootstrap"), protocol_name="newscast")
+    transport = UniformLatencyTransport(
+        tree.rng("latency"), min_delay=latency[0], max_delay=latency[1]
+    )
+    if loss_rate > 0:
+        transport = LossyTransport(transport, loss_rate, tree.rng("loss"))
+    engine = EventDrivenEngine(net, transport=transport, rng=tree.rng("engine"))
+
+    # One shuffle per node per second, random phase.
+    for node in net.live_nodes():
+        proto = node.protocol("newscast")
+        nid = node.node_id
+
+        def fire(eng, nid=nid):
+            if not net.is_alive(nid):
+                return
+            node_obj = net.node(nid)
+            node_obj.protocol("newscast").initiate(node_obj, eng)
+            eng.schedule(eng.now + 1.0, lambda e: fire(e, nid))
+
+        engine.schedule(float(tree.rng("phase", nid).random()), lambda e, nid=nid: fire(e, nid))
+    return net, engine
+
+
+class TestMixing:
+    def test_views_fill_and_mix(self):
+        net, engine = build(60, view_size=10, seed=1)
+        engine.run(until=30.0)
+        sizes = [n.protocol("newscast").view_size for n in net.live_nodes()]
+        assert np.mean(sizes) > 9.0
+        m = overlay_metrics(net, "newscast")
+        assert m.weakly_connected
+
+    def test_no_self_entries(self):
+        net, engine = build(30, seed=2)
+        engine.run(until=20.0)
+        for node in net.live_nodes():
+            assert node.node_id not in node.protocol("newscast").view
+
+    def test_request_reply_accounting(self):
+        net, engine = build(20, seed=3)
+        engine.run(until=15.0)
+        reqs = sum(n.protocol("newscast").requests_sent for n in net.live_nodes())
+        reps = sum(n.protocol("newscast").replies_sent for n in net.live_nodes())
+        merges = sum(n.protocol("newscast").merges for n in net.live_nodes())
+        assert reqs > 0
+        # Lossless: every request produces a reply and two merges.
+        assert reps == pytest.approx(reqs, abs=reqs * 0.1)  # in-flight tail
+        assert merges >= reqs
+
+
+class TestLossTolerance:
+    def test_mixing_survives_heavy_loss(self):
+        net, engine = build(60, view_size=10, seed=4, loss_rate=0.4)
+        engine.run(until=60.0)
+        m = overlay_metrics(net, "newscast")
+        assert m.weakly_connected
+        sizes = [n.protocol("newscast").view_size for n in net.live_nodes()]
+        assert np.mean(sizes) > 8.0
+
+    def test_self_repair_under_latency(self):
+        net, engine = build(80, view_size=10, seed=5)
+        engine.run(until=20.0)
+        for nid in range(20):
+            net.crash(nid)
+        assert overlay_metrics(net, "newscast").stale_fraction > 0.05
+        engine.run(until=80.0)
+        assert overlay_metrics(net, "newscast").stale_fraction < 0.05
+
+
+class TestProtocolEdgeCases:
+    def test_empty_view_does_not_initiate(self):
+        tree = SeedSequenceTree(0)
+        net = Network(rng=tree.rng("network"))
+        node = net.create_node()
+        proto = EventNewscastProtocol(NewscastConfig(view_size=5), tree.rng("p"))
+        node.attach("newscast", proto)
+        engine = EventDrivenEngine(net, transport=ReliableTransport(),
+                                   rng=tree.rng("engine"))
+        assert proto.initiate(node, engine) is False
+        assert proto.requests_sent == 0
+
+    def test_unknown_payload_rejected(self):
+        tree = SeedSequenceTree(0)
+        net = Network(rng=tree.rng("network"))
+        node = net.create_node()
+        proto = EventNewscastProtocol(NewscastConfig(view_size=5), tree.rng("p"))
+        node.attach("newscast", proto)
+        engine = EventDrivenEngine(net, transport=ReliableTransport(),
+                                   rng=tree.rng("engine"))
+        from repro.simulator.transport import Message
+
+        with pytest.raises(ValueError):
+            proto.deliver(node, engine, Message(1, 0, "newscast", ("bogus", [])))
+
+    def test_on_join_bootstraps_one_contact(self):
+        net, engine = build(10, seed=6)
+        engine.run(until=5.0)
+        tree = SeedSequenceTree(9)
+        joiner = net.create_node()
+        proto = EventNewscastProtocol(NewscastConfig(view_size=5), tree.rng("j"))
+        joiner.attach("newscast", proto)
+        proto.on_join(joiner, engine)
+        assert proto.view_size == 1

@@ -1,0 +1,39 @@
+"""Tests for the command-line entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_exp5_smoke_prints_report(self, capsys):
+        code = main(["exp5", "--scale", "smoke", "--quiet", "--seed", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Experiment 5" in out
+        assert "Bytes/second" in out
+
+    def test_csv_dump(self, tmp_path, capsys):
+        path = tmp_path / "runs.csv"
+        code = main(
+            ["exp5", "--scale", "smoke", "--quiet", "--csv", str(path)]
+        )
+        assert code == 0
+        text = path.read_text()
+        assert text.startswith("function,")
+        assert "sphere" in text
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["exp99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["exp5", "--scale", "galactic"])
+
+    def test_progress_on_stderr_by_default(self, capsys):
+        main(["exp5", "--scale", "smoke"])
+        err = capsys.readouterr().err
+        assert "exp5:smoke" in err

@@ -1,0 +1,109 @@
+"""Tests for the experiment sweep definitions (fast: configs only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments import (
+    exp1_swarm_size,
+    exp2_network_size,
+    exp3_cycle_length,
+    exp4_time_to_quality,
+)
+from repro.functions.suite import PAPER_FUNCTIONS
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestRegistry:
+    def test_experiments_registered(self):
+        assert sorted(EXPERIMENTS) == ["exp1", "exp2", "exp3", "exp4", "exp5"]
+
+    @pytest.mark.parametrize("name", sorted(["exp1", "exp2", "exp3", "exp4", "exp5"]))
+    def test_module_interface(self, name):
+        module = EXPERIMENTS[name]
+        for attr in ("configs", "run", "report", "SCALES", "NAME", "TITLE"):
+            assert hasattr(module, attr)
+        assert set(module.SCALES) == {"smoke", "reduced", "full"}
+
+    @pytest.mark.parametrize("name", ["exp1", "exp2", "exp3", "exp4", "exp5"])
+    def test_unknown_scale_raises(self, name):
+        with pytest.raises(ConfigurationError):
+            EXPERIMENTS[name].configs("gigantic")
+
+
+class TestExp1Configs:
+    def test_full_matches_paper_extents(self):
+        confs = exp1_swarm_size.configs("full")
+        functions = {c.function for c in confs}
+        assert functions == set(PAPER_FUNCTIONS)
+        nodes = {c.nodes for c in confs}
+        assert nodes == {1, 10, 100, 1000}
+        particles = {c.particles_per_node for c in confs}
+        assert particles == {1, 4, 8, 16, 32}
+        assert all(c.repetitions == 50 for c in confs)
+        # e = 1000*n and r = k everywhere.
+        assert all(c.total_evaluations == 1000 * c.nodes for c in confs)
+        assert all(c.gossip_cycle == c.particles_per_node for c in confs)
+
+    def test_point_count(self):
+        assert len(exp1_swarm_size.configs("full")) == 6 * 4 * 5
+
+    def test_seed_propagates(self):
+        confs = exp1_swarm_size.configs("smoke", seed=123)
+        assert all(c.seed == 123 for c in confs)
+
+
+class TestExp2Configs:
+    def test_full_extents(self):
+        confs = exp2_network_size.configs("full")
+        assert {c.total_evaluations for c in confs} == {2**20}
+        assert max(c.nodes for c in confs) == 2**16
+        assert all(c.evaluations_per_node >= 1 for c in confs)
+
+    def test_infeasible_points_skipped(self):
+        confs = exp2_network_size.configs("full")
+        assert all(
+            c.total_evaluations // c.nodes >= c.particles_per_node for c in confs
+        )
+
+
+class TestExp3Configs:
+    def test_k_fixed_at_16(self):
+        confs = exp3_cycle_length.configs("full")
+        assert {c.particles_per_node for c in confs} == {16}
+
+    def test_cycle_sweep(self):
+        confs = exp3_cycle_length.configs("full")
+        assert {c.gossip_cycle for c in confs} == set(range(2, 66, 2))
+
+
+class TestExp4Configs:
+    def test_threshold_set(self):
+        confs = exp4_time_to_quality.configs("full")
+        assert all(c.quality_threshold == 1e-10 for c in confs)
+
+    def test_node_range(self):
+        confs = exp4_time_to_quality.configs("full")
+        assert max(c.nodes for c in confs) == 2**10
+        assert min(c.nodes for c in confs) == 1
+
+
+class TestExp5Overhead:
+    def test_smoke_run_and_report(self):
+        from repro.experiments import exp5_overhead
+
+        data = exp5_overhead.run(scale="smoke", seed=3)
+        report = exp5_overhead.report(data)
+        assert "Bytes/second" in report
+        assert "few bytes per second" in report
+
+    def test_measured_counts_positive(self):
+        from repro.experiments import exp5_overhead
+
+        cfg = exp5_overhead.configs("smoke", seed=3)[0]
+        counts = exp5_overhead.measured_overhead(cfg)
+        # ≈2 NEWSCAST messages per node per cycle (one exchange = 2)
+        assert 1.0 < counts["newscast_msgs"] < 3.0
+        # coordination: 1 offer per node per cycle + replies in [0, 1].
+        assert 0.9 < counts["coordination_msgs"] < 2.1

@@ -1,0 +1,79 @@
+"""Tests for SweepData and a tiny end-to-end experiment run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import exp3_cycle_length
+from repro.experiments.common import SweepData, run_sweep
+from repro.utils.config import ExperimentConfig
+
+
+def tiny_configs():
+    base = ExperimentConfig(
+        function="sphere", nodes=4, particles_per_node=4,
+        total_evaluations=400, gossip_cycle=4, repetitions=2, seed=11,
+    )
+    return [
+        base,
+        base.with_(gossip_cycle=2),
+        base.with_(function="f2"),
+    ]
+
+
+@pytest.fixture(scope="module")
+def sweep_data() -> SweepData:
+    return run_sweep("tiny", "test", tiny_configs())
+
+
+class TestSweepData:
+    def test_entries_in_order(self, sweep_data):
+        assert len(sweep_data.entries) == 3
+        assert sweep_data.entries[0][0].gossip_cycle == 4
+        assert sweep_data.entries[1][0].gossip_cycle == 2
+
+    def test_functions_first_seen_order(self, sweep_data):
+        assert sweep_data.functions() == ["sphere", "f2"]
+
+    def test_for_function_filters(self, sweep_data):
+        assert len(sweep_data.for_function("sphere")) == 2
+        assert len(sweep_data.for_function("f2")) == 1
+
+    def test_best_per_function_picks_lowest_mean(self, sweep_data):
+        best = sweep_data.best_per_function()
+        sphere_means = [
+            res.quality_stats.mean for _, res in sweep_data.for_function("sphere")
+        ]
+        assert best["sphere"].quality_stats.mean == min(sphere_means)
+
+    def test_series_grouping(self, sweep_data):
+        series = sweep_data.series(
+            "sphere",
+            x_of=lambda c: c.gossip_cycle,
+            group_of=lambda c: c.nodes,
+        )
+        assert set(series) == {4}
+        xs, ys = series[4]
+        assert xs == [4.0, 2.0]
+        assert len(ys) == 2
+
+    def test_elapsed_recorded(self, sweep_data):
+        assert sweep_data.elapsed_seconds > 0
+
+    def test_progress_callback(self):
+        messages = []
+        run_sweep("t", "s", tiny_configs()[:1], progress=messages.append)
+        assert len(messages) == 1
+        assert "t:s" in messages[0]
+
+
+class TestEndToEndSmoke:
+    def test_exp3_smoke_runs_and_reports(self):
+        """One full experiment module at its smallest extent: run it
+        and render the report — validates the whole chain."""
+        data = exp3_cycle_length.run(scale="smoke", seed=5)
+        report = exp3_cycle_length.report(data)
+        assert "Table 3" in report
+        assert "Figure 3" in report
+        assert "sphere" in report
+        assert "griewank" in report

@@ -1,0 +1,74 @@
+"""Tests for evaluation counting and budgets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.functions.counting import CountingFunction
+from repro.functions.suite import Sphere
+from repro.utils.exceptions import BudgetExhaustedError
+
+
+class TestCounting:
+    def test_scalar_counts_one(self):
+        f = CountingFunction(Sphere(3))
+        f(np.zeros(3))
+        assert f.evaluations == 1
+
+    def test_batch_counts_rows(self):
+        f = CountingFunction(Sphere(3))
+        f.batch(np.zeros((7, 3)))
+        assert f.evaluations == 7
+
+    def test_values_pass_through(self, rng):
+        inner = Sphere(3)
+        f = CountingFunction(inner)
+        pts = inner.sample_uniform(rng, 5)
+        assert np.array_equal(f.batch(pts), inner.batch(pts))
+
+    def test_metadata_mirrors_inner(self):
+        inner = Sphere(4)
+        f = CountingFunction(inner)
+        assert f.dimension == 4
+        assert np.array_equal(f.lower, inner.lower)
+        assert f.optimum_value == 0.0
+        assert f.quality(3.0) == 3.0
+        assert np.array_equal(f.optimum_position, inner.optimum_position)
+
+    def test_reset(self):
+        f = CountingFunction(Sphere(2))
+        f(np.zeros(2))
+        f.reset()
+        assert f.evaluations == 0
+
+
+class TestBudget:
+    def test_budget_trips_before_overrun(self):
+        f = CountingFunction(Sphere(2), budget=5)
+        f.batch(np.zeros((5, 2)))
+        with pytest.raises(BudgetExhaustedError):
+            f(np.zeros(2))
+        assert f.evaluations == 5  # the overrunning call did not evaluate
+
+    def test_partial_batch_rejected_whole(self):
+        f = CountingFunction(Sphere(2), budget=3)
+        with pytest.raises(BudgetExhaustedError):
+            f.batch(np.zeros((4, 2)))
+        assert f.evaluations == 0
+
+    def test_remaining(self):
+        f = CountingFunction(Sphere(2), budget=10)
+        assert f.remaining == 10
+        f.batch(np.zeros((4, 2)))
+        assert f.remaining == 6
+
+    def test_unlimited_budget(self):
+        f = CountingFunction(Sphere(2))
+        assert f.remaining is None
+        f.batch(np.zeros((100, 2)))
+        assert f.evaluations == 100
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            CountingFunction(Sphere(2), budget=-1)

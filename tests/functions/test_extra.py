@@ -1,0 +1,61 @@
+"""Tests for the extension benchmark functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.functions.extra import Ackley, Levy, Rastrigin, Schwefel
+
+EXTRA = [Rastrigin, Ackley, Schwefel, Levy]
+
+
+class TestExtraFunctions:
+    @pytest.mark.parametrize("cls", EXTRA)
+    def test_value_at_optimum_is_zero(self, cls):
+        f = cls()
+        assert f(f.optimum_position) == pytest.approx(0.0, abs=1e-6)
+
+    @pytest.mark.parametrize("cls", EXTRA)
+    def test_nonnegative_on_random_points(self, cls, rng):
+        f = cls()
+        vals = f.batch(f.sample_uniform(rng, 300))
+        assert np.all(vals >= 0.0)
+
+    @pytest.mark.parametrize("cls", EXTRA)
+    def test_batch_matches_scalar(self, cls, rng):
+        f = cls()
+        pts = f.sample_uniform(rng, 16)
+        assert np.allclose(f.batch(pts), [f(p) for p in pts], rtol=1e-12)
+
+    def test_rastrigin_hand_value(self):
+        f = Rastrigin(2)
+        # At (0.5, 0): 10*2 + (0.25 - 10*cos(pi)) + (0 - 10) = 20 + 10.25 - 10
+        assert f(np.array([0.5, 0.0])) == pytest.approx(20.25)
+
+    def test_ackley_far_field_near_20_plus_e(self):
+        f = Ackley(2)
+        val = f(np.array([30.0, -30.0]))
+        assert 18.0 < val < 20.0 + np.e
+
+    def test_schwefel_deceptive_best_near_boundary(self):
+        f = Schwefel(2)
+        near_opt = f(np.full(2, 420.968746))
+        at_origin = f(np.zeros(2))
+        assert near_opt < 1e-3
+        assert at_origin > 700.0  # origin is far from optimal
+
+    def test_levy_hand_value_at_zero(self):
+        f = Levy(1)
+        # w = 0.75; f = sin²(πw) + (w−1)²(1+sin²(2πw))
+        w = 0.75
+        expected = np.sin(np.pi * w) ** 2 + (w - 1) ** 2 * (
+            1 + np.sin(2 * np.pi * w) ** 2
+        )
+        assert f(np.zeros(1)) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("name", ["rastrigin", "ackley", "schwefel", "levy"])
+    def test_registered(self, name):
+        from repro.functions import get_function
+
+        assert get_function(name).NAME == name

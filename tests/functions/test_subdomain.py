@@ -1,0 +1,132 @@
+"""Tests for sub-domain functions and box partitioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.functions.subdomain import SubdomainFunction, partition_box
+from repro.functions.suite import Sphere
+
+
+class TestSubdomainFunction:
+    def make(self):
+        f = Sphere(4)  # box [-100, 100]^4
+        return SubdomainFunction(f, np.full(4, 0.0), np.full(4, 100.0))
+
+    def test_evaluation_unchanged(self, rng):
+        inner = Sphere(4)
+        zone = SubdomainFunction(inner, np.full(4, 0.0), np.full(4, 100.0))
+        pts = inner.sample_uniform(rng, 16)  # full-domain points
+        assert np.array_equal(zone.batch(pts), inner.batch(pts))
+
+    def test_sampling_restricted_to_zone(self, rng):
+        zone = self.make()
+        pts = zone.sample_uniform(rng, 100)
+        assert np.all(pts >= 0.0)
+        assert np.all(pts <= 100.0)
+
+    def test_domain_width_is_zone_width(self):
+        zone = self.make()
+        assert np.all(zone.domain_width == 100.0)
+
+    def test_quality_measured_against_global_optimum(self):
+        zone = self.make()
+        assert zone.optimum_value == 0.0
+        assert zone.quality(5.0) == 5.0
+
+    def test_optimum_position_none_when_outside_zone(self):
+        f = Sphere(4)
+        away = SubdomainFunction(f, np.full(4, 50.0), np.full(4, 100.0))
+        assert away.optimum_position is None
+        containing = SubdomainFunction(f, np.full(4, -10.0), np.full(4, 10.0))
+        assert containing.optimum_position is not None
+
+    def test_validation(self):
+        f = Sphere(2)
+        with pytest.raises(ValueError):
+            SubdomainFunction(f, np.zeros(3), np.ones(3))  # wrong dim
+        with pytest.raises(ValueError):
+            SubdomainFunction(f, np.ones(2), np.zeros(2))  # inverted
+        with pytest.raises(ValueError):
+            SubdomainFunction(f, np.full(2, -200.0), np.zeros(2))  # outside
+
+
+class TestPartitionBox:
+    def test_single_zone_is_whole_box(self):
+        lo, hi = np.zeros(3), np.ones(3)
+        zones = partition_box(lo, hi, 1)
+        assert len(zones) == 1
+        assert np.array_equal(zones[0][0], lo)
+        assert np.array_equal(zones[0][1], hi)
+
+    @pytest.mark.parametrize("count", [2, 3, 4, 7, 8, 16])
+    def test_zone_count(self, count):
+        zones = partition_box(np.zeros(3), np.ones(3), count)
+        assert len(zones) == count
+
+    @pytest.mark.parametrize("count", [2, 4, 8, 16])
+    def test_power_of_two_equal_volumes(self, count):
+        zones = partition_box(np.zeros(3), np.ones(3), count)
+        volumes = [float(np.prod(hi - lo)) for lo, hi in zones]
+        assert np.allclose(volumes, 1.0 / count)
+
+    def test_volumes_sum_to_box(self):
+        zones = partition_box(np.zeros(4), np.full(4, 2.0), 7)
+        total = sum(float(np.prod(hi - lo)) for lo, hi in zones)
+        assert total == pytest.approx(2.0**4)
+
+    def test_zones_disjoint_interiors(self, rng):
+        zones = partition_box(np.zeros(3), np.ones(3), 8)
+        pts = rng.random((500, 3))
+        owners = np.zeros(500, dtype=int)
+        for lo, hi in zones:
+            inside = np.all((pts >= lo) & (pts < hi), axis=1)
+            owners += inside.astype(int)
+        assert np.all(owners == 1)  # every point in exactly one zone
+
+    def test_deterministic(self):
+        a = partition_box(np.zeros(5), np.ones(5), 6)
+        b = partition_box(np.zeros(5), np.ones(5), 6)
+        for (alo, ahi), (blo, bhi) in zip(a, b):
+            assert np.array_equal(alo, blo)
+            assert np.array_equal(ahi, bhi)
+
+    def test_splits_widest_dimension_first(self):
+        # Box 4 wide in dim 0, 1 wide in dim 1: first split cuts dim 0.
+        zones = partition_box(np.array([0.0, 0.0]), np.array([4.0, 1.0]), 2)
+        (lo0, hi0), (lo1, hi1) = zones
+        assert hi0[0] == pytest.approx(2.0)
+        assert lo1[0] == pytest.approx(2.0)
+        assert hi0[1] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_box(np.ones(2), np.zeros(2), 2)
+        with pytest.raises(ValueError):
+            partition_box(np.zeros(2), np.ones(2), 0)
+        with pytest.raises(ValueError):
+            partition_box(np.zeros((2, 2)), np.ones((2, 2)), 2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    count=st.integers(1, 24),
+    dim=st.integers(1, 6),
+    width=st.floats(min_value=0.5, max_value=100.0),
+)
+def test_property_partition_covers_and_counts(count, dim, width):
+    """Any partition has the right count, stays in the box, and its
+    total volume equals the box volume."""
+    lo = np.zeros(dim)
+    hi = np.full(dim, width)
+    zones = partition_box(lo, hi, count)
+    assert len(zones) == count
+    total = 0.0
+    for z_lo, z_hi in zones:
+        assert np.all(z_lo >= lo - 1e-12)
+        assert np.all(z_hi <= hi + 1e-12)
+        assert np.all(z_lo < z_hi)
+        total += float(np.prod(z_hi - z_lo))
+    assert total == pytest.approx(width**dim, rel=1e-9)

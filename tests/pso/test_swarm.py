@@ -1,0 +1,223 @@
+"""Tests for the core PSO swarm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.functions.counting import CountingFunction
+from repro.functions.suite import Sphere
+from repro.pso.swarm import Swarm
+from repro.utils.config import PSOConfig
+
+
+def make_swarm(k=8, dim=4, seed=0, **pso_kwargs) -> Swarm:
+    return Swarm(
+        Sphere(dim),
+        PSOConfig(particles=k, **pso_kwargs),
+        np.random.default_rng(seed),
+    )
+
+
+class TestInitialization:
+    def test_positions_inside_domain(self):
+        swarm = make_swarm(k=20)
+        f = swarm.function
+        assert np.all(f.contains(swarm.state.positions))
+
+    def test_no_evaluations_at_construction(self):
+        swarm = make_swarm()
+        assert swarm.state.evaluations == 0
+        assert swarm.best_value == np.inf
+        assert np.all(~np.isfinite(swarm.state.pbest_values))
+
+    def test_velocities_within_vmax(self):
+        swarm = make_swarm(k=50, vmax_fraction=0.5)
+        width = swarm.function.domain_width
+        assert np.all(np.abs(swarm.state.velocities) <= 0.5 * width + 1e-12)
+
+    def test_state_shapes(self):
+        swarm = make_swarm(k=7, dim=3)
+        st = swarm.state
+        assert st.positions.shape == (7, 3)
+        assert st.velocities.shape == (7, 3)
+        assert st.size == 7
+        assert st.dimension == 3
+
+
+class TestPerParticleStepping:
+    def test_one_step_one_evaluation(self):
+        f = CountingFunction(Sphere(4))
+        swarm = Swarm(f, PSOConfig(particles=3), np.random.default_rng(0))
+        swarm.step_particle()
+        assert f.evaluations == 1
+        assert swarm.state.evaluations == 1
+
+    def test_cursor_round_robin(self):
+        swarm = make_swarm(k=3)
+        for expected in [1, 2, 0, 1, 2, 0]:
+            swarm.step_particle()
+            assert swarm.state.cursor == expected
+
+    def test_first_visit_evaluates_without_moving(self):
+        swarm = make_swarm(k=2)
+        pos_before = swarm.state.positions[0].copy()
+        swarm.step_particle()
+        assert np.array_equal(swarm.state.positions[0], pos_before)
+        assert np.isfinite(swarm.state.pbest_values[0])
+
+    def test_second_visit_moves(self):
+        swarm = make_swarm(k=1)
+        swarm.step_particle()
+        pos_before = swarm.state.positions[0].copy()
+        swarm.step_particle()
+        assert not np.array_equal(swarm.state.positions[0], pos_before)
+
+    def test_step_evaluations_counts(self):
+        swarm = make_swarm(k=4)
+        assert swarm.step_evaluations(10) == 10
+        assert swarm.state.evaluations == 10
+
+    def test_step_evaluations_negative_raises(self):
+        with pytest.raises(ValueError):
+            make_swarm().step_evaluations(-1)
+
+
+class TestBestTracking:
+    def test_best_monotone_nonincreasing(self):
+        swarm = make_swarm(k=6)
+        bests = []
+        for _ in range(300):
+            swarm.step_particle()
+            bests.append(swarm.best_value)
+        assert all(b2 <= b1 + 1e-15 for b1, b2 in zip(bests, bests[1:]))
+
+    def test_best_is_min_of_pbests_without_injection(self):
+        swarm = make_swarm(k=6)
+        swarm.step_evaluations(120)
+        assert swarm.best_value == pytest.approx(
+            float(np.min(swarm.state.pbest_values))
+        )
+
+    def test_pbest_never_worse_than_any_visited(self):
+        swarm = make_swarm(k=2)
+        visited = []
+        for _ in range(50):
+            visited.append(swarm.step_particle())
+        assert swarm.best_value <= min(visited) + 1e-15
+
+    def test_state_invariants_hold_during_run(self):
+        swarm = make_swarm(k=5)
+        for _ in range(100):
+            swarm.step_particle()
+            swarm.state.validate()
+
+
+class TestInjection:
+    def test_inject_better_adopted(self):
+        swarm = make_swarm(k=2)
+        swarm.step_evaluations(4)
+        target = np.zeros(4)
+        assert swarm.inject_best(target, 1e-30)
+        assert swarm.best_value == 1e-30
+        assert np.array_equal(swarm.best_position, target)
+
+    def test_inject_worse_rejected(self):
+        swarm = make_swarm(k=2)
+        swarm.step_evaluations(4)
+        before = swarm.best_value
+        assert not swarm.inject_best(np.ones(4), before + 1.0)
+        assert swarm.best_value == before
+
+    def test_inject_equal_rejected(self):
+        """Strictly-better rule: ties do not churn the optimum."""
+        swarm = make_swarm(k=2)
+        swarm.step_evaluations(4)
+        before = swarm.best_value
+        pos = swarm.best_position
+        assert not swarm.inject_best(pos + 1.0, before)
+
+    def test_inject_does_not_touch_pbests(self):
+        swarm = make_swarm(k=3)
+        swarm.step_evaluations(6)
+        pbv = swarm.state.pbest_values.copy()
+        swarm.inject_best(np.zeros(4), 1e-30)
+        assert np.array_equal(swarm.state.pbest_values, pbv)
+
+    def test_inject_wrong_shape_raises(self):
+        swarm = make_swarm(k=2)
+        with pytest.raises(ValueError):
+            swarm.inject_best(np.zeros(3), 0.0)
+
+    def test_injected_best_steers_search(self):
+        """After injecting a strong optimum, the swarm concentrates
+        around it — the social attractor redirect the paper relies on."""
+        swarm = make_swarm(k=8, seed=3)
+        swarm.step_evaluations(8)
+        swarm.inject_best(np.zeros(4), 1e-30)
+        for _ in range(40):
+            swarm.step_evaluations(8)
+        mean_dist = float(np.linalg.norm(swarm.state.positions, axis=1).mean())
+        assert mean_dist < 40.0  # domain half-width is 100
+
+
+class TestSynchronousCycle:
+    def test_cycle_costs_k_evaluations(self):
+        f = CountingFunction(Sphere(4))
+        swarm = Swarm(f, PSOConfig(particles=5), np.random.default_rng(0))
+        assert swarm.step_cycle() == 5
+        assert f.evaluations == 5
+
+    def test_first_cycle_establishes_pbests(self):
+        swarm = make_swarm(k=4)
+        swarm.step_cycle()
+        assert np.all(np.isfinite(swarm.state.pbest_values))
+
+    def test_sync_converges_on_sphere(self):
+        swarm = make_swarm(k=16, seed=1)
+        best = swarm.run(16 * 300, synchronous=True)
+        assert best < 1e-6
+
+    def test_async_converges_on_sphere(self):
+        swarm = make_swarm(k=16, seed=1)
+        best = swarm.run(16 * 300, synchronous=False)
+        assert best < 1e-6
+
+    def test_run_rounds_down_to_whole_cycles(self):
+        f = CountingFunction(Sphere(4))
+        swarm = Swarm(f, PSOConfig(particles=8), np.random.default_rng(0))
+        swarm.run(20, synchronous=True)  # 2 cycles of 8
+        assert f.evaluations == 16
+
+    def test_run_negative_raises(self):
+        with pytest.raises(ValueError):
+            make_swarm().run(-1)
+
+
+class TestVelocityClamping:
+    def test_velocities_bounded_forever(self):
+        swarm = make_swarm(k=6, vmax_fraction=0.25)
+        width = swarm.function.domain_width
+        for _ in range(200):
+            swarm.step_particle()
+            assert np.all(np.abs(swarm.state.velocities) <= 0.25 * width + 1e-9)
+
+    def test_unclamped_allowed(self):
+        swarm = make_swarm(k=4, vmax_fraction=None)
+        swarm.step_evaluations(40)  # must simply not error
+        assert swarm.state.evaluations == 40
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self):
+        a = make_swarm(k=5, seed=9)
+        b = make_swarm(k=5, seed=9)
+        a.step_evaluations(50)
+        b.step_evaluations(50)
+        assert np.array_equal(a.state.positions, b.state.positions)
+        assert a.best_value == b.best_value
+
+    def test_different_seed_differs(self):
+        a = make_swarm(k=5, seed=1)
+        b = make_swarm(k=5, seed=2)
+        assert not np.array_equal(a.state.positions, b.state.positions)

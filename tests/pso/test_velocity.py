@@ -1,0 +1,47 @@
+"""Tests for velocity clamping policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.functions.suite import Sphere
+from repro.pso.velocity import domain_fraction_clamp, no_clamp
+
+
+class TestNoClamp:
+    def test_leaves_velocities_untouched(self):
+        clamp = no_clamp()
+        v = np.array([[1e9, -1e9]])
+        before = v.copy()
+        clamp(v)
+        assert np.array_equal(v, before)
+
+
+class TestDomainFractionClamp:
+    def test_clamps_to_fraction(self):
+        f = Sphere(2)  # width 200 per dim
+        clamp = domain_fraction_clamp(f, 0.1)  # vmax = 20
+        v = np.array([[100.0, -100.0], [5.0, -5.0]])
+        clamp(v)
+        assert np.array_equal(v, [[20.0, -20.0], [5.0, -5.0]])
+
+    def test_full_width(self):
+        f = Sphere(2)
+        clamp = domain_fraction_clamp(f, 1.0)
+        v = np.array([[500.0, -500.0]])
+        clamp(v)
+        assert np.array_equal(v, [[200.0, -200.0]])
+
+    def test_in_place(self):
+        f = Sphere(2)
+        clamp = domain_fraction_clamp(f, 0.5)
+        v = np.full((3, 2), 1e6)
+        clamp(v)
+        assert np.all(v == 100.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            domain_fraction_clamp(Sphere(2), 0.0)
+        with pytest.raises(ValueError):
+            domain_fraction_clamp(Sphere(2), -1.0)

@@ -1,0 +1,134 @@
+"""Tests for the cycle-driven engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator.engine import CycleDrivenEngine
+from repro.simulator.network import Network
+from repro.simulator.observers import FunctionObserver, StopCondition
+from repro.simulator.protocol import CycleProtocol
+from repro.utils.exceptions import SimulationError
+
+
+class RecordingProtocol(CycleProtocol):
+    """Records (cycle, node_id) at every callback."""
+
+    PROTOCOL_NAME = "recorder"
+
+    def __init__(self, log: list):
+        self.log = log
+
+    def next_cycle(self, node, engine):
+        self.log.append((engine.cycle, node.node_id))
+
+
+def build(n: int, rng=None):
+    net = Network(rng=rng or np.random.default_rng(0))
+    log: list = []
+    net.populate(n, factory=lambda node: node.attach("recorder", RecordingProtocol(log)))
+    engine = CycleDrivenEngine(net, rng=np.random.default_rng(1))
+    return net, engine, log
+
+
+class TestCycleExecution:
+    def test_every_live_node_called_once_per_cycle(self):
+        net, engine, log = build(5)
+        engine.run(3)
+        assert len(log) == 15
+        for cycle in range(3):
+            ids = sorted(nid for c, nid in log if c == cycle)
+            assert ids == [0, 1, 2, 3, 4]
+
+    def test_returns_cycles_executed(self):
+        _, engine, _ = build(2)
+        assert engine.run(4) == 4
+        assert engine.cycle == 4
+        assert engine.now == 4.0
+
+    def test_zero_cycles(self):
+        _, engine, log = build(2)
+        assert engine.run(0) == 0
+        assert log == []
+
+    def test_negative_cycles_raises(self):
+        _, engine, _ = build(1)
+        with pytest.raises(ValueError):
+            engine.run(-1)
+
+    def test_order_shuffles_between_cycles(self):
+        # With 12 nodes the probability two consecutive cycles share
+        # the identical order is 1/12! — a deterministic-seed test.
+        net, engine, log = build(12)
+        engine.run(2)
+        order0 = [nid for c, nid in log if c == 0]
+        order1 = [nid for c, nid in log if c == 1]
+        assert sorted(order0) == sorted(order1)
+        assert order0 != order1
+
+    def test_dead_nodes_skipped(self):
+        net, engine, log = build(3)
+        net.crash(1)
+        engine.run(2)
+        assert all(nid != 1 for _, nid in log)
+
+    def test_extinct_population_stops(self):
+        net, engine, _ = build(2)
+        net.crash(0)
+        net.crash(1)
+        executed = engine.run(5)
+        assert executed == 0
+        assert engine.stop_reason == "population extinct"
+
+
+class TestStopAndObservers:
+    def test_stop_mid_run(self):
+        net, engine, log = build(3)
+        engine.add_observer(
+            FunctionObserver(lambda eng: eng.stop("enough") if eng.cycle >= 2 else None)
+        )
+        executed = engine.run(10)
+        assert executed == 2
+        assert engine.stop_reason == "enough"
+
+    def test_observers_run_in_registration_order(self):
+        _, engine, _ = build(1)
+        calls = []
+        engine.add_observer(FunctionObserver(lambda e: calls.append("a")))
+        engine.add_observer(FunctionObserver(lambda e: calls.append("b")))
+        engine.run(2)
+        assert calls == ["a", "b", "a", "b"]
+
+    def test_stop_condition_records_trigger_cycle(self):
+        _, engine, _ = build(1)
+        cond = StopCondition(lambda eng: eng.cycle >= 3, reason="done")
+        engine.add_observer(cond)
+        engine.run(10)
+        assert cond.triggered_at == 3
+        assert engine.stop_reason == "done"
+
+    def test_protocol_can_stop_engine(self):
+        class Stopper(CycleProtocol):
+            def next_cycle(self, node, engine):
+                engine.stop("protocol said so")
+
+        net = Network(rng=np.random.default_rng(0))
+        net.populate(3, factory=lambda n: n.attach("s", Stopper()))
+        engine = CycleDrivenEngine(net, rng=np.random.default_rng(1))
+        executed = engine.run(10)
+        assert executed == 0  # stop honored before the cycle completed
+        assert engine.stop_reason == "protocol said so"
+
+    def test_run_after_stop_is_noop(self):
+        _, engine, log = build(2)
+        engine.stop("manual")
+        assert engine.run(5) == 0
+        assert log == []
+
+
+class TestSchedulingUnsupported:
+    def test_cycle_engine_rejects_schedule(self):
+        _, engine, _ = build(1)
+        with pytest.raises(SimulationError):
+            engine.schedule(1.0, lambda e: None)

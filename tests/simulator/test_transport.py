@@ -1,0 +1,145 @@
+"""Tests for message transports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator.engine import CycleDrivenEngine, EventDrivenEngine
+from repro.simulator.network import Network
+from repro.simulator.protocol import EventProtocol
+from repro.simulator.transport import (
+    LossyTransport,
+    ReliableTransport,
+    UniformLatencyTransport,
+)
+from repro.utils.exceptions import ProtocolError
+
+
+class Inbox(EventProtocol):
+    PROTOCOL_NAME = "inbox"
+
+    def __init__(self):
+        self.received = []
+
+    def deliver(self, node, engine, message):
+        self.received.append((engine.now, message.src, message.payload))
+
+
+def build_pair(transport_factory=None, engine_cls=CycleDrivenEngine):
+    net = Network(rng=np.random.default_rng(0))
+    inboxes = []
+
+    def factory(node):
+        box = Inbox()
+        inboxes.append(box)
+        node.attach("inbox", box)
+
+    net.populate(2, factory=factory)
+    transport = transport_factory() if transport_factory else ReliableTransport()
+    engine = engine_cls(net, transport=transport, rng=np.random.default_rng(1))
+    return net, engine, inboxes
+
+
+class TestReliableTransport:
+    def test_immediate_delivery(self):
+        net, engine, inboxes = build_pair()
+        ok = engine.transport.send(engine, 0, 1, "inbox", "hello")
+        assert ok
+        assert inboxes[1].received == [(0.0, 0, "hello")]
+        assert engine.transport.stats.sent == 1
+        assert engine.transport.stats.delivered == 1
+
+    def test_message_to_dead_node_vanishes(self):
+        net, engine, inboxes = build_pair()
+        net.crash(1)
+        ok = engine.transport.send(engine, 0, 1, "inbox", "hello")
+        assert ok  # accepted; loss is invisible to sender
+        assert inboxes[1].received == []
+        assert engine.transport.stats.to_dead == 1
+
+    def test_missing_protocol_is_programming_error(self):
+        net, engine, _ = build_pair()
+        with pytest.raises(ProtocolError):
+            engine.transport.send(engine, 0, 1, "nope", "x")
+
+    def test_send_convenience_on_protocol(self):
+        net, engine, inboxes = build_pair()
+        inboxes[0].send(engine, 0, 1, {"k": 1})
+        assert inboxes[1].received[0][2] == {"k": 1}
+
+
+class TestLossyTransport:
+    def test_zero_loss_delivers_everything(self):
+        factory = lambda: LossyTransport(
+            ReliableTransport(), 0.0, np.random.default_rng(2)
+        )
+        net, engine, inboxes = build_pair(factory)
+        for i in range(50):
+            engine.transport.send(engine, 0, 1, "inbox", i)
+        assert len(inboxes[1].received) == 50
+
+    def test_loss_rate_statistics(self):
+        factory = lambda: LossyTransport(
+            ReliableTransport(), 0.3, np.random.default_rng(2)
+        )
+        net, engine, inboxes = build_pair(factory)
+        n = 2000
+        accepted = sum(
+            engine.transport.send(engine, 0, 1, "inbox", i) for i in range(n)
+        )
+        delivered = len(inboxes[1].received)
+        assert accepted == delivered
+        assert 0.6 * n < delivered < 0.8 * n  # ≈ 70%
+        assert engine.transport.stats.dropped == n - delivered
+
+    def test_invalid_loss_rate(self):
+        with pytest.raises(ValueError):
+            LossyTransport(ReliableTransport(), 1.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            LossyTransport(ReliableTransport(), -0.1, np.random.default_rng(0))
+
+
+class TestUniformLatencyTransport:
+    def test_delivery_after_delay(self):
+        factory = lambda: UniformLatencyTransport(
+            np.random.default_rng(3), min_delay=2.0, max_delay=4.0
+        )
+        net, engine, inboxes = build_pair(factory, engine_cls=EventDrivenEngine)
+        engine.transport.send(engine, 0, 1, "inbox", "delayed")
+        assert inboxes[1].received == []  # not yet
+        engine.run()
+        assert len(inboxes[1].received) == 1
+        t, src, payload = inboxes[1].received[0]
+        assert 2.0 <= t <= 4.0
+
+    def test_messages_can_reorder(self):
+        factory = lambda: UniformLatencyTransport(
+            np.random.default_rng(7), min_delay=1.0, max_delay=10.0
+        )
+        net, engine, inboxes = build_pair(factory, engine_cls=EventDrivenEngine)
+        for i in range(20):
+            engine.transport.send(engine, 0, 1, "inbox", i)
+        engine.run()
+        payloads = [p for _, _, p in inboxes[1].received]
+        assert sorted(payloads) == list(range(20))
+        assert payloads != list(range(20))  # at least one inversion
+
+    def test_dead_destination_at_delivery_time(self):
+        factory = lambda: UniformLatencyTransport(
+            np.random.default_rng(3), min_delay=5.0, max_delay=5.0
+        )
+        net, engine, inboxes = build_pair(factory, engine_cls=EventDrivenEngine)
+        engine.transport.send(engine, 0, 1, "inbox", "x")
+        net.crash(1)  # dies while message in flight
+        engine.run()
+        assert inboxes[1].received == []
+        assert engine.transport.stats.to_dead == 1
+
+    def test_invalid_delays(self):
+        with pytest.raises(ValueError):
+            UniformLatencyTransport(np.random.default_rng(0), min_delay=-1.0)
+        with pytest.raises(ValueError):
+            UniformLatencyTransport(
+                np.random.default_rng(0), min_delay=5.0, max_delay=1.0
+            )

@@ -1,0 +1,53 @@
+"""Run the library's docstring examples as tests.
+
+Every ``>>>`` example in the public API must actually work — stale
+examples are worse than none.  Modules with expensive examples list
+explicit skips.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+#: Modules whose doctests are too expensive or environment-dependent.
+_SKIP = {
+    "repro",  # package quickstart runs a real experiment — tested below
+}
+
+
+def _all_modules():
+    out = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        out.append(info.name)
+    return sorted(out)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name):
+    if module_name in _SKIP:
+        pytest.skip("expensive example, covered separately")
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+    )
+    assert results.failed == 0, f"{module_name}: {results.failed} doctest failures"
+
+
+def test_package_quickstart_example():
+    """The README/package-docstring quickstart, executed for real."""
+    from repro import ExperimentConfig, run_experiment
+
+    config = ExperimentConfig(
+        function="sphere", nodes=16, particles_per_node=8,
+        total_evaluations=16_000, gossip_cycle=8,
+        repetitions=3, seed=42,
+    )
+    result = run_experiment(config)
+    assert result.quality_stats.mean < 1.0

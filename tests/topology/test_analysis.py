@@ -1,0 +1,85 @@
+"""Tests for overlay graph extraction and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator.network import Network
+from repro.topology.analysis import overlay_digraph, overlay_metrics, path_length_sample
+from repro.topology.static import StaticTopologyProtocol
+
+
+def build_static_network(adjacency: dict[int, list[int]], protocol="topology") -> Network:
+    net = Network(rng=np.random.default_rng(0))
+    for i in sorted(adjacency):
+        node = net.create_node()
+        node.attach(protocol, StaticTopologyProtocol(adjacency[i]))
+    return net
+
+
+class TestOverlayDigraph:
+    def test_edges_follow_views(self):
+        net = build_static_network({0: [1], 1: [2], 2: []})
+        g = overlay_digraph(net, "topology")
+        assert set(g.edges) == {(0, 1), (1, 2)}
+
+    def test_live_only_filters_dead(self):
+        net = build_static_network({0: [1, 2], 1: [0], 2: [0]})
+        net.crash(2)
+        g = overlay_digraph(net, "topology")
+        assert 2 not in g.nodes
+        assert set(g.edges) == {(0, 1), (1, 0)}
+
+    def test_nodes_without_protocol_included_as_isolates(self):
+        net = Network(rng=np.random.default_rng(0))
+        net.create_node()  # no protocol attached
+        g = overlay_digraph(net, "topology")
+        assert list(g.nodes) == [0]
+        assert g.number_of_edges() == 0
+
+
+class TestOverlayMetrics:
+    def test_ring_metrics(self):
+        adjacency = {i: [(i + 1) % 6, (i - 1) % 6] for i in range(6)}
+        net = build_static_network(adjacency)
+        m = overlay_metrics(net, "topology")
+        assert m.nodes == 6
+        assert m.weakly_connected
+        assert m.mean_out_degree == pytest.approx(2.0)
+        assert m.stale_fraction == 0.0
+
+    def test_disconnected_detected(self):
+        net = build_static_network({0: [1], 1: [0], 2: [3], 3: [2]})
+        assert not overlay_metrics(net, "topology").weakly_connected
+
+    def test_stale_fraction_counts_dead_targets(self):
+        net = build_static_network({0: [1, 2], 1: [0], 2: [0]})
+        net.crash(2)
+        m = overlay_metrics(net, "topology")
+        # Views: 0->[1,2] (one stale), 1->[0]. 2 is dead (excluded).
+        assert m.stale_fraction == pytest.approx(1 / 3)
+
+    def test_empty_network(self):
+        net = Network(rng=np.random.default_rng(0))
+        m = overlay_metrics(net, "topology")
+        assert m.nodes == 0
+        assert not m.weakly_connected
+
+
+class TestPathLength:
+    def test_ring_path_length(self, rng):
+        n = 8
+        adjacency = {i: [(i + 1) % n, (i - 1) % n] for i in range(n)}
+        net = build_static_network(adjacency)
+        mean_len = path_length_sample(net, "topology", pairs=300, rng=rng)
+        # Ring of 8: expected distance over distinct pairs is 16/7 ≈ 2.29.
+        assert 1.8 < mean_len < 2.8
+
+    def test_disconnected_gives_inf(self, rng):
+        net = build_static_network({0: [1], 1: [0], 2: [], 3: []})
+        assert path_length_sample(net, "topology", pairs=50, rng=rng) == float("inf")
+
+    def test_trivial_networks(self, rng):
+        net = build_static_network({0: []})
+        assert path_length_sample(net, "topology", rng=rng) == 0.0

@@ -1,0 +1,196 @@
+"""NEWSCAST behaviour tests against the protocol's published claims.
+
+The claims (paper Sec. 3.3.1 and Jelasity et al.): emergent overlay is
+close to a random graph with out-degree ``c``; strongly connected in
+practice for ``c ≈ 20``; views are near-uniform samples; crashed nodes
+age out of views (self-repair).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator.engine import CycleDrivenEngine
+from repro.simulator.network import Network
+from repro.topology.analysis import overlay_digraph, overlay_metrics
+from repro.topology.newscast import NewscastProtocol, bootstrap_views
+from repro.utils.config import NewscastConfig
+from repro.utils.rng import SeedSequenceTree
+
+
+def build_newscast_network(
+    n: int, view_size: int = 20, seed: int = 0, contacts: int | None = None
+) -> tuple[Network, CycleDrivenEngine]:
+    tree = SeedSequenceTree(seed)
+    net = Network(rng=tree.rng("network"))
+    cfg = NewscastConfig(view_size=view_size)
+
+    def factory(node):
+        node.attach(
+            NewscastProtocol.PROTOCOL_NAME,
+            NewscastProtocol(cfg, tree.rng("node", node.node_id)),
+        )
+
+    net.populate(n, factory=factory)
+    bootstrap_views(net, tree.rng("bootstrap"), contacts_per_node=contacts)
+    engine = CycleDrivenEngine(net, rng=tree.rng("engine"))
+    return net, engine
+
+
+class TestBootstrap:
+    def test_every_node_gets_contacts(self):
+        net, _ = build_newscast_network(50, contacts=3)
+        for node in net.live_nodes():
+            proto = node.protocol("newscast")
+            assert 1 <= proto.view_size <= 3
+            assert node.node_id not in proto.view
+
+    def test_single_node_network_no_contacts(self):
+        net, engine = build_newscast_network(1)
+        assert net.node(0).protocol("newscast").view_size == 0
+        engine.run(3)  # must not crash
+
+    def test_default_fills_view(self):
+        net, _ = build_newscast_network(50, view_size=10)
+        for node in net.live_nodes():
+            assert node.protocol("newscast").view_size == 10
+
+    def test_contacts_capped_at_population(self):
+        net, _ = build_newscast_network(3, contacts=10)
+        for node in net.live_nodes():
+            assert node.protocol("newscast").view_size <= 2
+
+    def test_invalid_contacts(self):
+        net, _ = build_newscast_network(5)
+        with pytest.raises(ValueError):
+            bootstrap_views(net, np.random.default_rng(0), contacts_per_node=0)
+
+
+class TestViewDynamics:
+    def test_views_fill_to_capacity(self):
+        net, engine = build_newscast_network(60, view_size=10)
+        engine.run(15)
+        sizes = [node.protocol("newscast").view_size for node in net.live_nodes()]
+        assert np.mean(sizes) > 9.0
+
+    def test_view_never_contains_self(self):
+        net, engine = build_newscast_network(30, view_size=8)
+        engine.run(20)
+        for node in net.live_nodes():
+            assert node.node_id not in node.protocol("newscast").view
+
+    def test_views_capped_at_c(self):
+        net, engine = build_newscast_network(60, view_size=7)
+        engine.run(20)
+        for node in net.live_nodes():
+            assert node.protocol("newscast").view_size <= 7
+
+    def test_exchange_counters_advance(self):
+        net, engine = build_newscast_network(20)
+        engine.run(10)
+        initiated = sum(
+            node.protocol("newscast").exchanges_initiated for node in net.live_nodes()
+        )
+        received = sum(
+            node.protocol("newscast").exchanges_received for node in net.live_nodes()
+        )
+        assert initiated == received
+        assert initiated > 100  # ~20 nodes * 10 cycles
+
+
+class TestEmergentOverlay:
+    def test_connectivity_at_c20(self):
+        net, engine = build_newscast_network(200, view_size=20, seed=3)
+        engine.run(30)
+        metrics = overlay_metrics(net)
+        assert metrics.weakly_connected
+        assert metrics.mean_out_degree > 19.0
+
+    def test_in_degree_concentrates(self):
+        """Random-graph-like overlay: in-degree spread stays moderate
+        (no hubs), per the NEWSCAST random-graph claim."""
+        net, engine = build_newscast_network(200, view_size=20, seed=3)
+        engine.run(30)
+        metrics = overlay_metrics(net)
+        assert metrics.max_in_degree < 4 * metrics.mean_out_degree
+
+    def test_views_mix_over_time(self):
+        """Entries turn over: a node's view after mixing differs from
+        its bootstrap contacts."""
+        net, engine = build_newscast_network(100, view_size=5, seed=1, contacts=5)
+        before = {
+            node.node_id: set(node.protocol("newscast").view.ids())
+            for node in net.live_nodes()
+        }
+        engine.run(25)
+        changed = sum(
+            set(net.node(nid).protocol("newscast").view.ids()) != view
+            for nid, view in before.items()
+        )
+        assert changed > 90
+
+    def test_peer_sampling_near_uniform(self):
+        """Aggregated over time, sampled peers cover the population
+        without heavy bias (coefficient of variation < 0.7)."""
+        net, engine = build_newscast_network(64, view_size=16, seed=5)
+        engine.run(10)
+        rng = np.random.default_rng(9)
+        counts = np.zeros(64)
+        for _ in range(40):
+            engine.run(1)
+            for node in net.live_nodes():
+                peer = node.protocol("newscast").sample_peer(node, rng)
+                if peer is not None:
+                    counts[peer] += 1
+        assert counts.min() > 0
+        assert counts.std() / counts.mean() < 0.7
+
+
+class TestSelfRepair:
+    def test_crashed_nodes_age_out(self):
+        net, engine = build_newscast_network(120, view_size=10, seed=7)
+        engine.run(15)
+        for nid in range(30):  # kill 25% of the network
+            net.crash(nid)
+        stale_before = overlay_metrics(net).stale_fraction
+        assert stale_before > 0.05  # crash left dangling entries
+        engine.run(25)
+        stale_after = overlay_metrics(net).stale_fraction
+        assert stale_after < stale_before / 2
+        assert stale_after < 0.05
+
+    def test_overlay_reconnects_after_crash_wave(self):
+        net, engine = build_newscast_network(150, view_size=20, seed=7)
+        engine.run(15)
+        for nid in range(50):
+            net.crash(nid)
+        engine.run(15)
+        assert overlay_metrics(net).weakly_connected
+
+    def test_joiner_is_absorbed(self):
+        net, engine = build_newscast_network(40, view_size=10, seed=2)
+        engine.run(10)
+        tree = SeedSequenceTree(123)
+        joiner = net.create_node(birth_cycle=engine.cycle)
+        proto = NewscastProtocol(NewscastConfig(view_size=10), tree.rng("j"))
+        joiner.attach("newscast", proto)
+        proto.on_join(joiner, engine)
+        assert proto.view_size == 1  # bootstrap contact
+        engine.run(10)
+        assert proto.view_size > 5
+        # And others learned about the joiner:
+        g = overlay_digraph(net)
+        assert g.in_degree(joiner.node_id) > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_overlay(self):
+        net_a, eng_a = build_newscast_network(50, seed=11)
+        net_b, eng_b = build_newscast_network(50, seed=11)
+        eng_a.run(10)
+        eng_b.run(10)
+        for nid in range(50):
+            va = sorted(net_a.node(nid).protocol("newscast").view.ids())
+            vb = sorted(net_b.node(nid).protocol("newscast").view.ids())
+            assert va == vb

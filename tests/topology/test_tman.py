@@ -1,0 +1,191 @@
+"""Tests for T-Man topology construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator.engine import CycleDrivenEngine
+from repro.simulator.network import Network
+from repro.topology.newscast import NewscastProtocol, bootstrap_views
+from repro.topology.tman import (
+    TManProtocol,
+    line_distance,
+    ring_distance,
+    target_neighbors,
+)
+from repro.utils.config import NewscastConfig
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import SeedSequenceTree
+
+
+def build_tman_network(n, view_size=4, seed=0, rank=None, with_newscast=True):
+    tree = SeedSequenceTree(seed)
+    net = Network(rng=tree.rng("network"))
+    rank = rank if rank is not None else ring_distance(n)
+
+    def factory(node):
+        nid = node.node_id
+        if with_newscast:
+            node.attach(
+                "newscast",
+                NewscastProtocol(NewscastConfig(view_size=10), tree.rng("nc", nid)),
+            )
+        node.attach(
+            "tman",
+            TManProtocol(
+                rank,
+                view_size,
+                tree.rng("tman", nid),
+                peer_sampling_protocol="newscast" if with_newscast else None,
+            ),
+        )
+
+    net.populate(n, factory=factory)
+    if with_newscast:
+        bootstrap_views(net, tree.rng("bootstrap"))
+    # Seed T-Man views with one random contact each.
+    rng = tree.rng("tman-bootstrap")
+    live = net.live_ids()
+    for nid in live:
+        others = [x for x in live if x != nid]
+        net.node(nid).protocol("tman").view.add(
+            others[int(rng.integers(len(others)))]
+        )
+    engine = CycleDrivenEngine(net, rng=tree.rng("engine"))
+    return net, engine
+
+
+def ring_score(net, n, view_size) -> float:
+    """Fraction of ideal ring neighbors present across all views."""
+    rank = ring_distance(n)
+    ids = net.live_ids()
+    hits = 0
+    total = 0
+    for nid in ids:
+        ideal = target_neighbors(rank, nid, ids, view_size)
+        got = set(net.node(nid).protocol("tman").view)
+        hits += len(ideal & got)
+        total += len(ideal)
+    return hits / total
+
+
+class TestRankingFunctions:
+    def test_ring_distance_wraps(self):
+        rank = ring_distance(10)
+        assert rank(0, 1) == 1.0
+        assert rank(0, 9) == 1.0  # wrap
+        assert rank(0, 5) == 5.0
+        assert rank(3, 3) == 0.0
+
+    def test_ring_requires_two(self):
+        with pytest.raises(ConfigurationError):
+            ring_distance(1)
+
+    def test_line_distance(self):
+        rank = line_distance()
+        assert rank(2, 7) == 5.0
+        assert rank(7, 2) == 5.0
+
+
+class TestConstruction:
+    def test_converges_to_ring(self):
+        n, c = 40, 4
+        net, engine = build_tman_network(n, view_size=c, seed=1)
+        initial = ring_score(net, n, c)
+        engine.run(30)
+        final = ring_score(net, n, c)
+        assert final > 0.9
+        assert final > initial
+
+    def test_stalls_without_peer_sampling(self):
+        """Documented failure mode: without the random-peer escape
+        hatch, rank-greedy exchanges reach a frozen configuration and
+        construction stalls — the reason T-Man is specified *on top
+        of* a peer-sampling service."""
+        n, c = 16, 4
+        net, engine = build_tman_network(n, view_size=c, seed=2, with_newscast=False)
+        engine.run(10)
+        frozen = ring_score(net, n, c)
+        engine.run(70)
+        assert ring_score(net, n, c) == pytest.approx(frozen)
+        assert frozen < 0.7  # nowhere near the target structure
+
+    def test_line_target(self):
+        n, c = 24, 2
+        net, engine = build_tman_network(
+            n, view_size=c, seed=3, rank=line_distance()
+        )
+        engine.run(40)
+        # Interior nodes should know their immediate line neighbors.
+        hits = 0
+        for nid in range(1, n - 1):
+            view = net.node(nid).protocol("tman").view
+            hits += (nid - 1 in view) + (nid + 1 in view)
+        assert hits / (2 * (n - 2)) > 0.8
+
+    def test_views_bounded(self):
+        net, engine = build_tman_network(30, view_size=3, seed=4)
+        engine.run(25)
+        for node in net.live_nodes():
+            assert len(node.protocol("tman").view) <= 3
+            assert node.node_id not in node.protocol("tman").view
+
+
+class TestFailureHandling:
+    def test_dead_neighbors_evicted_on_contact(self):
+        net, engine = build_tman_network(30, view_size=4, seed=5)
+        engine.run(20)
+        for nid in range(8):
+            net.crash(nid)
+        engine.run(20)
+        for node in net.live_nodes():
+            dead_in_view = [
+                b for b in node.protocol("tman").view if not net.is_alive(b)
+            ]
+            # Rank-based eviction only happens on contact; by 20 cycles
+            # almost everything stale is gone.
+            assert len(dead_in_view) <= 1
+
+    def test_joiner_integrates(self):
+        n, c = 30, 4
+        net, engine = build_tman_network(n, view_size=c, seed=6)
+        engine.run(20)
+        tree = SeedSequenceTree(99)
+        joiner = net.create_node()
+        joiner.attach(
+            "newscast",
+            NewscastProtocol(NewscastConfig(view_size=10), tree.rng("nc")),
+        )
+        proto = TManProtocol(
+            ring_distance(n + 1), c, tree.rng("tm"),
+            peer_sampling_protocol="newscast",
+        )
+        joiner.attach("tman", proto)
+        for name in ("newscast", "tman"):
+            joiner.protocol(name).on_join(joiner, engine)
+        engine.run(25)
+        # The joiner (id 30 in a 31-ring) should have found neighbors
+        # near itself.
+        rank = ring_distance(n + 1)
+        assert proto.view
+        mean_rank = np.mean([rank(30, b) for b in proto.view])
+        assert mean_rank < 6.0
+
+
+class TestValidation:
+    def test_bad_view_size(self):
+        with pytest.raises(ConfigurationError):
+            TManProtocol(ring_distance(4), 0, np.random.default_rng(0))
+
+    def test_bad_random_fraction(self):
+        with pytest.raises(ConfigurationError):
+            TManProtocol(
+                ring_distance(4), 2, np.random.default_rng(0),
+                random_fraction=1.5,
+            )
+
+    def test_target_neighbors_helper(self):
+        rank = ring_distance(8)
+        ideal = target_neighbors(rank, 0, range(8), 2)
+        assert ideal == {1, 7}

@@ -1,0 +1,186 @@
+"""Tests for partial views — including the NEWSCAST merge properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.views import NodeDescriptor, PartialView
+
+
+def d(nid: int, ts: float) -> NodeDescriptor:
+    return NodeDescriptor(nid, ts)
+
+
+class TestDescriptor:
+    def test_fresher_than(self):
+        assert d(1, 2.0).fresher_than(d(1, 1.0))
+        assert not d(1, 1.0).fresher_than(d(1, 1.0))
+        assert not d(1, 0.5).fresher_than(d(1, 1.0))
+
+    def test_frozen_and_hashable(self):
+        desc = d(1, 2.0)
+        assert hash(desc) == hash(d(1, 2.0))
+        with pytest.raises(AttributeError):
+            desc.node_id = 5  # type: ignore[misc]
+
+
+class TestPartialViewBasics:
+    def test_empty(self):
+        view = PartialView(4)
+        assert len(view) == 0
+        assert view.ids() == []
+        assert view.sample(np.random.default_rng(0)) is None
+        assert view.oldest() is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PartialView(0)
+
+    def test_initial_entries_deduplicated(self):
+        view = PartialView(4, [d(1, 1.0), d(1, 3.0), d(2, 2.0)])
+        assert len(view) == 2
+        assert view.timestamp_of(1) == 3.0
+
+    def test_contains_and_timestamp(self):
+        view = PartialView(4, [d(7, 1.5)])
+        assert 7 in view
+        assert 8 not in view
+        assert view.timestamp_of(7) == 1.5
+        assert view.timestamp_of(8) is None
+
+    def test_remove(self):
+        view = PartialView(4, [d(1, 1.0)])
+        assert view.remove(1)
+        assert not view.remove(1)
+        assert len(view) == 0
+
+    def test_oldest(self):
+        view = PartialView(4, [d(1, 5.0), d(2, 1.0), d(3, 3.0)])
+        assert view.oldest().node_id == 2
+
+    def test_copy_is_independent(self):
+        view = PartialView(4, [d(1, 1.0)])
+        clone = view.copy()
+        clone.remove(1)
+        assert 1 in view
+
+
+class TestMerge:
+    def test_keeps_freshest_per_id(self):
+        view = PartialView(4, [d(1, 1.0)])
+        view.merge([d(1, 5.0)], own_id=99)
+        assert view.timestamp_of(1) == 5.0
+
+    def test_stale_incoming_ignored(self):
+        view = PartialView(4, [d(1, 5.0)])
+        view.merge([d(1, 1.0)], own_id=99)
+        assert view.timestamp_of(1) == 5.0
+
+    def test_own_entry_dropped(self):
+        view = PartialView(4, [d(1, 1.0)])
+        view.merge([d(99, 10.0), d(2, 2.0)], own_id=99)
+        assert 99 not in view
+        assert 2 in view
+
+    def test_truncates_to_freshest(self):
+        view = PartialView(2, [d(1, 1.0), d(2, 2.0)])
+        view.merge([d(3, 3.0), d(4, 4.0)], own_id=99)
+        assert sorted(view.ids()) == [3, 4]
+
+    def test_truncation_tiebreak_deterministic(self):
+        view = PartialView(2)
+        view.merge([d(1, 1.0), d(2, 1.0), d(3, 1.0)], own_id=99)
+        # Equal timestamps: ids descending win.
+        assert sorted(view.ids()) == [2, 3]
+
+    def test_sample_uniform_over_entries(self):
+        view = PartialView(8, [d(i, 1.0) for i in range(4)])
+        rng = np.random.default_rng(0)
+        counts = {i: 0 for i in range(4)}
+        for _ in range(4000):
+            counts[view.sample(rng).node_id] += 1
+        for c in counts.values():
+            assert 800 < c < 1200
+
+
+# -- property-based merge laws -----------------------------------------------
+
+descriptor_lists = st.lists(
+    st.builds(
+        NodeDescriptor,
+        node_id=st.integers(min_value=0, max_value=30),
+        timestamp=st.floats(min_value=0, max_value=100, allow_nan=False),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(entries=descriptor_lists, incoming=descriptor_lists,
+       capacity=st.integers(1, 10), own=st.integers(0, 30))
+def test_property_merge_invariants(entries, incoming, capacity, own):
+    """After any merge: size bound, no self entry, no duplicate ids,
+    and every kept id carries its freshest known timestamp."""
+    view = PartialView(capacity, entries)
+    view.merge(incoming, own_id=own)
+
+    assert len(view) <= capacity
+    assert own not in view
+    ids = view.ids()
+    assert len(ids) == len(set(ids))
+
+    freshest: dict[int, float] = {}
+    for desc in list(entries) + list(incoming):
+        if desc.timestamp > freshest.get(desc.node_id, -1.0):
+            freshest[desc.node_id] = desc.timestamp
+    for desc in view:
+        assert desc.timestamp == freshest[desc.node_id]
+
+
+@settings(max_examples=60, deadline=None)
+@given(entries=descriptor_lists, incoming=descriptor_lists,
+       capacity=st.integers(1, 10), own=st.integers(0, 30))
+def test_property_merge_idempotent(entries, incoming, capacity, own):
+    """Merging the same batch twice equals merging it once."""
+    once = PartialView(capacity, entries)
+    once.merge(incoming, own_id=own)
+    twice = PartialView(capacity, entries)
+    twice.merge(incoming, own_id=own)
+    twice.merge(incoming, own_id=own)
+    assert sorted(once.descriptors()) == sorted(twice.descriptors())
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=descriptor_lists, b=descriptor_lists, own=st.integers(0, 30))
+def test_property_merge_order_insensitive_when_capacity_suffices(a, b, own):
+    """With no truncation pressure, merge order cannot matter."""
+    cap = 128  # > max possible distinct ids
+    ab = PartialView(cap)
+    ab.merge(a, own_id=own)
+    ab.merge(b, own_id=own)
+    ba = PartialView(cap)
+    ba.merge(b, own_id=own)
+    ba.merge(a, own_id=own)
+    assert sorted(ab.descriptors()) == sorted(ba.descriptors())
+
+
+@settings(max_examples=60, deadline=None)
+@given(entries=descriptor_lists, capacity=st.integers(1, 10))
+def test_property_truncation_keeps_freshest(entries, capacity):
+    """Truncation never keeps an entry strictly staler than one it
+    dropped."""
+    view = PartialView(capacity)
+    view.merge(entries, own_id=-1)
+    kept = {desc.node_id: desc.timestamp for desc in view}
+    freshest: dict[int, float] = {}
+    for desc in entries:
+        if desc.timestamp > freshest.get(desc.node_id, -1.0):
+            freshest[desc.node_id] = desc.timestamp
+    dropped_ts = [ts for nid, ts in freshest.items() if nid not in kept]
+    if dropped_ts and kept:
+        assert min(kept.values()) >= max(dropped_ts) or len(kept) == capacity
+        # Stronger: every kept ts >= every dropped ts when full.
+        if len(kept) == capacity:
+            assert min(kept.values()) >= max(dropped_ts) - 1e-12
