@@ -1,0 +1,158 @@
+"""Machine-readable micro-benchmark runner.
+
+Times the simulator's hot paths with plain ``perf_counter`` loops (no
+pytest dependency) and emits a JSON report so the performance
+trajectory of the repo can be tracked PR-over-PR::
+
+    PYTHONPATH=src python benchmarks/run_bench.py                 # full
+    PYTHONPATH=src python benchmarks/run_bench.py --quick         # CI smoke
+    PYTHONPATH=src python benchmarks/run_bench.py -o BENCH_1.json
+
+Schema of the emitted file::
+
+    {
+      "schema": "repro-bench/1",
+      "environment": {"python": ..., "numpy": ...},
+      "parameters": {"nodes": ..., "particles": ..., "rounds": ...},
+      "benches": {"<name>": {"mean_s": ..., "stddev_s": ..., "rounds": N}},
+      "derived": {"fast_vs_reference_speedup": ...}
+    }
+
+The headline number is ``fast_vs_reference_speedup``: wall-clock ratio
+of one reference-engine cycle to one fast-engine cycle on the exp2
+smoke scenario (n=1000, k=16, r=k).  This PR's floor is 10x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.fastpath import FastEngine
+from repro.core.runner import _build_network
+from repro.functions.base import get_function
+from repro.pso.swarm import Swarm
+from repro.simulator.engine import CycleDrivenEngine
+from repro.utils.config import ExperimentConfig, PSOConfig
+from repro.utils.rng import SeedSequenceTree
+
+DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_1.json"
+
+
+def _time(fn, rounds: int, warmup: int = 1) -> dict[str, float]:
+    """Median-of-rounds timing; mean/stddev reported for the record."""
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return {
+        "mean_s": statistics.fmean(samples),
+        "stddev_s": statistics.pstdev(samples),
+        "median_s": statistics.median(samples),
+        "rounds": rounds,
+    }
+
+
+def engine_pair(nodes: int, particles: int):
+    """A fast and a reference engine on the same scenario, with a
+    budget far beyond the timed cycles so stepping never stalls."""
+    config = ExperimentConfig(
+        function="sphere",
+        nodes=nodes,
+        particles_per_node=particles,
+        total_evaluations=10**9,
+        gossip_cycle=particles,
+        seed=1,
+    )
+    fast = FastEngine(config)
+
+    tree = SeedSequenceTree(config.seed).subtree("rep", 0)
+    network, _ = _build_network(config, get_function(config.function), tree)
+    reference = CycleDrivenEngine(network, rng=tree.rng("engine"))
+    return fast, reference
+
+
+def run_benches(nodes: int, particles: int, rounds: int, ref_rounds: int) -> dict:
+    benches: dict[str, dict] = {}
+
+    f = get_function("sphere")
+    pts = f.sample_uniform(np.random.default_rng(0), 1000)
+    benches["sphere_batch_1k"] = _time(lambda: f.batch(pts), rounds)
+
+    swarm = Swarm(f, PSOConfig(particles=16), np.random.default_rng(0))
+    benches["swarm_step_cycle_k16"] = _time(swarm.step_cycle, rounds)
+
+    swarm2 = Swarm(f, PSOConfig(particles=16), np.random.default_rng(0))
+    benches["swarm_step_particle"] = _time(swarm2.step_particle, rounds)
+
+    fast, reference = engine_pair(nodes, particles)
+    benches[f"fast_engine_cycle_n{nodes}_k{particles}"] = _time(
+        fast.run_one_cycle, rounds, warmup=2
+    )
+    benches[f"reference_engine_cycle_n{nodes}_k{particles}"] = _time(
+        lambda: reference.run(1), ref_rounds, warmup=1
+    )
+
+    speedup = (
+        benches[f"reference_engine_cycle_n{nodes}_k{particles}"]["median_s"]
+        / benches[f"fast_engine_cycle_n{nodes}_k{particles}"]["median_s"]
+    )
+    return {
+        "schema": "repro-bench/1",
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "parameters": {
+            "nodes": nodes,
+            "particles": particles,
+            "rounds": rounds,
+            "reference_rounds": ref_rounds,
+        },
+        "benches": benches,
+        "derived": {"fast_vs_reference_speedup": round(speedup, 2)},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "-o", "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"JSON report path (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small scenario + few rounds (CI smoke): n=200, 5 rounds",
+    )
+    parser.add_argument("--nodes", type=int, default=None)
+    parser.add_argument("--particles", type=int, default=16)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        nodes, rounds, ref_rounds = args.nodes or 200, 5, 2
+    else:
+        nodes, rounds, ref_rounds = args.nodes or 1000, 20, 5
+
+    report = run_benches(nodes, args.particles, rounds, ref_rounds)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    for name, stats in report["benches"].items():
+        print(f"{name:45s} {1e3 * stats['median_s']:10.3f} ms (median)")
+    print(f"{'fast_vs_reference_speedup':45s} {report['derived']['fast_vs_reference_speedup']:10.2f} x")
+    print(f"report written to {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -61,7 +61,7 @@ class DistributedPSOService(OptimizationService):
         return self.swarm.step_particle()
 
     def step_evaluations(self, count: int) -> int:
-        """Spend ``count`` evaluations, vectorizing where fidelity allows.
+        """Spend up to ``count`` evaluations, vectorizing where fidelity allows.
 
         When the request covers whole synchronous sweeps (``count`` a
         multiple of the swarm size and the round-robin cursor at 0),
@@ -69,15 +69,24 @@ class DistributedPSOService(OptimizationService):
         used — identical semantics at ``r = k`` (gossip after every
         full sweep, the paper's default) and an order of magnitude
         faster.  Otherwise falls back to per-particle stepping.
+
+        Returns the evaluations actually performed, which (like
+        :meth:`~repro.pso.swarm.Swarm.step_evaluations`) may be fewer
+        than requested when the wrapped function's budget runs out.
         """
         if count < 0:
             raise ValueError("count must be non-negative")
-        k = self.swarm.state.size
-        if count % k == 0 and self.swarm.state.cursor == 0:
+        swarm = self.swarm
+        k = swarm.state.size
+        if count % k == 0 and swarm.state.cursor == 0:
+            budgeted = getattr(swarm.function, "remaining", None) is not None
+            done = 0
             for _ in range(count // k):
-                self.swarm.step_cycle()
-            return count
-        return self.swarm.step_evaluations(count)
+                if budgeted and swarm.function.remaining < k:
+                    return done
+                done += swarm.step_cycle()
+            return done
+        return swarm.step_evaluations(count)
 
     def current_best(self) -> Optimum | None:
         if not np.isfinite(self.swarm.best_value):

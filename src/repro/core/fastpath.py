@@ -1,0 +1,555 @@
+"""Vectorized network-level fast path: all swarms in one SoA kernel.
+
+The reference engine (:class:`~repro.simulator.engine.CycleDrivenEngine`
+driving per-node protocol objects) advances the system one node at a
+time, so a cycle over ``n`` nodes costs ``O(n)`` Python/numpy call
+round-trips regardless of how little arithmetic each node does.  At the
+paper's scales (exp2 sweeps up to ``n = 2^16``) that interpreter
+overhead — not the arithmetic — dominates the wall clock.
+
+:class:`FastEngine` replaces the per-node object graph with
+structure-of-arrays state (:class:`~repro.pso.state.SwarmStateSoA`):
+positions/velocities/pbests of shape ``(n, k, d)`` and per-node swarm
+optima of shape ``(n, d)`` / ``(n,)``.  One engine cycle is then a
+handful of whole-network array operations:
+
+1. **churn** — binomial crash thinning and Poisson joins, drawing from
+   the same ``("churn")`` seed-tree stream with the same call sequence
+   as :class:`~repro.simulator.churn.ChurnProcess`;
+2. **optimization** — one fused velocity/position/clamp update over all
+   ``n·k`` particles, one batched objective evaluation over the
+   ``(n·k, d)`` reshape, and vectorized pbest/swarm-optimum folds
+   (``np.where`` / row ``argmin`` reductions);
+3. **coordination** — an array-level anti-entropy exchange: one peer
+   index drawn per node, scatter-min adoption of the better optimum via
+   ``np.lexsort``/``np.where``, with message and adoption tallies
+   tracked in the returned :class:`~repro.core.metrics.MessageTally`
+   (adoption counts use phased semantics — at most one adoption per
+   receiver per cycle, where the reference's sequential delivery can
+   count several — so compare them within an engine, not across).
+
+Equivalence contract (pinned by ``tests/core/test_fastpath.py``)
+----------------------------------------------------------------
+
+*Bit-identical*: per-node swarm dynamics.  Node state is initialized by
+the same :func:`~repro.pso.swarm.initial_swarm_state` from the same
+per-node stream ``("node", nid, "pso")``, and whenever a node's
+per-cycle allowance is a whole synchronous sweep (``r = k``, the
+paper's default timing) the batched update consumes that stream exactly
+like :meth:`~repro.pso.swarm.Swarm.step_cycle` and produces the same
+floating-point trajectory.  Consequently a whole run is same-seed
+**trajectory-identical** to the reference engine at ``r = k`` whenever
+gossip exchanges cannot reorder information flow mid-cycle: ``n = 1``
+under the default NEWSCAST setup, and any ``n`` with gossip disabled
+(reference: a peerless topology; fast: ``gossip=False``).
+
+*Statistically equivalent*: everything else.  The fast path samples
+gossip partners uniformly from the live population — the idealization
+NEWSCAST provably approximates — and applies all of a cycle's
+exchanges against consistent cycle-start snapshots instead of the
+reference's shuffled in-cycle interleaving.  Per-particle (``r ≠ k``)
+stepping is likewise applied in phased chunks rather than the
+asynchronous move-one-evaluate-one loop.  Final-quality distributions
+match the reference engine's (see the equivalence tests); individual
+trajectories do not.
+
+What the fast path intentionally does **not** simulate: NEWSCAST view
+dynamics (so ``MessageTally.newscast_exchanges`` is 0), message loss /
+latency transports, and custom topology factories — use the reference
+engine when those mechanisms are the object of study.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.metrics import GlobalQualityObserver, MessageTally
+from repro.core.runner import RunResult
+from repro.functions.base import Function, get_function
+from repro.pso.state import SwarmStateSoA, stack_states
+from repro.pso.swarm import initial_swarm_state
+from repro.pso.velocity import resolve_vmax
+from repro.simulator.observers import StopCondition
+from repro.utils.config import ExperimentConfig
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import SeedSequenceTree
+
+__all__ = ["FastEngine", "run_single_fast"]
+
+
+class FastEngine:
+    """Batched cycle-driven engine over structure-of-arrays swarm state.
+
+    Duck-type compatible with the observer/stop API of
+    :class:`~repro.simulator.engine.EngineBase` (``cycle``, ``stop()``,
+    ``stopped``, ``stop_reason``, ``observers``), so measurement hooks
+    like :class:`~repro.core.metrics.GlobalQualityObserver` and
+    :class:`~repro.simulator.observers.StopCondition` run unchanged on
+    either engine.
+
+    Parameters
+    ----------
+    config:
+        The experiment point (same object the reference runner takes).
+    repetition:
+        Seed-tree branch ``("rep", repetition)``, as in
+        :func:`~repro.core.runner.run_single`.
+    gossip:
+        Run the anti-entropy coordination phase.  ``False`` isolates
+        the nodes — the configuration under which fast and reference
+        engines are same-seed trajectory-identical for any ``n``.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        repetition: int = 0,
+        gossip: bool = True,
+    ):
+        self.config = config
+        self.gossip = gossip
+        tree = SeedSequenceTree(config.seed).subtree("rep", repetition)
+        self._tree = tree
+        self.function: Function = get_function(config.function)
+        self._vmax = resolve_vmax(self.function, config.pso.vmax_fraction)
+
+        n = config.nodes
+        self._gens: list[np.random.Generator] = []
+        states = []
+        for nid in range(n):
+            rng = tree.rng("node", nid, "pso")
+            states.append(initial_swarm_state(self.function, config.pso, rng))
+            self._gens.append(rng)
+        self.soa: SwarmStateSoA = stack_states(states)
+
+        # Liveness mirror of Network: a swap-remove live list keeps
+        # churn victim selection order-compatible with the reference.
+        self._live: list[int] = list(range(n))
+        self._live_pos: dict[int, int] = {i: i for i in range(n)}
+        self._initial_size = n
+        self._churn_rng = tree.rng("churn") if config.churn.enabled else None
+        self._gossip_rng = tree.rng("fastpath", "gossip")
+
+        self.budget = config.evaluations_per_node
+        self.cycle: int = 0
+        self.now: float = 0.0
+        self.observers: list = []
+        self._stopped = False
+        self._stop_reason: str | None = None
+
+        # Communication tallies (mirroring CoordinationProtocol's).
+        self.messages_sent = 0
+        self.adoptions = 0
+        self.crashes = 0
+        self.joins = 0
+        self._draws: np.ndarray | None = None
+
+    def _draw_buffer(self, shape: tuple[int, ...]) -> np.ndarray:
+        """Reusable uniform-draw buffer (steady state: one shape per run)."""
+        if self._draws is None or self._draws.shape != shape:
+            # Zero-filled, not empty: rows of non-moving nodes feed the
+            # fused update before being masked out, and must stay finite.
+            self._draws = np.zeros(shape)
+        return self._draws
+
+    # -- EngineBase-compatible control surface ---------------------------------------
+
+    def stop(self, reason: str = "requested") -> None:
+        """Request termination; honored at the next safe point."""
+        self._stopped = True
+        self._stop_reason = reason
+
+    @property
+    def stopped(self) -> bool:
+        """Whether a stop has been requested."""
+        return self._stopped
+
+    @property
+    def stop_reason(self) -> str | None:
+        """Why the simulation stopped, if it did."""
+        return self._stop_reason
+
+    def add_observer(self, observer) -> None:
+        """Append an observer (runs after already-registered ones)."""
+        self.observers.append(observer)
+
+    # -- liveness -----------------------------------------------------------------
+
+    @property
+    def live_count(self) -> int:
+        """Number of currently live nodes."""
+        return len(self._live)
+
+    def live_ids(self) -> np.ndarray:
+        """Live node slots as an index array (live-list order)."""
+        return np.asarray(self._live, dtype=np.int64)
+
+    def _crash(self, nid: int) -> None:
+        pos = self._live_pos.pop(nid)
+        last = self._live[-1]
+        self._live[pos] = last
+        self._live.pop()
+        if last != nid:
+            self._live_pos[last] = pos
+
+    def _join(self) -> int:
+        nid = self.soa.n
+        rng = self._tree.rng("node", nid, "pso")
+        state = initial_swarm_state(self.function, self.config.pso, rng)
+        self.soa.extend([state])
+        self._gens.append(rng)
+        self._live_pos[nid] = len(self._live)
+        self._live.append(nid)
+        return nid
+
+    # -- oracle metrics (GlobalQualityObserver hooks) -----------------------------------
+
+    def global_best(self) -> float:
+        """Best objective value known by any live node (inf if none yet)."""
+        if not self._live:
+            return float("inf")
+        vals = self.soa.best_values[self.live_ids()]
+        finite = vals[np.isfinite(vals)]
+        return float(finite.min()) if finite.size else float("inf")
+
+    def total_evaluations(self) -> int:
+        """Function evaluations summed over all nodes (incl. crashed)."""
+        return int(self.soa.evaluations.sum())
+
+    def budgets_exhausted(self) -> bool:
+        """Whether every live node has spent its local budget."""
+        if self.budget is None:
+            return False
+        if not self._live:
+            return True
+        live = self.live_ids()
+        return bool(np.all(self.soa.evaluations[live] >= self.budget))
+
+    def node_best_spread(self) -> float:
+        """Max − min of live nodes' best values (consensus distance)."""
+        if not self._live:
+            return float("inf")
+        vals = self.soa.best_values[self.live_ids()]
+        finite = vals[np.isfinite(vals)]
+        if finite.size == 0:
+            return float("inf")
+        return float(finite.max() - finite.min())
+
+    def message_tally(self) -> MessageTally:
+        """Communication tally in the reference engine's schema.
+
+        The fast path simulates no NEWSCAST traffic (peer sampling is
+        an oracle), so ``newscast_exchanges`` stays 0.  Message counts
+        follow the reference protocol's send rules; adoption counts use
+        the phased semantics described in :meth:`_gossip_phase` and
+        run slightly below the reference's sequential counting.
+        """
+        return MessageTally(
+            newscast_exchanges=0,
+            coordination_messages=self.messages_sent,
+            coordination_adoptions=self.adoptions,
+            transport_sent=self.messages_sent,
+            transport_to_dead=0,
+        )
+
+    # -- cycle phases ------------------------------------------------------------
+
+    def _churn_phase(self) -> None:
+        """Crash/join process, draw-for-draw like ChurnProcess.step."""
+        cfg = self.config.churn
+        rng = self._churn_rng
+        if cfg.crash_rate > 0:
+            live = list(self._live)
+            headroom = max(0, len(live) - cfg.min_population)
+            if headroom > 0:
+                n_crash = int(rng.binomial(len(live), cfg.crash_rate))
+                n_crash = min(n_crash, headroom)
+                if n_crash > 0:
+                    victims = rng.choice(len(live), size=n_crash, replace=False)
+                    for idx in victims:
+                        self._crash(live[int(idx)])
+                        self.crashes += 1
+        if cfg.join_rate > 0:
+            lam = cfg.join_rate * self._initial_size
+            n_join = int(rng.poisson(lam))
+            for _ in range(n_join):
+                self._join()
+                self.joins += 1
+
+    def _pso_phase(self, live: np.ndarray) -> None:
+        """Spend every live node's per-cycle evaluation allowance.
+
+        The allowance ``min(r, remaining budget)`` is consumed in
+        chunks that visit each particle at most once, so each chunk is
+        one fused move + one batched evaluation + one fold.  At
+        ``r = k`` (cursors at 0) a cycle is exactly one chunk and the
+        per-node arithmetic/stream consumption matches
+        :meth:`~repro.pso.swarm.Swarm.step_cycle` bit-for-bit.
+        """
+        soa = self.soa
+        k = soa.k
+        r = self.config.gossip_cycle
+        if self.budget is None:
+            allowance = np.full(live.shape[0], r, dtype=np.int64)
+        else:
+            allowance = np.minimum(r, self.budget - soa.evaluations[live])
+            np.maximum(allowance, 0, out=allowance)
+        done = np.zeros_like(allowance)
+        while True:
+            remaining = allowance - done
+            width = int(min(k, remaining.max(initial=0)))
+            if width <= 0:
+                break
+            self._chunk_step(live, remaining, width)
+            done += np.minimum(remaining, width)
+
+    def _chunk_step(self, live: np.ndarray, remaining: np.ndarray, width: int) -> None:
+        """Advance up to ``width`` round-robin particles on every live node."""
+        soa = self.soa
+        cfg = self.config.pso
+        k, d = soa.k, soa.d
+        nl = live.shape[0]
+        cursors = soa.cursors[live]
+
+        # Whole-population synchronous sweep: no gather/scatter needed.
+        full_sweep = (
+            width == k
+            and nl == soa.n
+            and bool(np.all(cursors == 0))
+            and bool(np.all(live == np.arange(soa.n)))
+        )
+        if full_sweep:
+            sub_pos = soa.positions
+            sub_vel = soa.velocities
+            sub_pb = soa.pbest_positions
+            sub_pbv = soa.pbest_values
+        else:
+            rows = live[:, None]
+            cols = (cursors[:, None] + np.arange(width)[None, :]) % k
+            sub_pos = soa.positions[rows, cols]
+            sub_vel = soa.velocities[rows, cols]
+            sub_pb = soa.pbest_positions[rows, cols]
+            sub_pbv = soa.pbest_values[rows, cols]
+
+        participating = np.arange(width)[None, :] < remaining[:, None]
+        move = participating & np.isfinite(sub_pbv)
+        moving_nodes = np.nonzero(move.any(axis=1))[0]
+
+        if moving_nodes.size:
+            # Per-node draws from the node's private stream, in the
+            # same (r1 block, r2 block) order as Swarm.step_cycle.
+            draws = self._draw_buffer((nl, 2, width, d))
+            gens = self._gens
+            for j in moving_nodes:
+                gens[live[j]].random(out=draws[j])
+            r1 = draws[:, 0]
+            r2 = draws[:, 1]
+            gbest = (
+                soa.best_positions if full_sweep else soa.best_positions[live]
+            )[:, None, :]
+            vel = (
+                cfg.inertia * sub_vel
+                + cfg.c1 * r1 * (sub_pb - sub_pos)
+                + cfg.c2 * r2 * (gbest - sub_pos)
+            )
+            if self._vmax is not None:
+                np.clip(vel, -self._vmax, self._vmax, out=vel)
+            new_pos = sub_pos + vel
+            if cfg.clamp_positions:
+                np.clip(new_pos, self.function.lower, self.function.upper, out=new_pos)
+            mask3 = move[:, :, None]
+            vel = np.where(mask3, vel, sub_vel)
+            new_pos = np.where(mask3, new_pos, sub_pos)
+        else:
+            vel = sub_vel
+            new_pos = sub_pos
+
+        values = self.function.batch(new_pos.reshape(-1, d)).reshape(nl, width)
+
+        improved = participating & (values < sub_pbv)
+        new_pbv = np.where(improved, values, sub_pbv)
+        new_pb = np.where(improved[:, :, None], new_pos, sub_pb)
+
+        if full_sweep:
+            soa.positions = new_pos
+            soa.velocities = vel
+            soa.pbest_positions = new_pb
+            soa.pbest_values = new_pbv
+        else:
+            soa.positions[rows, cols] = new_pos
+            soa.velocities[rows, cols] = vel
+            soa.pbest_positions[rows, cols] = new_pb
+            soa.pbest_values[rows, cols] = new_pbv
+        soa.evaluations[live] += participating.sum(axis=1)
+        soa.cursors[live] = (cursors + np.minimum(remaining, width)) % k
+
+        # Swarm-optimum fold: first-index argmin over the chunk, adopt
+        # iff strictly better — step_cycle's exact rule.
+        best_j = np.argmin(new_pbv, axis=1)
+        idx = np.arange(nl)
+        cand_val = new_pbv[idx, best_j]
+        better = cand_val < soa.best_values[live]
+        if np.any(better):
+            winners = live[better]
+            soa.best_values[winners] = cand_val[better]
+            soa.best_positions[winners] = new_pb[idx[better], best_j[better]]
+
+    def _gossip_phase(self, live: np.ndarray) -> None:
+        """One anti-entropy exchange per live node, array-level.
+
+        Every node draws one uniform peer (≠ itself) and the configured
+        mode's exchange is applied against consistent cycle-start
+        snapshots: incoming offers fold by scatter-min (best offer per
+        receiver wins; adopted iff strictly better), then push-pull /
+        pull replies fold back onto the initiators.  Message counts
+        follow the reference protocol's send rules; adoptions are
+        counted per applied fold, so a receiver drawing several
+        better offers in one cycle counts one adoption where the
+        reference's sequential delivery may count each.
+        """
+        nl = live.shape[0]
+        if nl < 2:
+            return
+        soa = self.soa
+        mode = self.config.coordination.mode
+        rng = self._gossip_rng
+
+        # Uniform peer ≠ self, in live-list positions.
+        draw = rng.integers(0, nl - 1, size=nl)
+        peer = draw + (draw >= np.arange(nl))
+
+        val = soa.best_values[live].copy()  # cycle-start snapshot
+        posm = soa.best_positions[live].copy()
+        has = np.isfinite(val)
+        new_val = val.copy()
+        new_pos = posm.copy()
+
+        if mode in ("push", "push-pull"):
+            senders = np.nonzero(has)[0]
+            self.messages_sent += int(senders.size)
+            if senders.size:
+                targets = peer[senders]
+                order = np.lexsort((val[senders], targets))
+                tgt_sorted = targets[order]
+                src_sorted = senders[order]
+                uniq_tgt, first = np.unique(tgt_sorted, return_index=True)
+                best_src = src_sorted[first]
+                adopt = val[best_src] < val[uniq_tgt]
+                if np.any(adopt):
+                    receivers = uniq_tgt[adopt]
+                    new_val[receivers] = val[best_src[adopt]]
+                    new_pos[receivers] = posm[best_src[adopt]]
+                    self.adoptions += int(adopt.sum())
+            if mode == "push-pull":
+                # Receiver at least as good -> it replies; initiator
+                # adopts iff the reply strictly improves on it.
+                replied = has & has[peer] & (val >= val[peer])
+                self.messages_sent += int(replied.sum())
+                back = replied & (val[peer] < new_val)
+                if np.any(back):
+                    new_val[back] = val[peer[back]]
+                    new_pos[back] = posm[peer[back]]
+                    self.adoptions += int(back.sum())
+        else:  # pull: blind requests, reply iff the peer knows anything
+            self.messages_sent += nl
+            replied = has[peer]
+            self.messages_sent += int(replied.sum())
+            back = replied & (val[peer] < new_val)
+            if np.any(back):
+                new_val[back] = val[peer[back]]
+                new_pos[back] = posm[peer[back]]
+                self.adoptions += int(back.sum())
+
+        soa.best_values[live] = new_val
+        soa.best_positions[live] = new_pos
+
+    # -- driving -----------------------------------------------------------------
+
+    def run_one_cycle(self) -> bool:
+        """Run one cycle; returns False if aborted before completion."""
+        if self.config.churn.enabled:
+            self._churn_phase()
+        live = self.live_ids()
+        if live.size:
+            self._pso_phase(live)
+            if self.gossip:
+                self._gossip_phase(live)
+        if self._stopped:
+            return False
+        self.cycle += 1
+        self.now = float(self.cycle)
+        for obs in self.observers:
+            obs.observe(self)
+            if self._stopped:
+                break
+        return True
+
+    def run(self, cycles: int) -> int:
+        """Execute up to ``cycles`` cycles; returns cycles completed."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        executed = 0
+        for _ in range(cycles):
+            if self._stopped:
+                break
+            if not self._live:
+                self.stop("population extinct")
+                break
+            if self.run_one_cycle():
+                executed += 1
+        return executed
+
+
+def run_single_fast(
+    config: ExperimentConfig,
+    repetition: int = 0,
+    record_history: bool = False,
+    gossip: bool = True,
+) -> RunResult:
+    """Fast-path counterpart of :func:`~repro.core.runner.run_single`.
+
+    Same contract and :class:`~repro.core.runner.RunResult` schema; see
+    the module docstring for the equivalence guarantees.  Reached via
+    ``run_single(..., engine="fast")`` in normal use.
+    """
+    if config.evaluations_per_node < 1:
+        raise ConfigurationError(
+            f"budget e={config.total_evaluations} gives node budget "
+            f"{config.evaluations_per_node} < 1 for n={config.nodes}"
+        )
+    engine = FastEngine(config, repetition=repetition, gossip=gossip)
+    quality_obs = GlobalQualityObserver(
+        threshold=config.quality_threshold, record_history=record_history
+    )
+    budget_stop = StopCondition(
+        lambda eng: eng.budgets_exhausted(), reason="budget"
+    )
+    engine.observers = [quality_obs, budget_stop]
+
+    # Same safety cap as the reference runner.
+    base_cycles = math.ceil(config.evaluations_per_node / config.gossip_cycle)
+    max_cycles = 2 * base_cycles + 4 if config.churn.enabled else base_cycles + 1
+    engine.run(max_cycles)
+
+    stop_reason = engine.stop_reason or "cycle cap"
+    best = quality_obs.best_value
+    quality = engine.function.quality(best)
+
+    threshold_local = None
+    if quality_obs.threshold_cycle is not None:
+        threshold_local = quality_obs.threshold_cycle * config.gossip_cycle
+
+    return RunResult(
+        best_value=best,
+        quality=quality,
+        total_evaluations=engine.total_evaluations(),
+        cycles=engine.cycle,
+        stop_reason=stop_reason,
+        threshold_local_time=threshold_local,
+        threshold_total_evaluations=quality_obs.threshold_evaluations,
+        messages=engine.message_tally(),
+        node_best_spread=engine.node_best_spread(),
+        history=list(quality_obs.history),
+    )

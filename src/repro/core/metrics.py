@@ -85,6 +85,12 @@ class GlobalQualityObserver(Observer):
     engine stops with reason ``"threshold"`` — experiment 4's
     time-to-quality measurement.
 
+    Works against both engine families: node-graph engines are read
+    via :func:`global_best`/:func:`total_evaluations` over
+    ``engine.network``; engines without one (the vectorized
+    :class:`~repro.core.fastpath.FastEngine`) must expose
+    ``global_best()`` and ``total_evaluations()`` methods instead.
+
     Attributes
     ----------
     history:
@@ -104,10 +110,18 @@ class GlobalQualityObserver(Observer):
         self.threshold_evaluations: int | None = None
 
     def observe(self, engine: "CycleDrivenEngine") -> None:
-        best = global_best(engine.network)
+        # Engines without a per-node object graph (the SoA fast path)
+        # expose oracle readings directly; network engines are read
+        # through the protocol-walking helpers.
+        network = getattr(engine, "network", None)
+        if network is not None:
+            best = global_best(network)
+            evals = total_evaluations(network)
+        else:
+            best = engine.global_best()
+            evals = engine.total_evaluations()
         if best < self.best_value:
             self.best_value = best
-        evals = total_evaluations(engine.network)
         if self.record_history:
             self.history.append(QualitySample(engine.cycle, evals, self.best_value))
         if (

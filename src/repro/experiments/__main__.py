@@ -39,6 +39,14 @@ def main(argv: list[str] | None = None) -> int:
         help="sweep extent: smoke=seconds, reduced=minutes, full=paper scale",
     )
     parser.add_argument("--seed", type=int, default=42, help="master seed")
+    parser.add_argument(
+        "--engine",
+        default="reference",
+        choices=("reference", "fast"),
+        help="simulation engine: 'reference' = full per-node protocol "
+        "stack, 'fast' = vectorized SoA network kernel (statistically "
+        "equivalent, order of magnitude faster at scale)",
+    )
     parser.add_argument("--csv", default=None, help="also dump raw runs to CSV")
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-config progress on stderr"
@@ -51,7 +59,9 @@ def main(argv: list[str] | None = None) -> int:
     all_results = []
     for name in names:
         module = EXPERIMENTS[name]
-        data = module.run(scale=args.scale, seed=args.seed, progress=progress)
+        data = module.run(
+            scale=args.scale, seed=args.seed, progress=progress, engine=args.engine
+        )
         print(module.report(data))
         all_results.extend(res for _, res in data.entries)
 

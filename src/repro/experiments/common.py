@@ -81,12 +81,19 @@ def run_sweep(
     scale: str,
     configs: Sequence[ExperimentConfig],
     progress: Callable[[str], None] | None = None,
+    engine: str = "reference",
 ) -> SweepData:
-    """Execute every config in order; returns the collected data."""
+    """Execute every config in order; returns the collected data.
+
+    ``engine`` selects the simulation engine per
+    :func:`~repro.core.runner.run_single` — ``"fast"`` runs the
+    vectorized SoA path, which makes the large-``n`` corners of the
+    paper sweeps (exp2's ``n = 2^16``) tractable.
+    """
     data = SweepData(name=name, scale=scale)
     t0 = time.perf_counter()
     for i, cfg in enumerate(configs):
-        res = run_experiment(cfg)
+        res = run_experiment(cfg, engine=engine)
         data.entries.append((cfg, res))
         if progress is not None:
             progress(

@@ -92,9 +92,10 @@ def run(
     scale: str = "reduced",
     seed: int = 42,
     progress: Callable[[str], None] | None = None,
+    engine: str = "reference",
 ) -> SweepData:
     """Execute the sweep; see module docstring for the setup."""
-    return run_sweep(NAME, scale, configs(scale, seed), progress)
+    return run_sweep(NAME, scale, configs(scale, seed), progress, engine=engine)
 
 
 def report(data: SweepData) -> str:

@@ -75,15 +75,22 @@ def run(
     scale: str = "reduced",
     seed: int = 42,
     progress: Callable[[str], None] | None = None,
+    engine: str = "reference",
 ) -> SweepData:
-    """Execute the (single-point) sweep; measured counts go in meta."""
+    """Execute the (single-point) sweep; measured counts go in meta.
+
+    Note: the overhead *measurement* in :func:`measured_overhead`
+    always uses the reference engine — the fast path models peer
+    sampling as an oracle and therefore carries no NEWSCAST traffic
+    to count.
+    """
     from repro.core.runner import run_experiment
     import time
 
     data = SweepData(name=NAME, scale=scale)
     t0 = time.perf_counter()
     for cfg in configs(scale, seed):
-        res = run_experiment(cfg)
+        res = run_experiment(cfg, engine=engine)
         data.entries.append((cfg, res))
         if progress is not None:
             progress(f"[{NAME}:{scale}] {cfg.describe()}")

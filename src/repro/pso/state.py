@@ -12,10 +12,11 @@ prescribes for per-row operations.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-__all__ = ["SwarmState"]
+__all__ = ["SwarmState", "SwarmStateSoA", "stack_states"]
 
 
 @dataclass
@@ -92,3 +93,114 @@ class SwarmState:
             evaluations=self.evaluations,
             cursor=self.cursor,
         )
+
+
+@dataclass
+class SwarmStateSoA:
+    """Structure-of-arrays state of ``n`` same-shaped swarms.
+
+    The network-level fast path (:mod:`repro.core.fastpath`) advances
+    every node's swarm with single batched array operations, so the
+    per-node :class:`SwarmState` rows are stacked along a leading node
+    axis.  Axis 0 is the node slot (dense, never reused, dead nodes
+    keep their rows so past evaluations stay accounted for), axis 1 the
+    particle, axis 2 the search dimension.
+
+    Attributes
+    ----------
+    positions / velocities / pbest_positions:
+        Shape ``(n, k, d)``.
+    pbest_values:
+        Shape ``(n, k)``.
+    best_positions / best_values:
+        Per-node swarm optima ``g_p`` / ``f(g_p)``; shapes ``(n, d)``
+        and ``(n,)``.
+    evaluations / cursors:
+        Per-node local time and round-robin cursor, shape ``(n,)``.
+    """
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    pbest_positions: np.ndarray
+    pbest_values: np.ndarray
+    best_positions: np.ndarray
+    best_values: np.ndarray
+    evaluations: np.ndarray
+    cursors: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of node slots (live and dead)."""
+        return self.positions.shape[0]
+
+    @property
+    def k(self) -> int:
+        """Particles per node."""
+        return self.positions.shape[1]
+
+    @property
+    def d(self) -> int:
+        """Search-space dimensionality."""
+        return self.positions.shape[2]
+
+    def node_state(self, i: int) -> SwarmState:
+        """Materialize node ``i`` as an independent :class:`SwarmState`.
+
+        Used by tests and observers to compare fast-path rows against
+        reference swarms; the returned state shares no memory with the
+        SoA arrays.
+        """
+        return SwarmState(
+            positions=self.positions[i].copy(),
+            velocities=self.velocities[i].copy(),
+            pbest_positions=self.pbest_positions[i].copy(),
+            pbest_values=self.pbest_values[i].copy(),
+            best_position=self.best_positions[i].copy(),
+            best_value=float(self.best_values[i]),
+            evaluations=int(self.evaluations[i]),
+            cursor=int(self.cursors[i]),
+        )
+
+    def extend(self, states: Sequence[SwarmState]) -> None:
+        """Append per-node states as new trailing slots (churn joins)."""
+        if not states:
+            return
+        other = stack_states(states)
+        self.positions = np.concatenate([self.positions, other.positions])
+        self.velocities = np.concatenate([self.velocities, other.velocities])
+        self.pbest_positions = np.concatenate(
+            [self.pbest_positions, other.pbest_positions]
+        )
+        self.pbest_values = np.concatenate([self.pbest_values, other.pbest_values])
+        self.best_positions = np.concatenate(
+            [self.best_positions, other.best_positions]
+        )
+        self.best_values = np.concatenate([self.best_values, other.best_values])
+        self.evaluations = np.concatenate([self.evaluations, other.evaluations])
+        self.cursors = np.concatenate([self.cursors, other.cursors])
+
+
+def stack_states(states: Sequence[SwarmState]) -> SwarmStateSoA:
+    """Stack per-node :class:`SwarmState` rows into a :class:`SwarmStateSoA`.
+
+    All states must agree on ``(k, d)``.  Arrays are copied, so the
+    originals stay independent.
+    """
+    if not states:
+        raise ValueError("need at least one swarm state to stack")
+    k, d = states[0].positions.shape
+    for st in states:
+        if st.positions.shape != (k, d):
+            raise ValueError(
+                f"cannot stack swarms of shapes {(k, d)} and {st.positions.shape}"
+            )
+    return SwarmStateSoA(
+        positions=np.stack([st.positions for st in states]).astype(float),
+        velocities=np.stack([st.velocities for st in states]).astype(float),
+        pbest_positions=np.stack([st.pbest_positions for st in states]).astype(float),
+        pbest_values=np.stack([st.pbest_values for st in states]).astype(float),
+        best_positions=np.stack([st.best_position for st in states]).astype(float),
+        best_values=np.asarray([st.best_value for st in states], dtype=float),
+        evaluations=np.asarray([st.evaluations for st in states], dtype=np.int64),
+        cursors=np.asarray([st.cursor for st in states], dtype=np.int64),
+    )

@@ -34,10 +34,42 @@ import numpy as np
 
 from repro.functions.base import Function
 from repro.pso.state import SwarmState
-from repro.pso.velocity import VelocityClamp, domain_fraction_clamp, no_clamp
+from repro.pso.velocity import resolve_vmax
 from repro.utils.config import PSOConfig
 
-__all__ = ["Swarm"]
+__all__ = ["Swarm", "initial_swarm_state"]
+
+
+def initial_swarm_state(
+    function: Function, config: PSOConfig, rng: np.random.Generator
+) -> SwarmState:
+    """Random positions in the domain; velocities in ±vmax; pbest unset.
+
+    Initial particles are *not* evaluated here — evaluation costs
+    budget, so it happens on the first step.  ``pbest_values`` start at
+    +inf and the swarm optimum is +inf with a placeholder position;
+    both resolve on the first evaluations.
+
+    This is the **only** initializer: both the reference
+    :class:`Swarm` and the batched network engine
+    (:mod:`repro.core.fastpath`) build node state through it, consuming
+    the node's private stream in exactly the same order — which is what
+    makes the two engines same-seed comparable.
+    """
+    k, d = config.particles, function.dimension
+    positions = function.sample_uniform(rng, k)
+    width = function.domain_width
+    vmax = (config.vmax_fraction or 1.0) * width
+    velocities = rng.uniform(-vmax, vmax, size=(k, d))
+    return SwarmState(
+        positions=positions,
+        velocities=velocities,
+        pbest_positions=positions.copy(),
+        pbest_values=np.full(k, np.inf),
+        best_position=positions[0].copy(),
+        best_value=np.inf,
+        evaluations=0,
+    )
 
 
 class Swarm:
@@ -59,36 +91,18 @@ class Swarm:
         self.function = function
         self.config = config
         self.rng = rng
-        if config.vmax_fraction is None:
-            self._clamp: VelocityClamp = no_clamp()
-        else:
-            self._clamp = domain_fraction_clamp(function, config.vmax_fraction)
+        # The clamp bound (None when unclamped) is resolved once and
+        # shared by both stepping granularities; a reusable (1, d)
+        # buffer keeps single-particle evaluations allocation-free.
+        self._vmax = resolve_vmax(function, config.vmax_fraction)
+        self._eval_buf = np.empty((1, function.dimension))
         self.state = self._initialize()
 
     # -- construction -----------------------------------------------------------
 
     def _initialize(self) -> SwarmState:
-        """Random positions in the domain; velocities in ±vmax; pbest unset.
-
-        Initial particles are *not* evaluated here — evaluation costs
-        budget, so it happens on the first step.  ``pbest_values``
-        start at +inf and the swarm optimum is +inf with a placeholder
-        position; both resolve on the first evaluations.
-        """
-        k, d = self.config.particles, self.function.dimension
-        positions = self.function.sample_uniform(self.rng, k)
-        width = self.function.domain_width
-        vmax = (self.config.vmax_fraction or 1.0) * width
-        velocities = self.rng.uniform(-vmax, vmax, size=(k, d))
-        return SwarmState(
-            positions=positions,
-            velocities=velocities,
-            pbest_positions=positions.copy(),
-            pbest_values=np.full(k, np.inf),
-            best_position=positions[0].copy(),
-            best_value=np.inf,
-            evaluations=0,
-        )
+        """Build the initial state; see :func:`initial_swarm_state`."""
+        return initial_swarm_state(self.function, self.config, self.rng)
 
     # -- best-knowledge management -------------------------------------------------
 
@@ -155,21 +169,31 @@ class Swarm:
         i = st.cursor
         if np.isfinite(st.pbest_values[i]):
             self._move_one(i)
-        value = float(self.function.batch(st.positions[i][None, :])[0])
+        buf = self._eval_buf
+        buf[0] = st.positions[i]
+        value = float(self.function.batch(buf)[0])
         st.evaluations += 1
         self._record_evaluation(i, value)
         st.cursor = (i + 1) % st.size
         return value
 
     def step_evaluations(self, count: int) -> int:
-        """Run ``count`` single-particle steps; returns steps done.
+        """Run up to ``count`` single-particle steps; returns steps done.
 
-        Stops early (returning fewer) only if the wrapped function's
-        budget trips, which the caller handles.
+        Stops early (returning fewer) only if the wrapped function
+        exposes an evaluation budget (a ``remaining`` attribute, as
+        :class:`~repro.functions.counting.CountingFunction` does) that
+        has run out; the caller handles the shortfall.  The check runs
+        *before* each step, so a budget trip never leaves a particle
+        moved-but-unevaluated.
         """
         if count < 0:
             raise ValueError("count must be non-negative")
+        fn = self.function
+        budgeted = getattr(fn, "remaining", None) is not None
         for done in range(count):
+            if budgeted and fn.remaining < 1:
+                return done
             self.step_particle()
         return count
 
@@ -179,23 +203,19 @@ class Swarm:
         d = st.dimension
         r1 = self.rng.random(d)
         r2 = self.rng.random(d)
+        pos = st.positions[i]
         v = (
             cfg.inertia * st.velocities[i]
-            + cfg.c1 * r1 * (st.pbest_positions[i] - st.positions[i])
-            + cfg.c2 * r2 * (st.best_position - st.positions[i])
+            + cfg.c1 * r1 * (st.pbest_positions[i] - pos)
+            + cfg.c2 * r2 * (st.best_position - pos)
         )
-        # Clamp via the shared policy (operates on 2-D views).
-        v = v[None, :]
-        self._clamp(v)
-        st.velocities[i] = v[0]
-        st.positions[i] = st.positions[i] + st.velocities[i]
+        vmax = self._vmax
+        if vmax is not None:
+            np.clip(v, -vmax, vmax, out=v)
+        st.velocities[i] = v
+        pos += v
         if cfg.clamp_positions:
-            np.clip(
-                st.positions[i],
-                self.function.lower,
-                self.function.upper,
-                out=st.positions[i],
-            )
+            np.clip(pos, self.function.lower, self.function.upper, out=pos)
 
     def step_cycle(self) -> int:
         """One classical synchronous iteration over all particles.
@@ -223,7 +243,8 @@ class Swarm:
                 + cfg.c1 * r1 * (st.pbest_positions - st.positions)
                 + cfg.c2 * r2 * (st.best_position[None, :] - st.positions)
             )
-            self._clamp(st.velocities)
+            if self._vmax is not None:
+                np.clip(st.velocities, -self._vmax, self._vmax, out=st.velocities)
             st.positions = st.positions + st.velocities
             if cfg.clamp_positions:
                 np.clip(

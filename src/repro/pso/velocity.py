@@ -21,10 +21,26 @@ import numpy as np
 from repro.functions.base import Function
 
 __all__ = ["VelocityClamp", "NoClamp", "DomainFractionClamp",
-           "no_clamp", "domain_fraction_clamp"]
+           "no_clamp", "domain_fraction_clamp", "resolve_vmax"]
 
 #: A clamping policy mutates the velocity array in place.
 VelocityClamp = Callable[[np.ndarray], None]
+
+
+def resolve_vmax(function: Function, fraction: float | None) -> np.ndarray | None:
+    """Per-dimension speed bound for ``fraction``, or None if unclamped.
+
+    Single source of truth for the ``vmax_i = fraction × width_i``
+    convention, shared by :class:`DomainFractionClamp`, the reference
+    :class:`~repro.pso.swarm.Swarm` and the batched network engine in
+    :mod:`repro.core.fastpath` — so the two engines can never disagree
+    on the clamping bound.
+    """
+    if fraction is None:
+        return None
+    if fraction <= 0:
+        raise ValueError("fraction must be > 0")
+    return fraction * function.domain_width
 
 
 class NoClamp:
@@ -47,9 +63,10 @@ class DomainFractionClamp:
     """
 
     def __init__(self, function: Function, fraction: float):
-        if fraction <= 0:
+        vmax = resolve_vmax(function, fraction)
+        if vmax is None:
             raise ValueError("fraction must be > 0")
-        self.vmax = fraction * function.domain_width
+        self.vmax = vmax
 
     def __call__(self, velocities: np.ndarray) -> None:
         np.clip(velocities, -self.vmax, self.vmax, out=velocities)

@@ -6,6 +6,12 @@ are our controls: they run at the end of each cycle with full access
 to the engine and may record measurements or request a stop.  Keeping
 measurement out of the protocols keeps the protocols honest — they
 never act on information a real node could not have.
+
+Observers are duck-typed over the engine: anything exposing ``cycle``
+and ``stop(reason)`` can drive them, so the same hooks run unchanged
+on :class:`~repro.simulator.engine.CycleDrivenEngine` and on the
+vectorized :class:`~repro.core.fastpath.FastEngine` (which has no
+per-node object graph to observe, only SoA state).
 """
 
 from __future__ import annotations

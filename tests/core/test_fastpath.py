@@ -1,0 +1,290 @@
+"""Fast/reference engine equivalence: the fastpath contract.
+
+Three tiers, matching the guarantees documented in
+:mod:`repro.core.fastpath`:
+
+* **bit-identity** where gossip cannot reorder information flow
+  mid-cycle (``n = 1`` through the public API; any ``n`` with gossip
+  disabled) — trajectories, per-node SoA rows, and RunResult fields
+  must match the reference engine exactly at ``r = k``;
+* **statistical equivalence** everywhere else (``r ≠ k``, churn
+  on/off, every topology sampler) — final-quality distributions must
+  overlap;
+* **schema/semantics preservation** — budgets, thresholds, tallies,
+  parallel workers behave like the reference engine's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fastpath import FastEngine, run_single_fast
+from repro.core.runner import run_experiment, run_single
+from repro.pso.swarm import Swarm
+from repro.topology.sampler import PeerSampler
+from repro.topology.static import StaticTopologyProtocol, ring_lattice
+from repro.utils.config import (
+    ChurnConfig,
+    CoordinationConfig,
+    ExperimentConfig,
+    PSOConfig,
+)
+from repro.utils.rng import SeedSequenceTree
+
+
+class IsolatedSampler(PeerSampler):
+    """A topology where nobody knows anybody: gossip never fires."""
+
+    def sample_peer(self, node, rng):
+        return None
+
+    def known_peers(self, node):
+        return []
+
+
+def isolated_topology(nid):
+    return ("topology", IsolatedSampler())
+
+
+def small_config(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        function="sphere",
+        nodes=12,
+        particles_per_node=8,
+        total_evaluations=12 * 8 * 10,
+        gossip_cycle=8,
+        seed=17,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def history_tuples(result):
+    return [(h.cycle, h.evaluations, h.best_value) for h in result.history]
+
+
+class TestTrajectoryIdentity:
+    """Same-seed bit-identity of the fast path at r = k."""
+
+    def test_single_node_identical_through_public_api(self):
+        cfg = small_config(nodes=1, total_evaluations=16 * 25,
+                           particles_per_node=16, gossip_cycle=16)
+        ref = run_single(cfg, record_history=True)
+        fast = run_single(cfg, record_history=True, engine="fast")
+        assert ref.best_value == fast.best_value
+        assert ref.cycles == fast.cycles
+        assert ref.stop_reason == fast.stop_reason
+        assert ref.total_evaluations == fast.total_evaluations
+        assert history_tuples(ref) == history_tuples(fast)
+
+    def test_multinode_gossip_off_identical(self):
+        cfg = small_config(function="rosenbrock", nodes=10)
+        ref = run_single(cfg, record_history=True,
+                         topology_factory=isolated_topology)
+        fast = run_single_fast(cfg, record_history=True, gossip=False)
+        assert ref.best_value == fast.best_value
+        assert history_tuples(ref) == history_tuples(fast)
+        assert ref.node_best_spread == fast.node_best_spread
+        assert ref.total_evaluations == fast.total_evaluations
+
+    def test_soa_rows_match_reference_swarms_bitwise(self):
+        """Every node's SoA row equals an isolated reference Swarm.
+
+        This pins the strongest claim: the batched kernel consumes each
+        node's private stream exactly like Swarm.step_cycle, so state
+        — not just summary numbers — is bit-identical at r = k.
+        """
+        cfg = small_config(nodes=6, particles_per_node=5, gossip_cycle=5,
+                           total_evaluations=6 * 5 * 7)
+        cycles = 7
+        engine = FastEngine(cfg, gossip=False)
+        engine.run(cycles)
+
+        tree = SeedSequenceTree(cfg.seed).subtree("rep", 0)
+        from repro.functions.base import get_function
+
+        function = get_function(cfg.function)
+        for nid in range(cfg.nodes):
+            swarm = Swarm(function, cfg.pso, tree.rng("node", nid, "pso"))
+            for _ in range(cycles):
+                swarm.step_cycle()
+            row = engine.soa.node_state(nid)
+            assert np.array_equal(row.positions, swarm.state.positions)
+            assert np.array_equal(row.velocities, swarm.state.velocities)
+            assert np.array_equal(row.pbest_positions, swarm.state.pbest_positions)
+            assert np.array_equal(row.pbest_values, swarm.state.pbest_values)
+            assert row.best_value == swarm.state.best_value
+            assert np.array_equal(row.best_position, swarm.state.best_position)
+            assert row.evaluations == swarm.state.evaluations
+
+    def test_repetitions_are_independent_streams(self):
+        cfg = small_config(nodes=1, particles_per_node=8, gossip_cycle=8,
+                           total_evaluations=8 * 10)
+        a = run_single(cfg, repetition=0, engine="fast")
+        b = run_single(cfg, repetition=1, engine="fast")
+        assert a.best_value != b.best_value
+        # And each repetition matches its reference twin.
+        assert a.best_value == run_single(cfg, repetition=0).best_value
+        assert b.best_value == run_single(cfg, repetition=1).best_value
+
+
+class TestStatisticalEquivalence:
+    """Fast and reference engines draw from the same outcome
+    distribution even where trajectories lawfully diverge."""
+
+    REPS = 6
+
+    def _qualities(self, cfg, engine, **kwargs):
+        out = []
+        for rep in range(self.REPS):
+            out.append(
+                run_single(cfg, repetition=rep, engine=engine, **kwargs).quality
+            )
+        return np.asarray(out)
+
+    def _assert_overlap(self, ref, fast):
+        """Loose two-sided check: ranges overlap and the log-mean gap
+        is far smaller than the spread of qualities PSO produces."""
+        assert fast.min() <= ref.max() and ref.min() <= fast.max()
+        log_ref = np.log10(np.maximum(ref, 1e-300)).mean()
+        log_fast = np.log10(np.maximum(fast, 1e-300)).mean()
+        assert abs(log_ref - log_fast) < 1.5
+
+    def test_gossip_r_equals_k(self):
+        cfg = small_config(nodes=16, total_evaluations=16 * 8 * 30, seed=23)
+        self._assert_overlap(
+            self._qualities(cfg, "reference"), self._qualities(cfg, "fast")
+        )
+
+    def test_r_not_equal_k(self):
+        cfg = small_config(nodes=16, gossip_cycle=5,
+                           total_evaluations=16 * 8 * 30, seed=29)
+        self._assert_overlap(
+            self._qualities(cfg, "reference"), self._qualities(cfg, "fast")
+        )
+
+    def test_churn_on(self):
+        cfg = small_config(
+            nodes=24,
+            total_evaluations=24 * 8 * 25,
+            seed=31,
+            churn=ChurnConfig(crash_rate=0.02, join_rate=0.02, min_population=6),
+        )
+        self._assert_overlap(
+            self._qualities(cfg, "reference"), self._qualities(cfg, "fast")
+        )
+
+    @pytest.mark.parametrize("mode", ["push", "pull", "push-pull"])
+    def test_coordination_modes(self, mode):
+        cfg = small_config(
+            nodes=16,
+            total_evaluations=16 * 8 * 20,
+            seed=37,
+            coordination=CoordinationConfig(mode=mode),
+        )
+        self._assert_overlap(
+            self._qualities(cfg, "reference"), self._qualities(cfg, "fast")
+        )
+
+    def test_against_ring_topology_sampler(self):
+        """The oracle sampler matches NEWSCAST statistically; even a
+        constrained static ring lands in the same quality regime."""
+        cfg = small_config(nodes=16, total_evaluations=16 * 8 * 20, seed=41)
+        adjacency = ring_lattice(cfg.nodes, 2)
+        ring = lambda nid: (
+            StaticTopologyProtocol.PROTOCOL_NAME,
+            StaticTopologyProtocol(adjacency.get(nid, [])),
+        )
+        ref = self._qualities(cfg, "reference", topology_factory=ring)
+        fast = self._qualities(cfg, "fast")
+        self._assert_overlap(ref, fast)
+
+
+class TestRunSemantics:
+    """RunResult schema and stop semantics carry over."""
+
+    def test_budget_spent_exactly_with_partial_final_cycle(self):
+        # budget 30 per node, r = 8: cycles spend 8+8+8+6.
+        cfg = small_config(nodes=5, total_evaluations=5 * 30)
+        result = run_single(cfg, engine="fast")
+        assert result.stop_reason == "budget"
+        assert result.total_evaluations == 5 * 30
+        assert result.cycles == 4
+
+    def test_threshold_stop_records_times(self):
+        cfg = small_config(
+            nodes=8,
+            total_evaluations=8 * 8 * 50,
+            quality_threshold=1e4,  # sphere starts ~1e4-1e5: trips early
+            seed=43,
+        )
+        result = run_single(cfg, engine="fast")
+        assert result.stop_reason == "threshold"
+        assert result.reached_threshold
+        assert result.threshold_local_time == result.cycles * cfg.gossip_cycle
+        assert result.threshold_total_evaluations is not None
+
+    def test_history_monotone_and_messages_tallied(self):
+        cfg = small_config(nodes=16, total_evaluations=16 * 8 * 10)
+        result = run_single(cfg, engine="fast", record_history=True)
+        bests = [h.best_value for h in result.history]
+        assert all(b2 <= b1 for b1, b2 in zip(bests, bests[1:]))
+        tally = result.messages
+        assert tally.coordination_messages > 0
+        assert 0 < tally.coordination_adoptions <= tally.coordination_messages
+        assert tally.newscast_exchanges == 0  # oracle sampling, documented
+        assert tally.transport_sent == tally.coordination_messages
+
+    def test_gossip_tightens_consensus(self):
+        cfg = small_config(nodes=24, total_evaluations=24 * 8 * 20, seed=47)
+        with_gossip = run_single_fast(cfg)
+        without = run_single_fast(cfg, gossip=False)
+        assert with_gossip.node_best_spread < without.node_best_spread
+
+    def test_churn_grows_and_shrinks_population(self):
+        cfg = small_config(
+            nodes=20,
+            total_evaluations=20 * 8 * 30,
+            churn=ChurnConfig(crash_rate=0.05, join_rate=0.05, min_population=4),
+            seed=53,
+        )
+        engine = FastEngine(cfg)
+        engine.run(30)
+        assert engine.crashes > 0
+        assert engine.joins > 0
+        assert engine.soa.n == cfg.nodes + engine.joins
+        assert engine.live_count == cfg.nodes + engine.joins - engine.crashes
+
+    def test_min_population_floor_respected(self):
+        cfg = small_config(
+            nodes=6,
+            total_evaluations=6 * 8 * 40,
+            churn=ChurnConfig(crash_rate=0.5, min_population=3),
+            seed=59,
+        )
+        engine = FastEngine(cfg)
+        engine.run(40)
+        assert engine.live_count >= 3
+
+
+class TestEngineSelectionAPI:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_single(small_config(), engine="warp")
+
+    def test_fast_rejects_topology_factory(self):
+        with pytest.raises(ValueError, match="topology factories"):
+            run_single(
+                small_config(), engine="fast", topology_factory=isolated_topology
+            )
+
+    def test_run_experiment_fast_parallel_matches_sequential(self):
+        cfg = small_config(nodes=8, repetitions=3,
+                           total_evaluations=8 * 8 * 8, seed=61)
+        seq = run_experiment(cfg, engine="fast")
+        par = run_experiment(cfg, engine="fast", workers=2)
+        assert [r.best_value for r in seq.runs] == [r.best_value for r in par.runs]
+        assert [r.total_evaluations for r in seq.runs] == [
+            r.total_evaluations for r in par.runs
+        ]

@@ -78,6 +78,16 @@ class TestPerParticleStepping:
         assert swarm.step_evaluations(10) == 10
         assert swarm.state.evaluations == 10
 
+    def test_step_evaluations_stops_at_budget(self):
+        """A tripped budget ends the loop early with a clean count —
+        no exception, no moved-but-unevaluated particle."""
+        f = CountingFunction(Sphere(4), budget=6)
+        swarm = Swarm(f, PSOConfig(particles=4), np.random.default_rng(0))
+        assert swarm.step_evaluations(10) == 6
+        assert f.evaluations == 6
+        assert swarm.state.evaluations == 6
+        assert swarm.step_evaluations(3) == 0  # budget long gone
+
     def test_step_evaluations_negative_raises(self):
         with pytest.raises(ValueError):
             make_swarm().step_evaluations(-1)
