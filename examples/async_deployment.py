@@ -8,53 +8,70 @@ service stack in that regime — per-node jittered timers, a latency
 transport with 20% message loss, Poisson churn — and compares the
 outcome with the lock-step simulation of the same configuration.
 
+Both regimes are the same :class:`repro.Scenario` with a different
+``engine``: the asynchronous knobs (timer periods, latency band, loss
+rate, clock jitter) live in the spec's ``transport`` bundle, and for
+``engine="event"`` the churn rates count Poisson events per simulated
+second.
+
 The punchline is the paper's own: asynchrony, loss and churn change
 *when* knowledge moves, not *what* the system computes.
 
 Run::
 
-    python examples/async_deployment.py
+    python examples/async_deployment.py          # full demo
+    python examples/async_deployment.py --tiny   # smoke-test parameters
 """
+
+import sys
 
 import numpy as np
 
-from repro import ExperimentConfig, run_experiment
-from repro.deployment import AsyncDeployment, DeploymentConfig
+from repro import ChurnConfig, Scenario, Session, TransportSpec
 
-N, K, BUDGET = 16, 8, 2000
+TINY = "--tiny" in sys.argv
+N = 8 if TINY else 16
+K = 4 if TINY else 8
+BUDGET = 25 if TINY else 2000
+SEEDS = (11,) if TINY else (11, 12, 13)
 
 print("=== lock-step (cycle-driven, the paper's setup) ============")
-cycle_cfg = ExperimentConfig(
-    function="sphere", nodes=N, particles_per_node=K,
-    total_evaluations=N * BUDGET, gossip_cycle=8,
-    repetitions=3, seed=11,
-)
-cycle = run_experiment(cycle_cfg)
+cycle = Session(
+    Scenario(
+        function="sphere", nodes=N, particles_per_node=K,
+        total_evaluations=N * BUDGET, gossip_cycle=K,
+        repetitions=len(SEEDS), seed=11,
+    )
+).run()
 print(f"median quality : {np.median(cycle.qualities()):.3e}")
 
 print()
 print("=== asynchronous (latency + 20% loss + churn) ==============")
 qualities = []
-for seed in (11, 12, 13):
-    deployment = AsyncDeployment(
-        DeploymentConfig(
-            function="sphere", nodes=N, particles_per_node=K,
-            budget_per_node=BUDGET, evals_per_tick=8,
+for seed in SEEDS:
+    scenario = Scenario(
+        function="sphere", nodes=N, particles_per_node=K,
+        total_evaluations=N * BUDGET, gossip_cycle=K,
+        engine="event",
+        horizon=5_000.0 if TINY else 100_000.0,
+        transport=TransportSpec(
             compute_period=1.0, gossip_period=1.0, newscast_period=2.0,
             latency_min=0.05, latency_max=0.8,
-            loss_rate=0.2,
-            crash_rate=0.02, join_rate=0.02, min_population=6,
-            clock_jitter=0.2, seed=seed,
-        )
+            loss_rate=0.2, clock_jitter=0.2,
+        ),
+        churn=ChurnConfig(
+            crash_rate=0.02, join_rate=0.02, min_population=max(2, N // 3),
+        ),
+        seed=seed,
     )
-    result = deployment.run(until=100_000.0)
-    qualities.append(result.quality)
+    record = Session(scenario).run_one(0)
+    qualities.append(record.quality)
     print(
-        f"seed {seed}: quality={result.quality:.3e}  "
-        f"evals={result.total_evaluations}  t={result.sim_time:.0f}s  "
-        f"msgs={result.messages.transport_sent}  "
-        f"crashes={result.crashes} joins={result.joins}  "
-        f"stop={result.stop_reason}"
+        f"seed {seed}: quality={record.quality:.3e}  "
+        f"evals={record.total_evaluations}  t={record.sim_time:.0f}s  "
+        f"msgs={record.messages.transport_sent}  "
+        f"crashes={record.crashes} joins={record.joins}  "
+        f"stop={record.stop_reason}"
     )
 
 print(f"median quality : {np.median(qualities):.3e}")

@@ -14,46 +14,45 @@ same push–pull averaging protocol this library ships:
   into a second averaging instance.
 
 Both run piggybacked on the same NEWSCAST overlay that carries the
-optimization itself.
+optimization itself.  The optimization network is declared as a
+:class:`repro.Scenario`; the session facade's ``build_network()``
+escape hatch materializes its node graph so the extra aggregation
+protocol can be attached before we drive the engine ourselves.
 
 Run::
 
-    python examples/decentralized_monitoring.py
+    python examples/decentralized_monitoring.py          # full demo
+    python examples/decentralized_monitoring.py --tiny   # smoke-test parameters
 """
+
+import sys
 
 import numpy as np
 
+from repro import NewscastConfig, Scenario, Session
 from repro.aggregation.protocols import (
     PushPullAveraging,
     aggregate_values,
     network_counting_value,
 )
 from repro.core.metrics import global_best
-from repro.core.node import OptimizationNodeSpec, build_optimization_node
-from repro.functions.base import get_function
 from repro.simulator.engine import CycleDrivenEngine
-from repro.simulator.network import Network
-from repro.topology.newscast import bootstrap_views
-from repro.utils.config import CoordinationConfig, NewscastConfig, PSOConfig
-from repro.utils.rng import SeedSequenceTree
 
-N = 48
+TINY = "--tiny" in sys.argv
+N = 8 if TINY else 48
+STEP = 2 if TINY else 5
 
-tree = SeedSequenceTree(314)
-function = get_function("sphere")
-spec = OptimizationNodeSpec(
-    function=function,
-    pso=PSOConfig(particles=8),
-    newscast=NewscastConfig(view_size=15),
-    coordination=CoordinationConfig(),
-    rng_tree=tree,
-    evals_per_cycle=8,
-    budget_per_node=100_000,
+scenario = Scenario(
+    function="sphere",
+    nodes=N,
+    particles_per_node=4 if TINY else 8,
+    total_evaluations=N * (200 if TINY else 100_000),  # we stop by time
+    gossip_cycle=4 if TINY else 8,
+    newscast=NewscastConfig(view_size=6 if TINY else 15),
+    seed=314,
 )
 
-network = Network(rng=tree.rng("network"))
-network.populate(N, factory=lambda node: build_optimization_node(node, spec))
-bootstrap_views(network, tree.rng("bootstrap"))
+network, spec, tree = Session(scenario).build_network()
 
 # Piggyback the size-estimation aggregator on the same overlay.
 for node in network.live_nodes():
@@ -72,7 +71,7 @@ engine = CycleDrivenEngine(network, rng=tree.rng("engine"))
 print(f"{'cycle':>5} {'true n':>7} {'estimated n (node 5)':>22} "
       f"{'true best':>12} {'oracle view needed?':>20}")
 for step in range(6):
-    engine.run(5)
+    engine.run(STEP)
     est = network.node(5).protocol("size_agg").estimate
     est_n = 1.0 / est if est > 0 else float("nan")
     print(f"{engine.cycle:>5} {network.live_count:>7} {est_n:>22.1f} "
@@ -93,7 +92,7 @@ for node in network.live_nodes():
     agg.estimate = 1.0 if node.node_id == initiator else 0.0
 
 for step in range(5):
-    engine.run(5)
+    engine.run(STEP)
     live = [n for n in network.live_ids()]
     est = network.node(live[3]).protocol("size_agg").estimate
     est_n = 1.0 / est if est > 0 else float("nan")

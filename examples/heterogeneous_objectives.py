@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Heterogeneous objectives: one network, many functions, one kernel.
+
+The paper's future work names "diverse domain space allocation" among
+peers.  The scenario layer makes that declarative: an
+``objective_map`` assigns every node its own objective, and the fast
+engine still advances the whole network in batched array operations —
+nodes are grouped by function and each cycle issues **one** batched
+evaluation per group, not one call per node.
+
+This script splits a network between Sphere, Rastrigin and Levy
+(all 10-D), runs the identical spec on the reference and the fast
+engine, and sweeps the network size through the session's sweep API.
+
+Run::
+
+    python examples/heterogeneous_objectives.py          # full demo
+    python examples/heterogeneous_objectives.py --tiny   # smoke-test parameters
+"""
+
+import sys
+
+from repro import Scenario, Session
+
+TINY = "--tiny" in sys.argv
+N = 6 if TINY else 24
+BUDGET_PER_NODE = 30 if TINY else 1000
+FUNCTIONS = ("sphere", "rastrigin", "levy")
+
+# Round-robin assignment: node i minimizes FUNCTIONS[i % 3].  The map
+# is part of the spec, so it serializes with Scenario.to_dict().
+scenario = Scenario(
+    objective_map={i: FUNCTIONS[i % len(FUNCTIONS)] for i in range(N)},
+    nodes=N,
+    particles_per_node=4 if TINY else 8,
+    total_evaluations=N * BUDGET_PER_NODE,
+    gossip_cycle=4 if TINY else 8,
+    repetitions=2 if TINY else 3,
+    seed=5,
+)
+
+print(f"one network, three objectives — {scenario.describe()}")
+print(f"{'engine':<12} {'avg quality':>14} {'min':>14} {'seconds':>9}")
+for engine in ("reference", "fast"):
+    result = Session(scenario.with_(engine=engine)).run()
+    stats = result.quality_stats
+    print(f"{engine:<12} {stats.mean:>14.4e} {stats.minimum:>14.4e} "
+          f"{result.elapsed_seconds:>9.2f}")
+
+print()
+print("same spec, same seed tree — the fast engine groups nodes by")
+print("function and batches each group's evaluations in one call.")
+print()
+
+# Sweep the gossip rate without touching anything else.
+print("gossip-cycle sweep on the fast engine:")
+results = Session(scenario.with_(engine="fast")).sweep(
+    gossip_cycle=[2, 4] if TINY else [2, 8, 32],
+)
+for result in results:
+    s = result.scenario
+    print(f"  r={s.gossip_cycle:<4} "
+          f"avg quality={result.quality_stats.mean:.4e}")
+
+print()
+print("(any Scenario field is a sweep axis; the facade re-validates")
+print("every point, so infeasible corners fail before they run.)")

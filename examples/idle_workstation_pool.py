@@ -11,57 +11,53 @@ catastrophically.
 
 This script simulates a 9-to-5 office: a morning population, a lunch
 crash wave (half the machines leave), an afternoon of heavy session
-churn — while a 10-D Rosenbrock minimization keeps running.
+churn — while a 10-D Rosenbrock minimization keeps running.  The pool
+itself is one :class:`repro.Scenario`; the session facade's
+``build_network()`` escape hatch hands over the node graph so the
+office timeline (crash wave, session churn) can be scripted against
+the engine directly.
 
 Run::
 
-    python examples/idle_workstation_pool.py
+    python examples/idle_workstation_pool.py          # full demo
+    python examples/idle_workstation_pool.py --tiny   # smoke-test parameters
 """
+
+import sys
 
 import numpy as np
 
+from repro import Scenario, Session
 from repro.core.metrics import GlobalQualityObserver, global_best, total_evaluations
-from repro.core.node import OptimizationNodeSpec, build_optimization_node
-from repro.functions.base import get_function
 from repro.simulator.churn import SessionChurn, lognormal_sessions
 from repro.simulator.engine import CycleDrivenEngine
-from repro.simulator.network import Network
 from repro.topology.analysis import overlay_metrics
-from repro.topology.newscast import bootstrap_views
-from repro.utils.config import CoordinationConfig, NewscastConfig, PSOConfig
-from repro.utils.rng import SeedSequenceTree
 
-MORNING_POPULATION = 80
-PARTICLES = 8
-GOSSIP_CYCLE = 8
+TINY = "--tiny" in sys.argv
+MORNING_POPULATION = 8 if TINY else 80
+GOSSIP_CYCLE = 4 if TINY else 8
+STEP = 3 if TINY else 10
 
-tree = SeedSequenceTree(2026)
-function = get_function("rosenbrock")
-
-spec = OptimizationNodeSpec(
-    function=function,
-    pso=PSOConfig(particles=PARTICLES),
-    newscast=NewscastConfig(view_size=20),
-    coordination=CoordinationConfig(),
-    rng_tree=tree,
-    evals_per_cycle=GOSSIP_CYCLE,
-    budget_per_node=1_000_000,  # effectively unlimited; we stop by time
+scenario = Scenario(
+    function="rosenbrock",
+    nodes=MORNING_POPULATION,
+    particles_per_node=4 if TINY else 8,
+    # Effectively unlimited budget; the office clock stops the run.
+    total_evaluations=MORNING_POPULATION * (200 if TINY else 1_000_000),
+    gossip_cycle=GOSSIP_CYCLE,
+    seed=2026,
 )
 
-network = Network(rng=tree.rng("network"))
-network.populate(
-    MORNING_POPULATION, factory=lambda node: build_optimization_node(node, spec)
-)
-bootstrap_views(network, tree.rng("bootstrap"))
+network, spec, tree = Session(scenario).build_network()
 
 # Afternoon churn: heavy-tailed sessions (median 25 cycles), arrivals
 # keeping the pool roughly stationary.
 churn = SessionChurn(
     session_sampler=lognormal_sessions(median_cycles=25, sigma=1.0),
-    arrivals_per_cycle=2.0,
+    arrivals_per_cycle=0.5 if TINY else 2.0,
     factory=spec,
     rng=tree.rng("churn"),
-    min_population=10,
+    min_population=4 if TINY else 10,
 )
 
 quality = GlobalQualityObserver()
@@ -81,7 +77,7 @@ def snapshot(label: str) -> None:
 
 print("=== morning: calm network =================================")
 for _ in range(4):
-    engine.run(10)
+    engine.run(STEP)
     snapshot(f"cycle {engine.cycle}")
 
 print("=== lunch: half the machines leave at once ================")
@@ -91,13 +87,13 @@ for nid in victims:
     network.crash(int(nid))
 snapshot("immediately after the wave")
 for _ in range(3):
-    engine.run(10)
+    engine.run(STEP)
     snapshot(f"cycle {engine.cycle}")
 
 print("=== afternoon: continuous session churn ===================")
 engine.churn = churn
 for _ in range(5):
-    engine.run(10)
+    engine.run(STEP)
     snapshot(f"cycle {engine.cycle}")
 
 print("============================================================")

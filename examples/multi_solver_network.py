@@ -8,71 +8,56 @@ differential evolution, and random search — behind the unchanged
 coordination and topology services.  Knowledge found by any solver
 type steers every other type through the same anti-entropy epidemic.
 
-The target is Schwefel's function: deceptive (the optimum hides near
-the domain boundary, far from the center of mass), so solver
-diversity genuinely matters.
+The mix is declarative: ``Scenario(solver=("pso", "de", "random"))``
+cycles the named solvers over the node ids.  The target is Schwefel's
+function: deceptive (the optimum hides near the domain boundary, far
+from the center of mass), so solver diversity genuinely matters.
 
 Run::
 
-    python examples/multi_solver_network.py
+    python examples/multi_solver_network.py          # full demo
+    python examples/multi_solver_network.py --tiny   # smoke-test parameters
 """
 
-from repro.core.metrics import global_best, total_evaluations
-from repro.core.node import OptimizationNodeSpec, build_optimization_node
-from repro.core.solvers import mixed_solver_factory
-from repro.functions.base import get_function
-from repro.simulator.engine import CycleDrivenEngine
-from repro.simulator.network import Network
-from repro.topology.newscast import bootstrap_views
-from repro.utils.config import CoordinationConfig, NewscastConfig, PSOConfig
-from repro.utils.rng import SeedSequenceTree
+import sys
 
-N = 24
-BUDGET_PER_NODE = 2000
+from repro import NewscastConfig, Scenario, Session
+
+TINY = "--tiny" in sys.argv
+N = 6 if TINY else 24
+BUDGET_PER_NODE = 30 if TINY else 2000
 FUNCTION = "schwefel"
+SEEDS = (1,) if TINY else (1, 2, 3)
 
 MIXES = {
-    "pure PSO         ": ["pso"],
-    "pure DE          ": ["de"],
-    "pure random      ": ["random"],
-    "PSO + DE         ": ["pso", "de"],
-    "PSO + DE + random": ["pso", "de", "random"],
+    "pure PSO         ": "pso",
+    "pure DE          ": "de",
+    "pure random      ": "random",
+    "PSO + DE         ": ("pso", "de"),
+    "PSO + DE + random": ("pso", "de", "random"),
 }
 
 
-def run_mix(assignments, seed):
-    tree = SeedSequenceTree(seed)
-    function = get_function(FUNCTION)
-    spec = OptimizationNodeSpec(
-        function=function,
-        pso=PSOConfig(particles=8),
-        newscast=NewscastConfig(view_size=12),
-        coordination=CoordinationConfig(),
-        rng_tree=tree,
-        evals_per_cycle=8,
-        budget_per_node=BUDGET_PER_NODE,
-        optimizer_factory=mixed_solver_factory(
-            function,
-            assignments,
-            swarm_particles=8,
-            rng_for=lambda nid, name: tree.rng("solver", nid, name),
-        ),
+def run_mix(solver, seed):
+    scenario = Scenario(
+        function=FUNCTION,
+        nodes=N,
+        particles_per_node=4 if TINY else 8,
+        total_evaluations=N * BUDGET_PER_NODE,
+        gossip_cycle=4 if TINY else 8,
+        newscast=NewscastConfig(view_size=6 if TINY else 12),
+        solver=solver,
+        seed=seed,
     )
-    net = Network(rng=tree.rng("network"))
-    net.populate(N, factory=lambda node: build_optimization_node(node, spec))
-    bootstrap_views(net, tree.rng("bootstrap"))
-    engine = CycleDrivenEngine(net, rng=tree.rng("engine"))
-    engine.run(BUDGET_PER_NODE // 8 + 1)
-    assert total_evaluations(net) == N * BUDGET_PER_NODE
-    return global_best(net)
+    return Session(scenario).run_one(0).best_value
 
 
 print(f"minimizing {FUNCTION} (10-D, deceptive) on {N} nodes, "
       f"{BUDGET_PER_NODE} evaluations each\n")
-print(f"{'network composition':<20} {'best of 3 seeds':>16} {'median':>12}")
-for label, assignments in MIXES.items():
-    bests = sorted(run_mix(assignments, seed) for seed in (1, 2, 3))
-    print(f"{label:<20} {bests[0]:>16.4e} {bests[1]:>12.4e}")
+print(f"{'network composition':<20} {'best over seeds':>16} {'median':>12}")
+for label, solver in MIXES.items():
+    bests = sorted(run_mix(solver, seed) for seed in SEEDS)
+    print(f"{label:<20} {bests[0]:>16.4e} {bests[len(bests) // 2]:>12.4e}")
 
 print()
 print("every intelligent mix crushes pure random search, and the")

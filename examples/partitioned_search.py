@@ -5,7 +5,8 @@ Section 3.2 sketches two coordination designs: broadcasting search
 information (the paper's evaluated instantiation) and "partitioning of
 the search space in non-overlapping zones under the responsibility of
 each node".  This library implements both, so the sketch becomes a
-measurement.
+measurement — and with the scenario layer the whole design choice is
+one boolean: ``Scenario(partitioned=True)``.
 
 Each partitioned node owns one axis-aligned zone of the domain (a
 deterministic k-d split everyone can compute locally), confines its
@@ -21,52 +22,36 @@ whole network on the best basin found by anyone.
 
 Run::
 
-    python examples/partitioned_search.py
+    python examples/partitioned_search.py          # full demo
+    python examples/partitioned_search.py --tiny   # smoke-test parameters
 """
 
+import sys
+
+from repro import Scenario, Session
 from repro.analysis.compare import compare_systems
-from repro.core.metrics import global_best, total_evaluations
-from repro.core.node import OptimizationNodeSpec, build_optimization_node
-from repro.core.partitioning import partitioned_pso_factory
 from repro.functions.base import get_function
 from repro.functions.subdomain import partition_box
-from repro.simulator.engine import CycleDrivenEngine
-from repro.simulator.network import Network
-from repro.topology.newscast import bootstrap_views
-from repro.utils.config import CoordinationConfig, NewscastConfig, PSOConfig
-from repro.utils.rng import SeedSequenceTree
 
-N = 16
-BUDGET = 2000
-SEEDS = (1, 2, 3, 4, 5)
+TINY = "--tiny" in sys.argv
+N = 8 if TINY else 16
+BUDGET = 25 if TINY else 2000
+SEEDS = (1, 2) if TINY else (1, 2, 3, 4, 5)
 
 
 def run_once(function_name: str, partitioned: bool, seed: int) -> float:
-    tree = SeedSequenceTree(seed)
-    function = get_function(function_name)
-    optimizer_factory = None
-    if partitioned:
-        optimizer_factory = partitioned_pso_factory(
-            function, N, PSOConfig(particles=8),
-            rng_for=lambda nid: tree.rng("zone", nid),
-        )
-    spec = OptimizationNodeSpec(
-        function=function,
-        pso=PSOConfig(particles=8),
-        newscast=NewscastConfig(view_size=12),
-        coordination=CoordinationConfig(),
-        rng_tree=tree,
-        evals_per_cycle=8,
-        budget_per_node=BUDGET,
-        optimizer_factory=optimizer_factory,
+    scenario = Scenario(
+        function=function_name,
+        nodes=N,
+        particles_per_node=4 if TINY else 8,
+        total_evaluations=N * BUDGET,
+        gossip_cycle=4 if TINY else 8,
+        partitioned=partitioned,
+        seed=seed,
     )
-    net = Network(rng=tree.rng("network"))
-    net.populate(N, factory=lambda node: build_optimization_node(node, spec))
-    bootstrap_views(net, tree.rng("bootstrap"))
-    engine = CycleDrivenEngine(net, rng=tree.rng("engine"))
-    engine.run(BUDGET // 8 + 1)
-    assert total_evaluations(net) == N * BUDGET
-    return global_best(net)
+    record = Session(scenario).run_one(0)
+    assert record.total_evaluations == N * BUDGET
+    return record.best_value
 
 
 function = get_function("sphere")

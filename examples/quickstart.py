@@ -7,33 +7,42 @@ swarm; NEWSCAST gossip keeps the overlay connected; an anti-entropy
 epidemic spreads the best-known optimum.  No node — and no line of
 this script — ever has a global view of the computation.
 
+The whole run is one declarative :class:`repro.Scenario` executed by
+the :class:`repro.Session` facade — the same two objects that drive
+the fast engine, the asynchronous deployment and every baseline.
+
 Run::
 
-    python examples/quickstart.py
+    python examples/quickstart.py          # full demo
+    python examples/quickstart.py --tiny   # smoke-test parameters
 """
 
-from repro import ExperimentConfig, run_experiment
+import sys
 
-config = ExperimentConfig(
-    function="sphere",          # what to minimize (see repro.functions)
-    nodes=32,                   # network size n
-    particles_per_node=8,       # swarm size k at each node
-    total_evaluations=64_000,   # global budget e (2000 evaluations per node)
-    gossip_cycle=8,             # r: gossip after every r local evaluations
-    repetitions=5,              # independent runs
-    seed=42,                    # single master seed -> fully reproducible
+from repro import Scenario, Session
+
+TINY = "--tiny" in sys.argv
+
+scenario = Scenario(
+    function="sphere",              # what to minimize (see repro.functions)
+    nodes=8 if TINY else 32,        # network size n
+    particles_per_node=4 if TINY else 8,   # swarm size k at each node
+    total_evaluations=8 * 25 if TINY else 64_000,  # global budget e
+    gossip_cycle=4 if TINY else 8,  # r: gossip after every r local evaluations
+    repetitions=2 if TINY else 5,   # independent runs
+    seed=42,                        # single master seed -> fully reproducible
 )
 
-result = run_experiment(config)
+result = Session(scenario).run()
 
-print(f"configuration : {config.describe()}")
-print(f"solution quality over {config.repetitions} runs "
+print(f"configuration : {scenario.describe()}")
+print(f"solution quality over {scenario.repetitions} runs "
       f"(distance from the known optimum 0):")
 stats = result.quality_stats
 print(f"  avg={stats.mean:.3e}  min={stats.minimum:.3e}  "
       f"max={stats.maximum:.3e}  var={stats.variance:.3e}")
 
-one = result.runs[0]
+one = result.records[0]
 print("first run detail:")
 print(f"  evaluations performed : {one.total_evaluations}")
 print(f"  engine cycles         : {one.cycles}")
@@ -41,3 +50,8 @@ print(f"  gossip messages       : {one.messages.coordination_messages}")
 print(f"  remote optima adopted : {one.messages.coordination_adoptions}")
 print(f"  node consensus spread : {one.node_best_spread:.3e} "
       "(0 = every node ended knowing the same optimum)")
+
+# The same scenario on the vectorized engine — one field changes.
+fast = Session(scenario.with_(engine="fast")).run()
+print(f"engine='fast' (same spec, SoA kernel): avg quality "
+      f"{fast.quality_stats.mean:.3e}")

@@ -3,99 +3,76 @@
 
 Paper Sec. 3.2 lists the topology service's possible instantiations —
 a gossip random overlay, a mesh, "but also a star-shaped topology
-used in a master-slave approach".  Because the framework isolates the
-topology behind the peer-sampling interface, swapping it is a
-one-argument change; this script runs the identical optimization over
-three overlays and then kills one node (the star's hub) to show why
-the paper prefers the decentralized option.
+used in a master-slave approach".  Because the scenario layer
+isolates the topology behind one declarative field, swapping overlays
+is a one-word change: ``Scenario(topology="star")`` *is* the
+master–slave architecture.  This script runs the identical
+optimization over three overlays and then kills one node (the star's
+hub) to show why the paper prefers the decentralized option.
 
 Run::
 
-    python examples/topology_comparison.py
+    python examples/topology_comparison.py          # full demo
+    python examples/topology_comparison.py --tiny   # smoke-test parameters
 """
 
-from repro.baselines.masterslave import star_topology_factory
+import sys
+
+from repro import Scenario, Session
 from repro.core.metrics import global_best
-from repro.core.node import OptimizationNodeSpec, build_optimization_node
-from repro.core.runner import run_experiment
-from repro.functions.base import get_function
 from repro.simulator.engine import CycleDrivenEngine
-from repro.simulator.network import Network
-from repro.topology.newscast import bootstrap_views
-from repro.topology.static import StaticTopologyProtocol, ring_lattice
-from repro.utils.config import ExperimentConfig
-from repro.utils.rng import SeedSequenceTree
 
-N = 24
+TINY = "--tiny" in sys.argv
+N = 8 if TINY else 24
+BUDGET = 25 if TINY else 1500
 
-config = ExperimentConfig(
+base = Scenario(
     function="zakharov",
     nodes=N,
-    particles_per_node=8,
-    total_evaluations=N * 1500,
-    gossip_cycle=8,
-    repetitions=3,
+    particles_per_node=4 if TINY else 8,
+    total_evaluations=N * BUDGET,
+    gossip_cycle=4 if TINY else 8,
+    repetitions=2 if TINY else 3,
     seed=99,
 )
 
-
-def ring_factory(nodes: int):
-    adjacency = ring_lattice(nodes, radius=2)
-    return lambda nid: (
-        StaticTopologyProtocol.PROTOCOL_NAME,
-        StaticTopologyProtocol(adjacency.get(nid, [])),
-    )
-
-
-print(f"same task on three overlays — {config.describe()}")
+print(f"same task on three overlays — {base.describe()}")
 print(f"{'topology':<14} {'avg quality':>14} {'min':>14} {'consensus spread':>18}")
-for name, factory in (
-    ("newscast", None),
-    ("star", star_topology_factory(N)),
-    ("ring", ring_factory(N)),
-):
-    result = run_experiment(config, topology_factory=factory)
+for topology in ("newscast", "star", "ring"):
+    result = Session(base.with_(topology=topology)).run()
     stats = result.quality_stats
-    spread = sum(r.node_best_spread for r in result.runs) / len(result.runs)
-    print(f"{name:<14} {stats.mean:>14.4e} {stats.minimum:>14.4e} {spread:>18.4e}")
+    spread = sum(r.node_best_spread for r in result.records) / len(result.records)
+    print(f"{topology:<14} {stats.mean:>14.4e} {stats.minimum:>14.4e} "
+          f"{spread:>18.4e}")
 
 print()
 print("now crash node 0 mid-run (the star's master) ...")
 
 
-def run_with_hub_crash(topology_factory):
-    tree = SeedSequenceTree(7)
-    spec = OptimizationNodeSpec(
-        function=get_function(config.function),
-        pso=config.pso,
-        newscast=config.newscast,
-        coordination=config.coordination,
-        rng_tree=tree,
-        evals_per_cycle=config.gossip_cycle,
-        budget_per_node=10_000,
-        topology_factory=topology_factory,
+def run_with_hub_crash(topology: str):
+    # The session's escape hatch hands us the materialized node graph
+    # so we can drive the engine manually and inject the fault.
+    scenario = base.with_(
+        topology=topology, seed=7, total_evaluations=N * 10_000, repetitions=1
     )
-    net = Network(rng=tree.rng("network"))
-    net.populate(N, factory=lambda node: build_optimization_node(node, spec))
-    if topology_factory is None:
-        bootstrap_views(net, tree.rng("bootstrap"))
+    net, spec, tree = Session(scenario).build_network()
     engine = CycleDrivenEngine(net, rng=tree.rng("engine"))
-    engine.run(10)
+    engine.run(3 if TINY else 10)
     net.crash(0)
     before = sum(
         net.node(i).protocol("coordination").adoptions for i in net.live_ids()
     )
-    engine.run(30)
+    engine.run(10 if TINY else 30)
     after = sum(
         net.node(i).protocol("coordination").adoptions for i in net.live_ids()
     )
     return after - before, global_best(net)
 
 
-for name, factory in (("newscast", None), ("star", star_topology_factory(N))):
-    adoptions, best = run_with_hub_crash(factory)
+for topology in ("newscast", "star"):
+    adoptions, best = run_with_hub_crash(topology)
     verdict = "coordination DEAD" if adoptions == 0 else "coordination alive"
-    print(f"  {name:<10} post-crash adoptions={adoptions:<5} "
+    print(f"  {topology:<10} post-crash adoptions={adoptions:<5} "
           f"best={best:.3e}  -> {verdict}")
 
 print()

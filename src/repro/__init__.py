@@ -15,28 +15,42 @@ best-known optimum with an anti-entropy epidemic.
 Quick start
 -----------
 
->>> from repro import ExperimentConfig, run_experiment
->>> config = ExperimentConfig(
+Every run — any engine, workload or baseline — is declared as one
+:class:`~repro.scenario.Scenario` and executed by a
+:class:`~repro.scenario.Session`:
+
+>>> from repro import Scenario, Session
+>>> scenario = Scenario(
 ...     function="sphere", nodes=16, particles_per_node=8,
 ...     total_evaluations=16_000, gossip_cycle=8,
 ...     repetitions=3, seed=42,
 ... )
->>> result = run_experiment(config)
+>>> result = Session(scenario).run()
 >>> result.quality_stats.mean < 1.0
 True
+
+Swap ``engine="fast"`` for the vectorized SoA kernel,
+``engine="event"`` (plus a ``horizon``) for the asynchronous
+deployment, ``topology="star"`` for master–slave,
+``baseline="centralized"`` for the single-machine reference, or an
+``objective_map`` for a heterogeneous network — same spec, same
+unified :class:`~repro.scenario.Result`.
 
 Package map
 -----------
 
 =======================  ====================================================
+``repro.scenario``       the public API: declarative Scenario specs + the
+                         Session facade over every engine and baseline
 ``repro.core``           the framework: services, anti-entropy coordination,
-                         distributed PSO, experiment runner
+                         distributed PSO, the engine implementations
 ``repro.simulator``      PeerSim-style cycle/event-driven P2P simulator
 ``repro.topology``       NEWSCAST peer sampling + static overlays + analysis
 ``repro.pso``            particle swarm solvers (gbest, lbest, FIPS)
 ``repro.functions``      benchmark objective suite
 ``repro.aggregation``    gossip averaging substrate
 ``repro.baselines``      centralized / independent / master-slave baselines
+``repro.deployment``     asynchronous event-driven runtime
 ``repro.analysis``       run statistics, paper-style tables, ASCII plots
 ``repro.experiments``    one module per paper table/figure
 =======================  ====================================================
@@ -50,6 +64,14 @@ from repro.core import (
     run_single,
 )
 from repro.functions import available_functions, get_function
+from repro.scenario import (
+    Result,
+    RunRecord,
+    Scenario,
+    ScenarioValidationError,
+    Session,
+    TransportSpec,
+)
 from repro.utils.config import (
     ChurnConfig,
     CoordinationConfig,
@@ -59,16 +81,25 @@ from repro.utils.config import (
     sweep,
 )
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "__version__",
+    # The documented public surface: declarative scenarios.
+    "Scenario",
+    "Session",
+    "Result",
+    "RunRecord",
+    "TransportSpec",
+    "ScenarioValidationError",
+    # Configuration bundles shared by scenarios and legacy configs.
     "ExperimentConfig",
     "NewscastConfig",
     "PSOConfig",
     "CoordinationConfig",
     "ChurnConfig",
     "sweep",
+    # Legacy entry points (deprecation shims over the facade).
     "run_experiment",
     "run_single",
     "RunResult",

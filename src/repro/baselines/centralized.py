@@ -6,17 +6,27 @@ performance we would have on a single, but much more powerful,
 machine" — which we model as a single synchronous gbest swarm of
 ``n·k`` particles (or any chosen size) spending the full global
 budget ``e``.
+
+Declared as ``Scenario(baseline="centralized", ...)`` and executed by
+the session facade; :func:`run_centralized` remains as the legacy
+entry point and now routes through that facade.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+from repro.core.metrics import MessageTally
 from repro.functions.base import get_function
 from repro.pso.swarm import Swarm
-from repro.utils.config import ExperimentConfig, PSOConfig
+from repro.utils.config import ChurnConfig, ExperimentConfig, PSOConfig
 from repro.utils.numerics import RunningStats
 from repro.utils.rng import SeedSequenceTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenario.result import RunRecord
+    from repro.scenario.spec import Scenario
 
 __all__ = ["CentralizedResult", "run_centralized"]
 
@@ -33,6 +43,44 @@ class CentralizedResult:
         s = RunningStats()
         s.extend(self.qualities)
         return s
+
+
+def run_record(scenario: "Scenario", repetition: int) -> "RunRecord":
+    """One centralized repetition as a unified record (Session hook).
+
+    Seed derivation (``("centralized", rep)`` off the master seed) and
+    swarm construction are unchanged from the pre-facade baseline, so
+    results are bit-compatible across the API migration.
+    """
+    from repro.scenario.result import RunRecord
+
+    k = (
+        scenario.swarm_size
+        if scenario.swarm_size is not None
+        else scenario.nodes * scenario.particles_per_node
+    )
+    function = get_function(scenario.primary_function())
+    pso = PSOConfig(
+        particles=k,
+        c1=scenario.pso.c1,
+        c2=scenario.pso.c2,
+        vmax_fraction=scenario.pso.vmax_fraction,
+        inertia=scenario.pso.inertia,
+    )
+    tree = SeedSequenceTree(scenario.seed)
+    swarm = Swarm(function, pso, tree.rng("centralized", repetition))
+    best = swarm.run(scenario.total_evaluations, synchronous=scenario.synchronous)
+    return RunRecord(
+        best_value=best,
+        quality=function.quality(best),
+        total_evaluations=swarm.state.evaluations,
+        cycles=0,
+        stop_reason="budget",
+        threshold_local_time=None,
+        threshold_total_evaluations=None,
+        messages=MessageTally(),
+        node_best_spread=0.0,
+    )
 
 
 def run_centralized(
@@ -55,21 +103,16 @@ def run_centralized(
         Classical synchronous iteration (default) or per-particle
         asynchronous stepping.
     """
-    k = swarm_size if swarm_size is not None else config.nodes * config.particles_per_node
-    if k < 1:
-        raise ValueError("swarm_size must be >= 1")
-    function = get_function(config.function)
-    pso = PSOConfig(
-        particles=k,
-        c1=config.pso.c1,
-        c2=config.pso.c2,
-        vmax_fraction=config.pso.vmax_fraction,
-        inertia=config.pso.inertia,
+    from repro.scenario import Scenario, Session
+
+    # The legacy entry point always ignored quality thresholds (and
+    # churn); strip them so any ExperimentConfig keeps working.
+    scenario = Scenario.from_experiment_config(
+        config,
+        baseline="centralized",
+        swarm_size=swarm_size,
+        synchronous=synchronous,
+        quality_threshold=None,
+        churn=ChurnConfig(),
     )
-    qualities: list[float] = []
-    tree = SeedSequenceTree(config.seed)
-    for rep in range(config.repetitions):
-        swarm = Swarm(function, pso, tree.rng("centralized", rep))
-        best = swarm.run(config.total_evaluations, synchronous=synchronous)
-        qualities.append(function.quality(best))
-    return CentralizedResult(qualities=qualities)
+    return CentralizedResult(qualities=Session(scenario).run().qualities())

@@ -8,18 +8,27 @@ service disabled — which is exactly how it is implemented: each
 node's swarm runs its local budget in isolation.
 
 Comparing this against the full framework isolates the value of the
-epidemic coordination (ablation A3).
+epidemic coordination (ablation A3).  Declared as
+``Scenario(baseline="independent", ...)`` and executed by the session
+facade; :func:`run_independent` remains as the legacy entry point and
+now routes through that facade.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+from repro.core.metrics import MessageTally
 from repro.functions.base import get_function
 from repro.pso.swarm import Swarm
-from repro.utils.config import ExperimentConfig
+from repro.utils.config import ChurnConfig, ExperimentConfig
 from repro.utils.numerics import RunningStats
 from repro.utils.rng import SeedSequenceTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenario.result import RunRecord
+    from repro.scenario.spec import Scenario
 
 __all__ = ["IndependentResult", "run_independent"]
 
@@ -39,27 +48,67 @@ class IndependentResult:
         return s
 
 
+def run_record(scenario: "Scenario", repetition: int) -> "RunRecord":
+    """One best-of-``n`` repetition as a unified record (Session hook).
+
+    Seed derivation (``("independent", rep, "node", i)``) is unchanged
+    from the pre-facade baseline, so results are bit-compatible across
+    the API migration.  Per-node final qualities land in the record's
+    ``node_qualities`` field.
+    """
+    from repro.scenario.result import RunRecord
+
+    function = get_function(scenario.primary_function())
+    budget = scenario.evaluations_per_node
+    if budget < 1:
+        raise ValueError("per-node budget must be >= 1 (e >= n)")
+    tree = SeedSequenceTree(scenario.seed)
+    node_bests: list[float] = []
+    node_qualities: list[float] = []
+    evaluations = 0
+    for node in range(scenario.nodes):
+        swarm = Swarm(
+            function,
+            scenario.pso,
+            tree.rng("independent", repetition, "node", node),
+        )
+        best = swarm.run(budget)
+        node_bests.append(best)
+        node_qualities.append(function.quality(best))
+        evaluations += swarm.state.evaluations
+    best_value = min(node_bests)
+    return RunRecord(
+        best_value=best_value,
+        quality=min(node_qualities),
+        total_evaluations=evaluations,
+        cycles=0,
+        stop_reason="budget",
+        threshold_local_time=None,
+        threshold_total_evaluations=None,
+        messages=MessageTally(),
+        node_best_spread=max(node_bests) - best_value,
+        node_qualities=node_qualities,
+    )
+
+
 def run_independent(config: ExperimentConfig) -> IndependentResult:
     """Run ``n`` isolated swarms per repetition; report best-of-``n``.
 
     Each node gets the same per-node budget ``e/n`` as in the
     distributed system, so the comparison holds total work fixed.
     """
-    function = get_function(config.function)
-    budget = config.evaluations_per_node
-    if budget < 1:
-        raise ValueError("per-node budget must be >= 1 (e >= n)")
-    tree = SeedSequenceTree(config.seed)
-    qualities: list[float] = []
-    per_node: list[list[float]] = []
-    for rep in range(config.repetitions):
-        node_qualities: list[float] = []
-        for node in range(config.nodes):
-            swarm = Swarm(
-                function, config.pso, tree.rng("independent", rep, "node", node)
-            )
-            best = swarm.run(budget)
-            node_qualities.append(function.quality(best))
-        per_node.append(node_qualities)
-        qualities.append(min(node_qualities))
-    return IndependentResult(qualities=qualities, per_node_qualities=per_node)
+    from repro.scenario import Scenario, Session
+
+    # The legacy entry point always ignored quality thresholds (and
+    # churn); strip them so any ExperimentConfig keeps working.
+    scenario = Scenario.from_experiment_config(
+        config,
+        baseline="independent",
+        quality_threshold=None,
+        churn=ChurnConfig(),
+    )
+    result = Session(scenario).run()
+    return IndependentResult(
+        qualities=result.qualities(),
+        per_node_qualities=[list(r.node_qualities or []) for r in result.records],
+    )

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.core.runner import ExperimentResult, run_experiment
+from repro.core.runner import ExperimentResult
 from repro.topology.static import StaticTopologyProtocol, star_graph
 from repro.utils.config import ExperimentConfig
 
@@ -59,8 +59,12 @@ def run_master_slave(config: ExperimentConfig) -> ExperimentResult:
 
     Every other parameter — swarms, budgets, gossip rate, coordination
     mode — is identical to the decentralized run, so any performance
-    difference is attributable to the topology alone.
+    difference is attributable to the topology alone.  Master–slave is
+    not a separate code path: it is literally
+    ``Scenario(topology="star")`` on the unchanged framework.
     """
-    return run_experiment(
-        config, topology_factory=star_topology_factory(config.nodes)
-    )
+    from repro.scenario import Scenario, Session
+
+    scenario = Scenario.from_experiment_config(config, topology="star")
+    result = Session(scenario).run()
+    return ExperimentResult(config=config, runs=list(result.records))

@@ -61,8 +61,6 @@ engine when those mechanisms are the object of study.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from repro.core.metrics import GlobalQualityObserver, MessageTally
@@ -100,6 +98,16 @@ class FastEngine:
         Run the anti-entropy coordination phase.  ``False`` isolates
         the nodes — the configuration under which fast and reference
         engines are same-seed trajectory-identical for any ``n``.
+    objective_map:
+        Optional heterogeneous network: ``{node_id: function_name}``
+        covering every initial node (all functions must share one
+        dimensionality; joiners reuse ``node_id % initial_size``'s
+        objective).  Nodes are grouped by function and each chunk
+        issues **one batched objective evaluation per group**, so the
+        fast path keeps its whole-network arithmetic while every
+        group minimizes its own function — the grouped multi-function
+        batching named in ROADMAP.md.  Velocity/position bounds become
+        per-node rows when the groups' domains differ.
     """
 
     def __init__(
@@ -107,20 +115,22 @@ class FastEngine:
         config: ExperimentConfig,
         repetition: int = 0,
         gossip: bool = True,
+        objective_map=None,
     ):
         self.config = config
         self.gossip = gossip
         tree = SeedSequenceTree(config.seed).subtree("rep", repetition)
         self._tree = tree
-        self.function: Function = get_function(config.function)
-        self._vmax = resolve_vmax(self.function, config.pso.vmax_fraction)
+        self._init_objectives(config, objective_map)
 
         n = config.nodes
         self._gens: list[np.random.Generator] = []
         states = []
         for nid in range(n):
             rng = tree.rng("node", nid, "pso")
-            states.append(initial_swarm_state(self.function, config.pso, rng))
+            states.append(
+                initial_swarm_state(self._function_of(nid), config.pso, rng)
+            )
             self._gens.append(rng)
         self.soa: SwarmStateSoA = stack_states(states)
 
@@ -145,6 +155,76 @@ class FastEngine:
         self.crashes = 0
         self.joins = 0
         self._draws: np.ndarray | None = None
+
+    # -- objectives (homogeneous or grouped heterogeneous) -----------------------
+
+    def _init_objectives(self, config: ExperimentConfig, objective_map) -> None:
+        if objective_map is None:
+            self.function: Function = get_function(config.function)
+            self._functions: list[Function] = [self.function]
+            self._node_group: list[int] | None = None
+            self._vmax = resolve_vmax(self.function, config.pso.vmax_fraction)
+            self._vmax_rows = None
+            self._lower_rows = self._upper_rows = None
+            return
+        names: list[str] = []
+        index: dict[str, int] = {}
+        groups: list[int] = []
+        for nid in range(config.nodes):
+            try:
+                name = str(objective_map[nid])
+            except KeyError:
+                raise ConfigurationError(
+                    f"objective_map must cover every node; missing id {nid}"
+                ) from None
+            if name not in index:
+                index[name] = len(names)
+                names.append(name)
+            groups.append(index[name])
+        self._functions = [get_function(name) for name in names]
+        dims = {f.dimension for f in self._functions}
+        if len(dims) != 1:
+            raise ConfigurationError(
+                f"objective_map functions must share one dimension, got {sorted(dims)}"
+            )
+        self.function = self._functions[groups[0]]
+        self._node_group = groups
+        # Bounds become per-node rows: groups may have different boxes.
+        self._vmax = None
+        vmaxes = [resolve_vmax(f, config.pso.vmax_fraction) for f in self._functions]
+        if vmaxes[0] is None:
+            self._vmax_rows = None
+        else:
+            self._vmax_rows = np.stack([vmaxes[g] for g in groups])
+        self._lower_rows = np.stack([self._functions[g].lower for g in groups])
+        self._upper_rows = np.stack([self._functions[g].upper for g in groups])
+
+    def _function_of(self, nid: int) -> Function:
+        if self._node_group is None:
+            return self.function
+        return self._functions[self._node_group[nid]]
+
+    def quality_of(self, value: float) -> float:
+        """Solution quality of ``value`` across the network's objectives."""
+        if self._node_group is None:
+            return self.function.quality(value)
+        fstar = min(f.optimum_value for f in self._functions)
+        return max(0.0, float(value) - fstar)
+
+    def _batch_eval(self, live: np.ndarray, pos: np.ndarray) -> np.ndarray:
+        """Evaluate ``(nl, width, d)`` positions: one batch per function group."""
+        nl, width, d = pos.shape
+        if self._node_group is None:
+            return self.function.batch(pos.reshape(-1, d)).reshape(nl, width)
+        out = np.empty((nl, width))
+        groups = np.asarray(self._node_group, dtype=np.int64)[live]
+        for gi, fn in enumerate(self._functions):
+            rows = np.nonzero(groups == gi)[0]
+            if rows.size:
+                out[rows] = fn.batch(
+                    pos[rows].reshape(-1, d)
+                ).reshape(rows.size, width)
+        return out
 
     def _draw_buffer(self, shape: tuple[int, ...]) -> np.ndarray:
         """Reusable uniform-draw buffer (steady state: one shape per run)."""
@@ -197,7 +277,18 @@ class FastEngine:
     def _join(self) -> int:
         nid = self.soa.n
         rng = self._tree.rng("node", nid, "pso")
-        state = initial_swarm_state(self.function, self.config.pso, rng)
+        function = self.function
+        if self._node_group is not None:
+            group = self._node_group[nid % self._initial_size]
+            self._node_group.append(group)
+            function = self._functions[group]
+            if self._vmax_rows is not None:
+                self._vmax_rows = np.vstack(
+                    [self._vmax_rows, self._vmax_rows[nid % self._initial_size][None]]
+                )
+            self._lower_rows = np.vstack([self._lower_rows, function.lower[None]])
+            self._upper_rows = np.vstack([self._upper_rows, function.upper[None]])
+        state = initial_swarm_state(function, self.config.pso, rng)
         self.soa.extend([state])
         self._gens.append(rng)
         self._live_pos[nid] = len(self._live)
@@ -356,9 +447,23 @@ class FastEngine:
             )
             if self._vmax is not None:
                 np.clip(vel, -self._vmax, self._vmax, out=vel)
+            elif self._vmax_rows is not None:
+                bound = self._vmax_rows[live][:, None, :]
+                np.clip(vel, -bound, bound, out=vel)
             new_pos = sub_pos + vel
             if cfg.clamp_positions:
-                np.clip(new_pos, self.function.lower, self.function.upper, out=new_pos)
+                if self._node_group is None:
+                    np.clip(
+                        new_pos, self.function.lower, self.function.upper,
+                        out=new_pos,
+                    )
+                else:
+                    np.clip(
+                        new_pos,
+                        self._lower_rows[live][:, None, :],
+                        self._upper_rows[live][:, None, :],
+                        out=new_pos,
+                    )
             mask3 = move[:, :, None]
             vel = np.where(mask3, vel, sub_vel)
             new_pos = np.where(mask3, new_pos, sub_pos)
@@ -366,7 +471,7 @@ class FastEngine:
             vel = sub_vel
             new_pos = sub_pos
 
-        values = self.function.batch(new_pos.reshape(-1, d)).reshape(nl, width)
+        values = self._batch_eval(live, new_pos)
 
         improved = participating & (values < sub_pbv)
         new_pbv = np.where(improved, values, sub_pbv)
@@ -507,35 +612,44 @@ def run_single_fast(
     repetition: int = 0,
     record_history: bool = False,
     gossip: bool = True,
+    objective_map=None,
+    extra_observers=(),
+    max_cycles: int | None = None,
 ) -> RunResult:
-    """Fast-path counterpart of :func:`~repro.core.runner.run_single`.
+    """Fast-path counterpart of the reference single-repetition runner.
 
     Same contract and :class:`~repro.core.runner.RunResult` schema; see
     the module docstring for the equivalence guarantees.  Reached via
-    ``run_single(..., engine="fast")`` in normal use.
+    ``Scenario(engine="fast")`` through the session facade in normal
+    use; ``objective_map`` routes heterogeneous networks through
+    grouped batch evaluation (see :class:`FastEngine`).
     """
     if config.evaluations_per_node < 1:
         raise ConfigurationError(
             f"budget e={config.total_evaluations} gives node budget "
             f"{config.evaluations_per_node} < 1 for n={config.nodes}"
         )
-    engine = FastEngine(config, repetition=repetition, gossip=gossip)
+    engine = FastEngine(
+        config, repetition=repetition, gossip=gossip, objective_map=objective_map
+    )
     quality_obs = GlobalQualityObserver(
         threshold=config.quality_threshold, record_history=record_history
     )
     budget_stop = StopCondition(
         lambda eng: eng.budgets_exhausted(), reason="budget"
     )
-    engine.observers = [quality_obs, budget_stop]
+    engine.observers = [quality_obs, budget_stop, *extra_observers]
 
-    # Same safety cap as the reference runner.
-    base_cycles = math.ceil(config.evaluations_per_node / config.gossip_cycle)
-    max_cycles = 2 * base_cycles + 4 if config.churn.enabled else base_cycles + 1
+    if max_cycles is None:
+        # Same safety cap as the reference runner.
+        from repro.core.runner import default_max_cycles
+
+        max_cycles = default_max_cycles(config)
     engine.run(max_cycles)
 
     stop_reason = engine.stop_reason or "cycle cap"
     best = quality_obs.best_value
-    quality = engine.function.quality(best)
+    quality = engine.quality_of(best)
 
     threshold_local = None
     if quality_obs.threshold_cycle is not None:
@@ -552,4 +666,6 @@ def run_single_fast(
         messages=engine.message_tally(),
         node_best_spread=engine.node_best_spread(),
         history=list(quality_obs.history),
+        crashes=engine.crashes,
+        joins=engine.joins,
     )

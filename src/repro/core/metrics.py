@@ -164,6 +164,18 @@ class MessageTally:
         tally.transport_to_dead = engine.transport.stats.to_dead
         return tally
 
+    def merged(self, other: "MessageTally") -> "MessageTally":
+        """Element-wise sum (aggregating tallies across repetitions)."""
+        return MessageTally(
+            newscast_exchanges=self.newscast_exchanges + other.newscast_exchanges,
+            coordination_messages=self.coordination_messages
+            + other.coordination_messages,
+            coordination_adoptions=self.coordination_adoptions
+            + other.coordination_adoptions,
+            transport_sent=self.transport_sent + other.transport_sent,
+            transport_to_dead=self.transport_to_dead + other.transport_to_dead,
+        )
+
     def as_dict(self) -> dict[str, int]:
         """Plain-dict snapshot for reports."""
         return {

@@ -22,6 +22,11 @@ coverage (every region gets attention — valuable on deceptive
 functions whose optimum hides far from the center of mass), at the
 price of not concentrating the whole network's effort on the current
 best basin (costly on unimodal functions).
+
+The declarative entry point is ``Scenario(partitioned=True)`` — the
+session facade builds :func:`partitioned_pso_factory` with canonical
+per-node seed streams ``("node", id, "zone")``; joiners under churn
+reuse zone ``node_id % nodes`` automatically.
 """
 
 from __future__ import annotations

@@ -21,7 +21,9 @@ experiment is one master seed; results are bit-reproducible.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.dpso import PSOStepProtocol
 from repro.core.metrics import (
@@ -73,6 +75,8 @@ class RunResult:
         network is from consensus on the optimum (0 = fully diffused).
     history:
         Per-cycle quality trajectory (empty unless requested).
+    crashes / joins:
+        Churn events observed during the run (0 without churn).
     """
 
     best_value: float
@@ -85,6 +89,8 @@ class RunResult:
     messages: MessageTally
     node_best_spread: float
     history: list[QualitySample] = field(default_factory=list)
+    crashes: int = 0
+    joins: int = 0
 
     @property
     def reached_threshold(self) -> bool:
@@ -149,6 +155,7 @@ def _build_network(
     function: Function,
     tree: SeedSequenceTree,
     topology_factory=None,
+    optimizer_factory=None,
 ) -> tuple[Network, OptimizationNodeSpec]:
     spec = OptimizationNodeSpec(
         function=function,
@@ -159,6 +166,7 @@ def _build_network(
         evals_per_cycle=config.gossip_cycle,
         budget_per_node=config.evaluations_per_node,
         topology_factory=topology_factory,
+        optimizer_factory=optimizer_factory,
     )
     network = Network(rng=tree.rng("network"))
 
@@ -171,6 +179,18 @@ def _build_network(
     return network, spec
 
 
+def default_max_cycles(config: ExperimentConfig) -> int:
+    """The cycle-driven safety cap for ``config``.
+
+    Without churn every original node exhausts within
+    ``ceil(budget / r)`` cycles; joiners get headroom via the 2x
+    factor.  Single source of truth for the reference engine, the fast
+    path and ``Session.max_cycles``.
+    """
+    base_cycles = math.ceil(config.evaluations_per_node / config.gossip_cycle)
+    return 2 * base_cycles + 4 if config.churn.enabled else base_cycles + 1
+
+
 def _all_budgets_exhausted(engine: CycleDrivenEngine) -> bool:
     for node in engine.network.live_nodes():
         proto: PSOStepProtocol = node.protocol(PSOStepProtocol.PROTOCOL_NAME)  # type: ignore[assignment]
@@ -179,53 +199,24 @@ def _all_budgets_exhausted(engine: CycleDrivenEngine) -> bool:
     return True
 
 
-def run_single(
+def _run_single_reference(
     config: ExperimentConfig,
     repetition: int = 0,
     record_history: bool = False,
     topology_factory=None,
-    engine: str = "reference",
+    optimizer_builder: Callable[[Function, SeedSequenceTree], Callable] | None = None,
+    extra_observers=(),
+    max_cycles: int | None = None,
 ) -> RunResult:
-    """Execute one repetition of ``config``; returns its :class:`RunResult`.
+    """Reference-engine implementation of one repetition.
 
-    Parameters
-    ----------
-    config:
-        The experiment point.  ``config.evaluations_per_node`` must be
-        ≥ 1 (i.e. ``e ≥ n``) — fewer would mean idle nodes, which the
-        paper's scenarios never contain.
-    repetition:
-        Index selecting the seed-tree branch ``("rep", repetition)``.
-    record_history:
-        Keep the per-cycle quality trajectory (memory-heavy at scale).
-    topology_factory:
-        Optional non-NEWSCAST topology, as a callable
-        ``node_id -> (protocol_name, PeerSampler protocol)`` (see
-        :class:`~repro.core.node.OptimizationNodeSpec`).  NEWSCAST view
-        bootstrap is skipped when given.
-    engine:
-        ``"reference"`` (default) simulates the full per-node protocol
-        stack; ``"fast"`` runs the vectorized SoA engine
-        (:mod:`repro.core.fastpath`) — same RunResult schema, order of
-        magnitude faster at scale, statistically equivalent (and
-        same-seed identical at ``r = k`` when gossip cannot reorder
-        information flow mid-cycle; see the fastpath module docs).
-        The fast engine models peer sampling as an oracle, so it does
-        not combine with ``topology_factory``.
+    This is the engine room behind :class:`repro.scenario.Session`;
+    the deprecated :func:`run_single` shim reaches it through the
+    facade.  ``optimizer_builder`` maps ``(function, seed_tree)`` to a
+    per-node ``node_id -> OptimizationService`` factory — how the
+    scenario layer routes heterogeneous objective maps, mixed solvers
+    and partitioned search through the unchanged node assembly.
     """
-    if engine not in ("reference", "fast"):
-        raise ValueError(f"unknown engine {engine!r}; use 'reference' or 'fast'")
-    if engine == "fast":
-        if topology_factory is not None:
-            raise ValueError(
-                "engine='fast' does not support custom topology factories; "
-                "use the reference engine to study topology effects"
-            )
-        from repro.core.fastpath import run_single_fast
-
-        return run_single_fast(
-            config, repetition=repetition, record_history=record_history
-        )
     if config.evaluations_per_node < 1:
         raise ConfigurationError(
             f"budget e={config.total_evaluations} gives node budget "
@@ -233,7 +224,12 @@ def run_single(
         )
     tree = SeedSequenceTree(config.seed).subtree("rep", repetition)
     function = get_function(config.function)
-    network, spec = _build_network(config, function, tree, topology_factory)
+    optimizer_factory = (
+        optimizer_builder(function, tree) if optimizer_builder is not None else None
+    )
+    network, spec = _build_network(
+        config, function, tree, topology_factory, optimizer_factory
+    )
 
     churn = None
     if config.churn.enabled:
@@ -247,13 +243,11 @@ def run_single(
         network,
         rng=tree.rng("engine"),
         churn=churn,
-        observers=[quality_obs, budget_stop],
+        observers=[quality_obs, budget_stop, *extra_observers],
     )
 
-    # Safety cap: without churn every original node exhausts within
-    # ceil(budget / r) cycles; joiners get headroom via the 2x factor.
-    base_cycles = math.ceil(config.evaluations_per_node / config.gossip_cycle)
-    max_cycles = 2 * base_cycles + 4 if config.churn.enabled else base_cycles + 1
+    if max_cycles is None:
+        max_cycles = default_max_cycles(config)
     engine.run(max_cycles)
 
     stop_reason = engine.stop_reason or "cycle cap"
@@ -283,15 +277,60 @@ def run_single(
         messages=MessageTally.collect(engine),
         node_best_spread=spread,
         history=list(quality_obs.history),
+        crashes=churn.crashes if churn is not None else 0,
+        joins=churn.joins if churn is not None else 0,
     )
 
 
-def _run_single_star(args: tuple) -> RunResult:
-    """Top-level helper for multiprocessing (must be picklable)."""
-    config, repetition, record_history, engine = args
-    return run_single(
-        config, repetition=repetition, record_history=record_history, engine=engine
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; build the run through {new} "
+        "(see repro.scenario)",
+        DeprecationWarning,
+        stacklevel=3,
     )
+
+
+def _legacy_scenario(config, engine, topology_factory, record_history):
+    """Lift legacy runner arguments into a Scenario, preserving the
+    pre-facade error contract for invalid engine/topology combos."""
+    from repro.scenario import Scenario
+
+    if engine not in ("reference", "fast"):
+        raise ValueError(f"unknown engine {engine!r}; use 'reference' or 'fast'")
+    if engine == "fast" and topology_factory is not None:
+        raise ValueError(
+            "engine='fast' does not support custom topology factories; "
+            "use the reference engine to study topology effects"
+        )
+    return Scenario.from_experiment_config(
+        config,
+        engine=engine,
+        topology=topology_factory if topology_factory is not None else "newscast",
+        record_history=record_history,
+    )
+
+
+def run_single(
+    config: ExperimentConfig,
+    repetition: int = 0,
+    record_history: bool = False,
+    topology_factory=None,
+    engine: str = "reference",
+) -> RunResult:
+    """Execute one repetition of ``config``; returns its :class:`RunResult`.
+
+    .. deprecated::
+        Thin shim over the scenario facade — prefer
+        ``Session(Scenario(...)).run_one(repetition)``, which accepts
+        the same knobs declaratively (``engine=...``, ``topology=...``)
+        and returns the unified record type.  Results are identical.
+    """
+    _deprecated("run_single", "Session(Scenario(...)).run_one(...)")
+    from repro.scenario import Session
+
+    scenario = _legacy_scenario(config, engine, topology_factory, record_history)
+    return Session(scenario).run_one(repetition)
 
 
 def run_experiment(
@@ -304,58 +343,16 @@ def run_experiment(
 ) -> ExperimentResult:
     """Run all repetitions of ``config`` and aggregate.
 
-    Parameters
-    ----------
-    config:
-        The experiment point, including ``repetitions``.
-    record_history:
-        Forwarded to :func:`run_single`.
-    progress:
-        Optional callback ``(repetition_index, RunResult) -> None``
-        invoked after each repetition (CLI progress reporting).
-    topology_factory:
-        Forwarded to :func:`run_single` (non-NEWSCAST topologies).
-    workers:
-        Process-parallel repetitions.  Results are identical to the
-        sequential run (each repetition's randomness is derived from
-        its own seed-tree branch, independent of execution order) —
-        the test suite pins this, for both engines.  Custom
-        ``topology_factory`` callables are often closures and thus not
-        picklable, so parallel execution requires
-        ``topology_factory=None``.
-    engine:
-        Forwarded to :func:`run_single` (``"reference"`` or ``"fast"``).
+    .. deprecated::
+        Thin shim over the scenario facade — prefer
+        ``Session(Scenario(...)).run(workers=...)``.  The facade's
+        :class:`~repro.scenario.result.Result` exposes the same
+        statistics surface; this shim repackages its records into the
+        legacy :class:`ExperimentResult` unchanged.
     """
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
-    if workers > 1 and topology_factory is not None:
-        raise ValueError(
-            "parallel execution does not support custom topology factories"
-        )
-    runs: list[RunResult] = []
-    if workers == 1 or config.repetitions == 1:
-        for rep in range(config.repetitions):
-            result = run_single(
-                config,
-                repetition=rep,
-                record_history=record_history,
-                topology_factory=topology_factory,
-                engine=engine,
-            )
-            runs.append(result)
-            if progress is not None:
-                progress(rep, result)
-    else:
-        import multiprocessing
+    _deprecated("run_experiment", "Session(Scenario(...)).run(...)")
+    from repro.scenario import Session
 
-        jobs = [
-            (config, rep, record_history, engine)
-            for rep in range(config.repetitions)
-        ]
-        ctx = multiprocessing.get_context("spawn")
-        with ctx.Pool(processes=min(workers, config.repetitions)) as pool:
-            for rep, result in enumerate(pool.map(_run_single_star, jobs)):
-                runs.append(result)
-                if progress is not None:
-                    progress(rep, result)
-    return ExperimentResult(config=config, runs=runs)
+    scenario = _legacy_scenario(config, engine, topology_factory, record_history)
+    result = Session(scenario).run(workers=workers, progress=progress)
+    return ExperimentResult(config=config, runs=list(result.records))

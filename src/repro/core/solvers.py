@@ -19,6 +19,12 @@ This module delivers that extension:
 All implement :class:`~repro.core.services.OptimizationService`, so
 the coordination and topology services run unchanged over any mix —
 the ablation bench A5 exercises exactly that.
+
+The declarative entry point is ``Scenario(solver=("pso", "de",
+"random"))`` — the session facade cycles the named solvers over the
+node ids via :func:`mixed_solver_factory` with canonical per-node
+seed streams ``("node", id, "solver", name)``.  The factories below
+remain the building blocks for custom assignments.
 """
 
 from __future__ import annotations

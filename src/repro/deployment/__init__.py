@@ -23,12 +23,14 @@ configuration — message timing changes *when* knowledge moves, not
 from repro.deployment.newscast_ed import EventNewscastProtocol
 from repro.deployment.runtime import (
     AsyncDeployment,
+    AsyncRuntime,
     DeploymentConfig,
     DeploymentResult,
 )
 
 __all__ = [
     "EventNewscastProtocol",
+    "AsyncRuntime",
     "AsyncDeployment",
     "DeploymentConfig",
     "DeploymentResult",

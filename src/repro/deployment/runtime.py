@@ -22,6 +22,7 @@ trajectory and enforces threshold/budget stopping.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -39,7 +40,12 @@ from repro.utils.config import CoordinationConfig, NewscastConfig, PSOConfig
 from repro.utils.exceptions import ConfigurationError
 from repro.utils.rng import SeedSequenceTree
 
-__all__ = ["DeploymentConfig", "DeploymentResult", "AsyncDeployment"]
+__all__ = [
+    "DeploymentConfig",
+    "DeploymentResult",
+    "AsyncRuntime",
+    "AsyncDeployment",
+]
 
 
 @dataclass(frozen=True)
@@ -125,17 +131,23 @@ class DeploymentResult:
     #: (time, evaluations, best) samples from the monitor.
 
 
-class AsyncDeployment:
+class AsyncRuntime:
     """Build and run one asynchronous deployment.
+
+    The engine room behind ``Scenario(engine="event")`` — the session
+    facade constructs it per repetition.  ``repetition`` selects the
+    seed-tree branch ``("rep", i)``, the same convention the
+    cycle-driven engines use, so multi-repetition event scenarios are
+    reproducible and order-independent.
 
     Usage::
 
-        result = AsyncDeployment(config).run(until=600.0)
+        result = AsyncRuntime(config).run(until=600.0)
     """
 
-    def __init__(self, config: DeploymentConfig):
+    def __init__(self, config: DeploymentConfig, repetition: int = 0):
         self.config = config
-        self.tree = SeedSequenceTree(config.seed)
+        self.tree = SeedSequenceTree(config.seed).subtree("rep", repetition)
         self.function: Function = get_function(config.function)
         self.network = Network(rng=self.tree.rng("network"))
 
@@ -327,3 +339,27 @@ class AsyncDeployment:
             joins=self.joins,
             history=list(self.history),
         )
+
+
+class AsyncDeployment(AsyncRuntime):
+    """Deprecated direct entry point to the asynchronous runtime.
+
+    .. deprecated::
+        Thin shim over the scenario facade — prefer
+        ``Session(Scenario(engine="event", horizon=..., ...)).run()``,
+        which builds the identical :class:`AsyncRuntime` and returns
+        the unified record type.  Direct construction produces results
+        identical to the facade path.  (Note: the seed stream moved to
+        the per-repetition branch ``("rep", i)`` in the scenario-API
+        release, so same-seed runs differ numerically from pre-2.0
+        versions; statistical behavior is unchanged — see CHANGES.md.)
+    """
+
+    def __init__(self, config: DeploymentConfig, repetition: int = 0):
+        warnings.warn(
+            "AsyncDeployment is deprecated; build the run through "
+            "Session(Scenario(engine='event', ...)) (see repro.scenario)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(config, repetition=repetition)

@@ -14,7 +14,11 @@ Module    Paper artefact        Question
 Every module exposes the same interface:
 
 * ``configs(scale, seed)`` — the sweep as ExperimentConfig list;
-* ``run(scale, seed, progress)`` — execute, returning
+* ``scenarios(scale, seed, engine)`` — the same sweep lifted into
+  declarative :class:`~repro.scenario.Scenario` specs (what the CLI's
+  ``--dump-scenarios`` prints as JSON);
+* ``run(scale, seed, progress, engine)`` — execute every point through
+  the session facade, returning
   :class:`~repro.experiments.common.SweepData`;
 * ``report(data)`` — paper-style tables + ASCII figures as a string.
 

@@ -49,12 +49,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--csv", default=None, help="also dump raw runs to CSV")
     parser.add_argument(
+        "--dump-scenarios",
+        action="store_true",
+        help="print the sweep as declarative Scenario JSON and exit "
+        "without running anything",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-config progress on stderr"
     )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     progress = None if args.quiet else stderr_progress
+
+    if args.dump_scenarios:
+        import json
+
+        specs = []
+        for name in names:
+            specs.extend(
+                s.to_dict()
+                for s in EXPERIMENTS[name].scenarios(
+                    scale=args.scale, seed=args.seed, engine=args.engine
+                )
+            )
+        print(json.dumps(specs, indent=2))
+        return 0
 
     all_results = []
     for name in names:

@@ -3,6 +3,14 @@
 A *sweep* is an ordered list of :class:`ExperimentConfig` points; its
 result, :class:`SweepData`, keeps (config, result) pairs and offers
 the groupings the reports need (per function, per series parameter).
+
+Execution goes through the unified scenario layer: every point is
+lifted into a :class:`~repro.scenario.spec.Scenario` and run by a
+:class:`~repro.scenario.session.Session`, so the experiment modules
+share one code path with the examples, baselines and the deployment
+runtime.  :func:`scenario_points` exposes the lifted specs directly —
+``python -m repro.experiments expN --dump-scenarios`` prints them as
+JSON.
 """
 
 from __future__ import annotations
@@ -10,13 +18,22 @@ from __future__ import annotations
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
-from repro.core.runner import ExperimentResult, run_experiment
+from repro.scenario import Result, Scenario, Session
 from repro.utils.config import ExperimentConfig
 from repro.utils.numerics import safe_log10
 
-__all__ = ["SweepData", "run_sweep", "stderr_progress"]
+__all__ = ["SweepData", "run_sweep", "scenario_points", "stderr_progress"]
+
+
+def scenario_points(
+    configs: Sequence[ExperimentConfig], engine: str = "reference"
+) -> list[Scenario]:
+    """Lift legacy sweep points into declarative scenario specs."""
+    return [
+        Scenario.from_experiment_config(cfg, engine=engine) for cfg in configs
+    ]
 
 
 @dataclass
@@ -25,7 +42,7 @@ class SweepData:
 
     name: str
     scale: str
-    entries: list[tuple[ExperimentConfig, ExperimentResult]] = field(
+    entries: list[tuple[ExperimentConfig, Result]] = field(
         default_factory=list
     )
     elapsed_seconds: float = 0.0
@@ -37,17 +54,17 @@ class SweepData:
             seen.setdefault(cfg.function, None)
         return list(seen)
 
-    def for_function(self, function: str) -> list[tuple[ExperimentConfig, ExperimentResult]]:
+    def for_function(self, function: str) -> list[tuple[ExperimentConfig, Result]]:
         """Entries restricted to one function, sweep order preserved."""
         return [(c, r) for c, r in self.entries if c.function == function]
 
-    def best_per_function(self) -> dict[str, ExperimentResult]:
+    def best_per_function(self) -> dict[str, Result]:
         """For each function, the entry with the lowest mean quality.
 
         This is how the paper's "best results" tables are built: the
         table row is the best configuration of the sweep.
         """
-        best: dict[str, ExperimentResult] = {}
+        best: dict[str, Result] = {}
         for cfg, res in self.entries:
             cur = best.get(cfg.function)
             if cur is None or res.quality_stats.mean < cur.quality_stats.mean:
@@ -59,7 +76,7 @@ class SweepData:
         function: str,
         x_of: Callable[[ExperimentConfig], float],
         group_of: Callable[[ExperimentConfig], object],
-        y_of: Callable[[ExperimentResult], float] | None = None,
+        y_of: Callable[[Result], float] | None = None,
     ) -> dict[object, tuple[list[float], list[float]]]:
         """Build figure series: group → (xs, ys).
 
@@ -85,15 +102,15 @@ def run_sweep(
 ) -> SweepData:
     """Execute every config in order; returns the collected data.
 
-    ``engine`` selects the simulation engine per
-    :func:`~repro.core.runner.run_single` — ``"fast"`` runs the
-    vectorized SoA path, which makes the large-``n`` corners of the
-    paper sweeps (exp2's ``n = 2^16``) tractable.
+    Every point runs as ``Session(Scenario(...)).run()``; ``engine``
+    selects the scenario engine — ``"fast"`` runs the vectorized SoA
+    path, which makes the large-``n`` corners of the paper sweeps
+    (exp2's ``n = 2^16``) tractable.
     """
     data = SweepData(name=name, scale=scale)
     t0 = time.perf_counter()
     for i, cfg in enumerate(configs):
-        res = run_experiment(cfg, engine=engine)
+        res = Session(Scenario.from_experiment_config(cfg, engine=engine)).run()
         data.entries.append((cfg, res))
         if progress is not None:
             progress(

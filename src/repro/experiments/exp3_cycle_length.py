@@ -29,7 +29,7 @@ from repro.functions.suite import PAPER_FUNCTIONS
 from repro.utils.config import ExperimentConfig
 from repro.utils.exceptions import ConfigurationError
 
-__all__ = ["SCALES", "configs", "run", "report"]
+__all__ = ["SCALES", "configs", "scenarios", "run", "report"]
 
 NAME = "exp3"
 TITLE = "Experiment 3: quality vs gossip cycle length (Table 3 / Figure 3)"
@@ -87,6 +87,17 @@ def configs(scale: str = "reduced", seed: int = 42) -> list[ExperimentConfig]:
                     )
                 )
     return out
+
+
+def scenarios(scale: str = "reduced", seed: int = 42, engine: str = "reference"):
+    """The sweep as declarative :class:`repro.scenario.Scenario` specs.
+
+    JSON-able via ``Scenario.to_dict`` — what the CLI's
+    ``--dump-scenarios`` prints.
+    """
+    from repro.experiments.common import scenario_points
+
+    return scenario_points(configs(scale, seed), engine=engine)
 
 
 def run(

@@ -18,12 +18,12 @@ from typing import Callable
 
 from repro.analysis.tables import format_paper_table, format_value
 from repro.core.metrics import estimate_overhead_bytes
-from repro.core.runner import run_single
 from repro.experiments.common import SweepData
+from repro.scenario import Scenario, Session
 from repro.utils.config import ExperimentConfig
 from repro.utils.exceptions import ConfigurationError
 
-__all__ = ["SCALES", "configs", "run", "report", "measured_overhead"]
+__all__ = ["SCALES", "configs", "scenarios", "run", "report", "measured_overhead"]
 
 NAME = "exp5"
 TITLE = "Experiment 5: communication overhead per node (paper Sec. 4 estimate)"
@@ -59,9 +59,16 @@ def configs(scale: str = "reduced", seed: int = 42) -> list[ExperimentConfig]:
     ]
 
 
+def scenarios(scale: str = "reduced", seed: int = 42, engine: str = "reference"):
+    """The sweep as declarative :class:`repro.scenario.Scenario` specs."""
+    from repro.experiments.common import scenario_points
+
+    return scenario_points(configs(scale, seed), engine=engine)
+
+
 def measured_overhead(config: ExperimentConfig) -> dict[str, float]:
     """Run one repetition and derive per-node per-cycle message counts."""
-    result = run_single(config)
+    result = Session(Scenario.from_experiment_config(config)).run_one(0)
     cycles = max(result.cycles, 1)
     nodes = config.nodes
     per_node_cycle = {
@@ -84,13 +91,12 @@ def run(
     sampling as an oracle and therefore carries no NEWSCAST traffic
     to count.
     """
-    from repro.core.runner import run_experiment
     import time
 
     data = SweepData(name=NAME, scale=scale)
     t0 = time.perf_counter()
     for cfg in configs(scale, seed):
-        res = run_experiment(cfg, engine=engine)
+        res = Session(Scenario.from_experiment_config(cfg, engine=engine)).run()
         data.entries.append((cfg, res))
         if progress is not None:
             progress(f"[{NAME}:{scale}] {cfg.describe()}")

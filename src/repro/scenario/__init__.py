@@ -1,0 +1,57 @@
+"""Unified scenario layer: one declarative spec for every frontend.
+
+The paper's system is a single architecture observed under many
+regimes — cycle-driven sweeps, a vectorized fast path, an asynchronous
+deployment, baseline comparisons.  This package collapses the
+hand-rolled entry points those regimes used to have into one pair of
+concepts:
+
+* :class:`Scenario` — a frozen, validated, JSON-round-trippable value
+  describing *what* to run: network size, swarm shape, objective (or
+  per-node objective map), topology model, churn, transport, engine,
+  stop conditions, seed.
+* :class:`Session` — the facade that executes a scenario on any
+  engine via ``run()`` / ``sweep()`` / ``trajectory()``, returning the
+  unified :class:`Result` shape.
+
+Quick start::
+
+    from repro.scenario import Scenario, Session
+
+    scenario = Scenario(function="sphere", nodes=64,
+                        particles_per_node=8, total_evaluations=128_000,
+                        gossip_cycle=8, repetitions=5, engine="fast")
+    result = Session(scenario).run()
+    print(result.quality_stats.mean)
+
+Everything legacy routes through this layer: ``run_single`` /
+``run_experiment`` / ``AsyncDeployment`` are deprecation shims that
+warn when called directly, while the baseline runners
+(``run_centralized``, ``run_independent``, ``run_master_slave``) keep
+their signatures and quietly build their runs through the facade.
+"""
+
+from repro.scenario.result import Result, RunRecord
+from repro.scenario.session import Session
+from repro.scenario.spec import (
+    BASELINES,
+    ENGINES,
+    SOLVERS,
+    TOPOLOGIES,
+    Scenario,
+    ScenarioValidationError,
+    TransportSpec,
+)
+
+__all__ = [
+    "Scenario",
+    "Session",
+    "Result",
+    "RunRecord",
+    "TransportSpec",
+    "ScenarioValidationError",
+    "ENGINES",
+    "TOPOLOGIES",
+    "SOLVERS",
+    "BASELINES",
+]

@@ -1,0 +1,183 @@
+"""The unified result shape shared by every engine and baseline.
+
+Before the scenario layer, each frontend returned its own shape:
+``RunResult`` from the cycle engines, ``DeploymentResult`` from the
+asynchronous runtime, and ad-hoc quality lists from the baselines.
+:class:`RunRecord` unifies them — it *is* a
+:class:`~repro.core.runner.RunResult` (so every legacy consumer keeps
+working) extended with the fields the other regimes need — and
+:class:`Result` aggregates the repetitions of one scenario with the
+same statistics surface the paper tables are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING
+
+from repro.core.metrics import MessageTally
+from repro.core.runner import RunResult
+from repro.utils.numerics import RunningStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.deployment.runtime import DeploymentResult
+    from repro.scenario.spec import Scenario
+    from repro.utils.config import ExperimentConfig
+
+__all__ = ["RunRecord", "Result"]
+
+
+@dataclass
+class RunRecord(RunResult):
+    """One repetition's outcome, engine- and baseline-agnostic.
+
+    Inherits every :class:`~repro.core.runner.RunResult` field
+    (best_value, quality, total_evaluations, cycles, stop_reason,
+    threshold_local_time, threshold_total_evaluations, messages,
+    node_best_spread, history, crashes, joins) and adds:
+
+    Attributes
+    ----------
+    sim_time:
+        Simulated seconds elapsed (event engine; None on cycle
+        engines, whose clock is ``cycles``).
+    threshold_time:
+        Simulated seconds when the quality threshold was first met
+        (event engine's analogue of ``threshold_local_time``).
+    node_qualities:
+        Per-node final qualities where the regime tracks them (the
+        independent baseline's best-of-n source data).
+    """
+
+    sim_time: float | None = None
+    threshold_time: float | None = None
+    node_qualities: list[float] | None = None
+
+    @classmethod
+    def from_run_result(cls, run: RunResult, **extra) -> "RunRecord":
+        """Lift a legacy cycle-engine result into the unified record."""
+        base = {f.name: getattr(run, f.name) for f in fields(RunResult)}
+        base.update(extra)
+        return cls(**base)
+
+    @classmethod
+    def from_deployment_result(cls, res: "DeploymentResult") -> "RunRecord":
+        """Lift an asynchronous-deployment result into the unified record."""
+        return cls(
+            best_value=res.best_value,
+            quality=res.quality,
+            total_evaluations=res.total_evaluations,
+            cycles=0,
+            stop_reason=res.stop_reason,
+            threshold_local_time=None,
+            threshold_total_evaluations=None,
+            messages=res.messages,
+            node_best_spread=float("nan"),
+            history=list(res.history),
+            sim_time=res.sim_time,
+            threshold_time=res.threshold_time,
+            crashes=res.crashes,
+            joins=res.joins,
+        )
+
+    @property
+    def reached_threshold(self) -> bool:
+        """Whether the quality threshold was met, on any engine's clock."""
+        return (
+            self.threshold_local_time is not None
+            or self.threshold_time is not None
+        )
+
+
+@dataclass
+class Result:
+    """Aggregate over the repetitions of one scenario.
+
+    Offers the exact statistics surface of the legacy
+    :class:`~repro.core.runner.ExperimentResult` (``quality_stats``,
+    ``time_stats``, ``total_eval_stats``, ``success_rate``,
+    ``qualities()``) plus ``runs``/``config`` aliases, so the table,
+    figure and CSV layers consume either shape unchanged.
+    """
+
+    scenario: "Scenario"
+    records: list[RunRecord]
+    elapsed_seconds: float = 0.0
+
+    # -- legacy-compatible aliases ---------------------------------------------
+
+    @property
+    def runs(self) -> list[RunRecord]:
+        """Alias matching ``ExperimentResult.runs``."""
+        return self.records
+
+    @property
+    def config(self) -> "ExperimentConfig":
+        """Legacy config view (see ``Scenario.to_experiment_config``)."""
+        return self.scenario.to_experiment_config()
+
+    # -- statistics -------------------------------------------------------------
+
+    @property
+    def quality_stats(self) -> RunningStats:
+        """avg/min/max/Var of final solution quality (table columns)."""
+        stats = RunningStats()
+        stats.extend(run.quality for run in self.records)
+        return stats
+
+    @property
+    def time_stats(self) -> RunningStats | None:
+        """Stats of time-to-threshold over *successful* runs, or None.
+
+        Cycle engines report local evaluations; the event engine
+        reports simulated seconds.
+        """
+        succeeded = [
+            r.threshold_local_time if r.threshold_local_time is not None
+            else r.threshold_time
+            for r in self.records
+            if r.reached_threshold
+        ]
+        if not succeeded:
+            return None
+        stats = RunningStats()
+        stats.extend(float(t) for t in succeeded)
+        return stats
+
+    @property
+    def total_eval_stats(self) -> RunningStats | None:
+        """Stats of global evaluations-to-threshold (Table 4's scale)."""
+        succeeded = [
+            r.threshold_total_evaluations
+            for r in self.records
+            if r.threshold_total_evaluations is not None
+        ]
+        if not succeeded:
+            return None
+        stats = RunningStats()
+        stats.extend(float(t) for t in succeeded)
+        return stats
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of runs that met the threshold (1.0 if no threshold)."""
+        if self.scenario.quality_threshold is None:
+            return 1.0
+        return sum(r.reached_threshold for r in self.records) / len(self.records)
+
+    @property
+    def best_record(self) -> RunRecord:
+        """The repetition with the lowest final quality."""
+        return min(self.records, key=lambda r: r.quality)
+
+    @property
+    def messages(self) -> MessageTally:
+        """Communication tally summed over repetitions."""
+        total = MessageTally()
+        for record in self.records:
+            total = total.merged(record.messages)
+        return total
+
+    def qualities(self) -> list[float]:
+        """Per-run final qualities, in repetition order (figure dots)."""
+        return [r.quality for r in self.records]

@@ -1,0 +1,380 @@
+"""The session facade: one entry point for every engine and baseline.
+
+A :class:`Session` takes a validated
+:class:`~repro.scenario.spec.Scenario` and knows how to execute it on
+any of the engines — the per-node reference simulation, the vectorized
+SoA fast path, or the asynchronous event-driven deployment — and on
+the baseline comparisons, always returning the unified
+:class:`~repro.scenario.result.Result` shape.
+
+The facade owns everything that used to be scattered across
+hand-rolled entry points: repetition loops, process-parallel
+execution, per-engine argument adaptation, topology/solver factory
+construction, and sweep iteration.  The legacy entry points
+(``run_experiment``, ``AsyncDeployment``, ``run_centralized``, ...)
+are thin deprecation shims over this class.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterator, Sequence
+
+from repro.core.runner import _run_single_reference
+from repro.scenario.result import Result, RunRecord
+from repro.scenario.spec import Scenario
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["Session"]
+
+
+def _star_args(args: tuple) -> RunRecord:
+    """Top-level helper for multiprocessing (must be picklable)."""
+    scenario, repetition = args
+    return Session(scenario).run_one(repetition)
+
+
+def _topology_factory(scenario: Scenario):
+    """Materialize the scenario's topology model for the reference engine."""
+    topology = scenario.topology
+    if callable(topology):
+        return topology
+    if topology == "newscast":
+        return None
+    if topology == "star":
+        from repro.baselines.masterslave import star_topology_factory
+
+        return star_topology_factory(scenario.nodes)
+    if topology == "ring":
+        from repro.topology.static import StaticTopologyProtocol, ring_lattice
+
+        adjacency = ring_lattice(scenario.nodes, radius=2)
+
+        def factory(node_id: int):
+            return (
+                StaticTopologyProtocol.PROTOCOL_NAME,
+                StaticTopologyProtocol(adjacency.get(node_id, [])),
+            )
+
+        return factory
+    raise ConfigurationError(f"unknown topology {topology!r}")  # pragma: no cover
+
+
+def _optimizer_builder(scenario: Scenario):
+    """Per-node solver factory builder for the reference engine.
+
+    Returns ``None`` for the plain homogeneous-PSO scenario (the node
+    assembly then builds the paper's default stack), otherwise a
+    callable ``(function, seed_tree) -> (node_id -> service)`` routing
+    the heterogeneous extensions through the unchanged node assembly.
+    """
+    if scenario.objective_map is not None:
+
+        def objective_map_builder(function, tree):
+            from repro.core.dpso import DistributedPSOService
+            from repro.functions.base import get_function
+
+            def factory(node_id: int):
+                fn = get_function(scenario.function_for(node_id))
+                return DistributedPSOService(
+                    fn, scenario.pso, tree.rng("node", node_id, "pso")
+                )
+
+            return factory
+
+        return objective_map_builder
+
+    if scenario.partitioned:
+
+        def partitioned_builder(function, tree):
+            from repro.core.partitioning import partitioned_pso_factory
+
+            return partitioned_pso_factory(
+                function,
+                scenario.nodes,
+                scenario.pso,
+                rng_for=lambda node_id: tree.rng("node", node_id, "zone"),
+            )
+
+        return partitioned_builder
+
+    names = (
+        scenario.solver
+        if isinstance(scenario.solver, tuple)
+        else (scenario.solver,)
+    )
+    if names != ("pso",):
+
+        def mixed_builder(function, tree):
+            from repro.core.solvers import mixed_solver_factory
+
+            return mixed_solver_factory(
+                function,
+                names,
+                swarm_particles=scenario.particles_per_node,
+                rng_for=lambda node_id, name: tree.rng(
+                    "node", node_id, "solver", name
+                ),
+            )
+
+        return mixed_builder
+
+    return None
+
+
+class Session:
+    """Execute a :class:`Scenario` and return unified results.
+
+    >>> from repro.scenario import Scenario, Session
+    >>> s = Scenario(function="sphere", nodes=4, particles_per_node=4,
+    ...              total_evaluations=480, gossip_cycle=4, seed=3)
+    >>> result = Session(s).run()
+    >>> len(result.records)
+    1
+    >>> result.records[0].stop_reason
+    'budget'
+    """
+
+    def __init__(self, scenario: Scenario):
+        if not isinstance(scenario, Scenario):
+            raise TypeError("Session takes a repro.scenario.Scenario")
+        self.scenario = scenario
+
+    # -- single repetition --------------------------------------------------------
+
+    def run_one(self, repetition: int = 0) -> RunRecord:
+        """Execute one repetition; returns its :class:`RunRecord`."""
+        scenario = self.scenario
+        if scenario.baseline == "centralized":
+            from repro.baselines import centralized
+
+            return centralized.run_record(scenario, repetition)
+        if scenario.baseline == "independent":
+            from repro.baselines import independent
+
+            return independent.run_record(scenario, repetition)
+        if scenario.engine == "fast":
+            return self._run_fast(repetition)
+        if scenario.engine == "event":
+            return self._run_event(repetition)
+        return self._run_reference(repetition)
+
+    def _run_reference(self, repetition: int) -> RunRecord:
+        scenario = self.scenario
+        run = _run_single_reference(
+            scenario.to_experiment_config(),
+            repetition=repetition,
+            record_history=scenario.record_history,
+            topology_factory=_topology_factory(scenario),
+            optimizer_builder=_optimizer_builder(scenario),
+            extra_observers=scenario.observers,
+            max_cycles=scenario.max_cycles,
+        )
+        return RunRecord.from_run_result(run)
+
+    def _run_fast(self, repetition: int) -> RunRecord:
+        from repro.core.fastpath import run_single_fast
+
+        scenario = self.scenario
+        run = run_single_fast(
+            scenario.to_experiment_config(),
+            repetition=repetition,
+            record_history=scenario.record_history,
+            objective_map=scenario.objective_map,
+            extra_observers=scenario.observers,
+            max_cycles=scenario.max_cycles,
+        )
+        return RunRecord.from_run_result(run)
+
+    def _run_event(self, repetition: int) -> RunRecord:
+        from repro.deployment.runtime import AsyncRuntime
+
+        scenario = self.scenario
+        runtime = AsyncRuntime(self.deployment_config(), repetition=repetition)
+        return RunRecord.from_deployment_result(runtime.run(until=scenario.horizon))
+
+    def deployment_config(self):
+        """The :class:`~repro.deployment.runtime.DeploymentConfig` view
+        of an ``event``-engine scenario (exposed for introspection)."""
+        from repro.deployment.runtime import DeploymentConfig
+
+        scenario = self.scenario
+        if scenario.evaluations_per_node < 1:
+            raise ConfigurationError(
+                f"budget e={scenario.total_evaluations} gives node budget "
+                f"{scenario.evaluations_per_node} < 1 for n={scenario.nodes}"
+            )
+        transport = scenario.transport
+        return DeploymentConfig(
+            function=scenario.primary_function(),
+            nodes=scenario.nodes,
+            particles_per_node=scenario.particles_per_node,
+            budget_per_node=scenario.evaluations_per_node,
+            evals_per_tick=scenario.gossip_cycle,
+            compute_period=transport.compute_period,
+            newscast_period=transport.newscast_period,
+            gossip_period=transport.gossip_period,
+            monitor_period=transport.monitor_period,
+            latency_min=transport.latency_min,
+            latency_max=transport.latency_max,
+            loss_rate=transport.loss_rate,
+            clock_jitter=transport.clock_jitter,
+            quality_threshold=scenario.quality_threshold,
+            crash_rate=scenario.churn.crash_rate,
+            join_rate=scenario.churn.join_rate,
+            min_population=scenario.churn.min_population,
+            seed=scenario.seed,
+            newscast=scenario.newscast,
+            pso=scenario.pso,
+            coordination=scenario.coordination,
+        )
+
+    # -- all repetitions ----------------------------------------------------------
+
+    def run(
+        self,
+        workers: int = 1,
+        progress: Callable[[int, RunRecord], None] | None = None,
+    ) -> Result:
+        """Execute every repetition and aggregate into a :class:`Result`.
+
+        Parameters
+        ----------
+        workers:
+            Process-parallel repetitions.  Results are identical to
+            the sequential run (each repetition's randomness derives
+            from its own seed-tree branch).  Scenarios holding live
+            callables (a topology factory, observers) are not
+            picklable and require ``workers=1``.
+        progress:
+            Optional ``(repetition_index, record) -> None`` callback.
+        """
+        scenario = self.scenario
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if workers > 1 and callable(scenario.topology):
+            raise ValueError(
+                "parallel execution does not support custom topology factories"
+            )
+        if workers > 1 and scenario.observers:
+            raise ValueError(
+                "parallel execution does not support live observer objects"
+            )
+        t0 = time.perf_counter()
+        records: list[RunRecord] = []
+        if workers == 1 or scenario.repetitions == 1:
+            for rep in range(scenario.repetitions):
+                record = self.run_one(rep)
+                records.append(record)
+                if progress is not None:
+                    progress(rep, record)
+        else:
+            import multiprocessing
+
+            jobs = [(scenario, rep) for rep in range(scenario.repetitions)]
+            ctx = multiprocessing.get_context("spawn")
+            with ctx.Pool(processes=min(workers, scenario.repetitions)) as pool:
+                for rep, record in enumerate(pool.map(_star_args, jobs)):
+                    records.append(record)
+                    if progress is not None:
+                        progress(rep, record)
+        return Result(
+            scenario=scenario,
+            records=records,
+            elapsed_seconds=time.perf_counter() - t0,
+        )
+
+    # -- sweeps and trajectories --------------------------------------------------
+
+    def scenarios(self, **axes: Sequence) -> Iterator[Scenario]:
+        """Cartesian-product scenario iterator over field axes.
+
+        Axes iterate in the order given, rightmost fastest (nested
+        loops), so sweep output order is deterministic — the same
+        contract as :func:`repro.utils.config.sweep`.
+        """
+        from dataclasses import fields
+
+        names = list(axes)
+        valid = {f.name for f in fields(Scenario)}
+        for name in names:
+            if name not in valid:
+                raise ConfigurationError(f"unknown sweep axis {name!r}")
+
+        def rec(i: int, current: Scenario) -> Iterator[Scenario]:
+            if i == len(names):
+                yield current
+                return
+            for value in axes[names[i]]:
+                yield from rec(i + 1, current.with_(**{names[i]: value}))
+
+        yield from rec(0, self.scenario)
+
+    def sweep(
+        self,
+        workers: int = 1,
+        progress: Callable[[Scenario, Result], None] | None = None,
+        **axes: Sequence,
+    ) -> list[Result]:
+        """Run the cartesian sweep over ``axes``; one Result per point."""
+        results = []
+        for scenario in self.scenarios(**axes):
+            result = Session(scenario).run(workers=workers)
+            results.append(result)
+            if progress is not None:
+                progress(scenario, result)
+        return results
+
+    def trajectory(self, repetition: int = 0) -> list:
+        """Quality-over-time samples of one repetition.
+
+        Cycle engines return :class:`~repro.core.metrics.QualitySample`
+        lists; the event engine returns its monitor's
+        ``(time, evaluations, best)`` tuples.  Baselines keep no
+        trajectory and return ``[]``.
+        """
+        if self.scenario.baseline is not None:
+            return []
+        session = Session(self.scenario.with_(record_history=True))
+        return list(session.run_one(repetition).history)
+
+    # -- escape hatch -------------------------------------------------------------
+
+    def build_network(self, repetition: int = 0):
+        """Materialize the scenario's node graph without running it.
+
+        Reference-engine escape hatch for protocol-level extensions
+        (piggybacking aggregation protocols, custom drivers): returns
+        ``(network, spec, tree)`` — the populated simulator network,
+        the node spec (churn processes use it as the join factory) and
+        the repetition's seed tree.  The caller owns engine
+        construction and stopping from here.
+        """
+        from repro.core.runner import _build_network
+        from repro.functions.base import get_function
+        from repro.utils.rng import SeedSequenceTree
+
+        scenario = self.scenario
+        if scenario.engine != "reference" or scenario.baseline is not None:
+            raise ConfigurationError(
+                "build_network is a reference-engine escape hatch"
+            )
+        tree = SeedSequenceTree(scenario.seed).subtree("rep", repetition)
+        function = get_function(scenario.primary_function())
+        builder = _optimizer_builder(scenario)
+        network, spec = _build_network(
+            scenario.to_experiment_config(),
+            function,
+            tree,
+            _topology_factory(scenario),
+            builder(function, tree) if builder is not None else None,
+        )
+        return network, spec, tree
+
+    def max_cycles(self) -> int:
+        """The cycle-driven safety cap this scenario runs under."""
+        from repro.core.runner import default_max_cycles
+
+        if self.scenario.max_cycles is not None:
+            return self.scenario.max_cycles
+        return default_max_cycles(self.scenario.to_experiment_config())

@@ -1,0 +1,528 @@
+"""The declarative scenario specification.
+
+A :class:`Scenario` is one frozen, validated value describing a
+complete run of the paper's system under *any* regime the library
+supports: the cycle-driven reference simulation, the vectorized fast
+path, the asynchronous event-driven deployment, and the baseline
+comparisons — one spec, every frontend.
+
+Design rules:
+
+* **Declarative** — a scenario names *what* to run (network size,
+  swarm shape, objective or per-node objective map, topology model,
+  churn, transport, engine, stop conditions, seed), never *how*; the
+  :class:`~repro.scenario.session.Session` facade owns the how.
+* **A value** — frozen; sweeps produce new instances via
+  :meth:`Scenario.with_`.
+* **JSON-safe** — :meth:`Scenario.to_dict` / :meth:`Scenario.from_dict`
+  round-trip through plain dicts, and every validation error names the
+  offending field (``Scenario.engine: ...``).
+
+>>> s = Scenario(function="sphere", nodes=4, total_evaluations=400)
+>>> Scenario.from_dict(s.to_dict()) == s
+True
+>>> s.with_(engine="fast").engine
+'fast'
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Callable, Mapping
+
+from repro.utils.config import (
+    ChurnConfig,
+    CoordinationConfig,
+    ExperimentConfig,
+    NewscastConfig,
+    PSOConfig,
+)
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = [
+    "ENGINES",
+    "TOPOLOGIES",
+    "SOLVERS",
+    "BASELINES",
+    "Scenario",
+    "TransportSpec",
+    "ScenarioValidationError",
+]
+
+#: Engines a scenario can run on.
+ENGINES = ("reference", "fast", "event")
+#: Built-in topology models (a callable factory is also accepted).
+TOPOLOGIES = ("newscast", "star", "ring")
+#: Built-in local solvers (a tuple of these cycles over the nodes).
+SOLVERS = ("pso", "de", "random")
+#: Baseline comparison modes (master–slave is ``topology="star"``).
+BASELINES = ("centralized", "independent")
+
+
+class ScenarioValidationError(ConfigurationError):
+    """A scenario field failed validation.
+
+    The message always starts with ``Scenario.<field>:`` so callers
+    (and humans reading sweep logs) can see exactly which knob is
+    wrong.  ``field`` carries the offending field name.
+    """
+
+    def __init__(self, field_name: str, message: str):
+        self.field = field_name
+        super().__init__(f"Scenario.{field_name}: {message}")
+
+
+def _require(field_name: str, condition: bool, message: str) -> None:
+    if not condition:
+        raise ScenarioValidationError(field_name, message)
+
+
+@dataclass(frozen=True)
+class TransportSpec:
+    """Message transport and timer model of the asynchronous regime.
+
+    Only the ``event`` engine reads these; the cycle-driven engines
+    have no clocks or wires to parameterize.  Time is in abstract
+    seconds; defaults mirror the paper's back-of-envelope (10 s
+    protocol cycles, sub-second latency).
+    """
+
+    compute_period: float = 1.0
+    newscast_period: float = 10.0
+    gossip_period: float = 10.0
+    monitor_period: float = 5.0
+    latency_min: float = 0.05
+    latency_max: float = 0.5
+    loss_rate: float = 0.0
+    clock_jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        for name in ("compute_period", "newscast_period", "gossip_period",
+                     "monitor_period"):
+            _require(f"transport.{name}", getattr(self, name) > 0,
+                     "must be positive")
+        _require("transport.latency_min",
+                 0 <= self.latency_min <= self.latency_max,
+                 "require 0 <= latency_min <= latency_max")
+        _require("transport.loss_rate", 0.0 <= self.loss_rate < 1.0,
+                 "must be in [0, 1)")
+        _require("transport.clock_jitter", 0.0 <= self.clock_jitter <= 1.0,
+                 "must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative run specification shared by every frontend.
+
+    Attributes
+    ----------
+    function:
+        Registry name of the shared objective.  Exactly one of
+        ``function`` / ``objective_map`` must be set.
+    objective_map:
+        Per-node objective assignment ``{node_id: function_name}``
+        covering every node — a *heterogeneous* network.  All mapped
+        functions must share one dimensionality.  On the fast engine
+        this routes through grouped batch evaluation (one batched
+        objective call per function group per chunk).
+    nodes / particles_per_node / total_evaluations / gossip_cycle:
+        The paper's ``(n, k, e, r)`` knobs.
+    repetitions / seed:
+        Independent runs and the master seed; repetition ``i`` uses
+        the seed-tree branch ``("rep", i)`` on every engine.
+    engine:
+        ``"reference"`` (full per-node protocol stack),
+        ``"fast"`` (vectorized SoA kernel) or ``"event"``
+        (asynchronous message-passing deployment).
+    topology:
+        ``"newscast"`` (default), ``"star"`` (master–slave),
+        ``"ring"`` (radius-2 lattice), or a callable
+        ``node_id -> (protocol_name, PeerSampler)`` for custom
+        overlays (reference engine only).
+    solver:
+        ``"pso"`` (the paper), ``"de"``, ``"random"``, or a tuple of
+        those cycled over node ids — the heterogeneous-solver
+        extension (reference engine only).
+    partitioned:
+        Give every node responsibility for one non-overlapping zone
+        of the search space (paper Sec. 3.2's second coordination
+        strategy; reference engine only).
+    baseline:
+        ``"centralized"`` (one big swarm, same total budget) or
+        ``"independent"`` (isolated multi-start, best-of-n); ``None``
+        runs the actual distributed system.  The master–slave
+        baseline is simply ``topology="star"``.
+    swarm_size / synchronous:
+        Centralized-baseline knobs: swarm size (default ``n·k``) and
+        synchronous vs per-particle iteration.
+    quality_threshold:
+        Early stop when the global solution quality reaches this.
+    horizon:
+        Simulated-seconds cap; required by (and exclusive to) the
+        ``event`` engine.
+    max_cycles:
+        Optional override of the cycle-driven safety cap.
+    record_history:
+        Keep per-cycle (or per-monitor-sample) quality trajectories.
+    churn / transport / newscast / pso / coordination:
+        Subsystem parameter bundles.  For the ``event`` engine the
+        churn rates are events per simulated second (Poisson) rather
+        than per-cycle fractions.
+    observers:
+        Extra engine observers (cycle engines only).  Not
+        serializable — :meth:`to_dict` requires this empty.
+    """
+
+    function: str | None = None
+    objective_map: Mapping[int, str] | None = None
+    nodes: int = 16
+    particles_per_node: int = 8
+    total_evaluations: int = 16_000
+    gossip_cycle: int = 8
+    repetitions: int = 1
+    seed: int = 0
+    engine: str = "reference"
+    topology: str | Callable = "newscast"
+    solver: str | tuple = "pso"
+    partitioned: bool = False
+    baseline: str | None = None
+    swarm_size: int | None = None
+    synchronous: bool = True
+    quality_threshold: float | None = None
+    horizon: float | None = None
+    max_cycles: int | None = None
+    record_history: bool = False
+    churn: ChurnConfig = field(default_factory=ChurnConfig)
+    transport: TransportSpec = field(default_factory=TransportSpec)
+    newscast: NewscastConfig = field(default_factory=NewscastConfig)
+    pso: PSOConfig = field(default_factory=PSOConfig)
+    coordination: CoordinationConfig = field(default_factory=CoordinationConfig)
+    observers: tuple = ()
+
+    # -- validation -----------------------------------------------------------
+
+    def __post_init__(self) -> None:
+        _require("nodes", self.nodes >= 1, "must be >= 1")
+        _require("particles_per_node", self.particles_per_node >= 1,
+                 "must be >= 1")
+        _require("total_evaluations", self.total_evaluations >= 1,
+                 "must be >= 1")
+        _require("gossip_cycle", self.gossip_cycle >= 1, "must be >= 1")
+        _require("repetitions", self.repetitions >= 1, "must be >= 1")
+        _require("seed", self.seed >= 0, "must be >= 0")
+        _require("engine", self.engine in ENGINES,
+                 f"must be one of {ENGINES}, got {self.engine!r}")
+        self._validate_objective()
+        self._validate_topology()
+        self._validate_solver()
+        self._validate_baseline()
+        if self.quality_threshold is not None:
+            _require("quality_threshold", self.quality_threshold > 0,
+                     "must be > 0 or None")
+        if self.engine == "event":
+            _require("horizon", self.horizon is not None and self.horizon > 0,
+                     "the event engine needs a positive time horizon")
+        else:
+            _require("horizon", self.horizon is None,
+                     "only the event engine takes a time horizon")
+        if self.max_cycles is not None:
+            _require("max_cycles", self.max_cycles >= 1, "must be >= 1 or None")
+            _require("max_cycles", self.engine != "event",
+                     "the event engine is bounded by horizon, not cycles")
+        if self.observers:
+            _require("observers", self.engine != "event",
+                     "extra observers are cycle-engine only")
+        # Keep the nested bundles consistent with the scalar knobs,
+        # exactly like ExperimentConfig does.
+        object.__setattr__(
+            self, "pso", replace(self.pso, particles=self.particles_per_node)
+        )
+        object.__setattr__(
+            self, "coordination",
+            replace(self.coordination, cycle_length=self.gossip_cycle),
+        )
+        if self.objective_map is not None:
+            object.__setattr__(
+                self, "objective_map",
+                {int(k): str(v) for k, v in self.objective_map.items()},
+            )
+        if isinstance(self.solver, list):
+            object.__setattr__(self, "solver", tuple(self.solver))
+
+    def _validate_objective(self) -> None:
+        if self.objective_map is None:
+            _require("function",
+                     isinstance(self.function, str) and bool(self.function),
+                     "a function name (or an objective_map) is required")
+            return
+        _require("function", self.function is None,
+                 "give either function or objective_map, not both")
+        _require("objective_map", self.engine in ("reference", "fast"),
+                 "per-node objectives run on the reference or fast engine")
+        _require("objective_map", self.baseline is None,
+                 "baselines take a single shared function")
+        _require("objective_map", not self.partitioned,
+                 "cannot combine with partitioned search")
+        ids = sorted(int(k) for k in self.objective_map)
+        _require("objective_map", ids == list(range(self.nodes)),
+                 f"must map every node id 0..{self.nodes - 1} exactly once")
+        from repro.functions.base import get_function
+
+        dims = set()
+        for name in {str(v) for v in self.objective_map.values()}:
+            try:
+                fn = get_function(name)
+            except ConfigurationError as exc:
+                raise ScenarioValidationError(
+                    "objective_map", str(exc)
+                ) from None
+            dims.add(fn.dimension)
+        _require("objective_map", len(dims) == 1,
+                 f"all objectives must share one dimension, got {sorted(dims)}")
+
+    def _validate_topology(self) -> None:
+        if callable(self.topology):
+            _require("topology", self.engine == "reference",
+                     "custom topology factories need the reference engine")
+            return
+        _require("topology", self.topology in TOPOLOGIES,
+                 f"must be one of {TOPOLOGIES} or a factory callable, "
+                 f"got {self.topology!r}")
+        if self.topology != "newscast":
+            _require("topology", self.engine == "reference",
+                     f"topology {self.topology!r} needs the reference engine "
+                     "(fast/event model peer sampling as NEWSCAST)")
+
+    def _validate_solver(self) -> None:
+        names = self.solver if isinstance(self.solver, (tuple, list)) else (self.solver,)
+        _require("solver", len(names) >= 1, "must name at least one solver")
+        for name in names:
+            _require("solver", name in SOLVERS,
+                     f"must be drawn from {SOLVERS}, got {name!r}")
+        heterogeneous = tuple(names) != ("pso",)
+        if heterogeneous:
+            _require("solver", self.engine == "reference",
+                     "non-PSO / mixed solvers need the reference engine")
+            _require("solver", not self.partitioned,
+                     "partitioned search uses zone-confined PSO")
+            _require("solver", self.baseline is None,
+                     "baselines use the plain PSO solver")
+        if self.partitioned:
+            _require("partitioned", self.engine == "reference",
+                     "partitioned search needs the reference engine")
+            _require("partitioned", self.baseline is None,
+                     "baselines do not partition the domain")
+
+    def _validate_baseline(self) -> None:
+        if self.baseline is None:
+            _require("swarm_size", self.swarm_size is None,
+                     "only the centralized baseline takes a swarm_size")
+            return
+        _require("baseline", self.baseline in BASELINES,
+                 f"must be one of {BASELINES} or None, got {self.baseline!r}")
+        _require("baseline", self.engine == "reference",
+                 "baselines run on the reference engine")
+        _require("baseline", not self.churn.enabled,
+                 "baselines model static populations")
+        _require("baseline", not callable(self.topology)
+                 and self.topology == "newscast",
+                 "baselines ignore the topology model")
+        _require("quality_threshold", self.quality_threshold is None,
+                 "baselines run to budget; thresholds are not supported")
+        _require("observers", not self.observers,
+                 "baselines drive no engine for observers to watch")
+        _require("max_cycles", self.max_cycles is None,
+                 "baselines are bounded by budget, not cycles")
+        _require("record_history", not self.record_history,
+                 "baselines keep no quality trajectory")
+        if self.swarm_size is not None:
+            _require("swarm_size", self.baseline == "centralized",
+                     "only the centralized baseline takes a swarm_size")
+            _require("swarm_size", self.swarm_size >= 1, "must be >= 1")
+
+    # -- derived views ---------------------------------------------------------
+
+    @property
+    def evaluations_per_node(self) -> int:
+        """Per-node share of the global budget (floor division)."""
+        return self.total_evaluations // self.nodes
+
+    def function_for(self, node_id: int) -> str:
+        """Objective name for ``node_id``; joiners reuse ``id % nodes``."""
+        if self.objective_map is None:
+            return self.function  # type: ignore[return-value]
+        if node_id in self.objective_map:
+            return self.objective_map[node_id]
+        return self.objective_map[node_id % self.nodes]
+
+    def function_groups(self) -> list[tuple[str, list[int]]]:
+        """Nodes grouped by objective, first-seen order.
+
+        Homogeneous scenarios return one group; the fast engine issues
+        one batched objective evaluation per returned group.
+        """
+        if self.objective_map is None:
+            return [(self.function, list(range(self.nodes)))]  # type: ignore[list-item]
+        groups: dict[str, list[int]] = {}
+        for nid in range(self.nodes):
+            groups.setdefault(self.objective_map[nid], []).append(nid)
+        return list(groups.items())
+
+    def primary_function(self) -> str:
+        """Node 0's objective — the label used in legacy result shapes."""
+        return self.function_for(0)
+
+    def to_experiment_config(self) -> ExperimentConfig:
+        """The legacy :class:`ExperimentConfig` view of this scenario.
+
+        Lossy by design (engine, topology, objective map, transport and
+        baseline knobs have no legacy slot); used by the deprecation
+        shims and the CSV/table layers that still speak the old shape.
+        """
+        return ExperimentConfig(
+            function=self.primary_function(),
+            nodes=self.nodes,
+            particles_per_node=self.particles_per_node,
+            total_evaluations=self.total_evaluations,
+            gossip_cycle=self.gossip_cycle,
+            repetitions=self.repetitions,
+            seed=self.seed,
+            quality_threshold=self.quality_threshold,
+            newscast=self.newscast,
+            pso=self.pso,
+            coordination=self.coordination,
+            churn=self.churn,
+        )
+
+    @classmethod
+    def from_experiment_config(
+        cls,
+        config: ExperimentConfig,
+        engine: str = "reference",
+        topology: str | Callable = "newscast",
+        record_history: bool = False,
+        **overrides: Any,
+    ) -> "Scenario":
+        """Lift a legacy :class:`ExperimentConfig` into a scenario.
+
+        ``overrides`` win over the config's fields — how the baseline
+        wrappers drop knobs the legacy entry points ignored.
+        """
+        kwargs: dict[str, Any] = dict(
+            function=config.function,
+            nodes=config.nodes,
+            particles_per_node=config.particles_per_node,
+            total_evaluations=config.total_evaluations,
+            gossip_cycle=config.gossip_cycle,
+            repetitions=config.repetitions,
+            seed=config.seed,
+            quality_threshold=config.quality_threshold,
+            newscast=config.newscast,
+            pso=config.pso,
+            coordination=config.coordination,
+            churn=config.churn,
+            engine=engine,
+            topology=topology,
+            record_history=record_history,
+        )
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
+    def with_(self, **changes: Any) -> "Scenario":
+        """Return a modified copy (sweep helper)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used in logs and reports."""
+        objective = (
+            self.function
+            if self.objective_map is None
+            else "+".join(name for name, _ in self.function_groups())
+        )
+        extras = ""
+        if self.baseline:
+            extras = f" baseline={self.baseline}"
+        elif self.topology != "newscast":
+            extras = f" topology={self.topology}"
+        return (
+            f"{objective}: n={self.nodes} k={self.particles_per_node} "
+            f"e={self.total_evaluations} r={self.gossip_cycle} "
+            f"reps={self.repetitions} seed={self.seed} "
+            f"engine={self.engine}{extras}"
+        )
+
+    # -- JSON round-trip -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict representation (see :meth:`from_dict`).
+
+        Raises :class:`ScenarioValidationError` naming the field when
+        the scenario holds non-serializable parts (a topology
+        callable, live observer objects).
+        """
+        if callable(self.topology):
+            raise ScenarioValidationError(
+                "topology", "factory callables are not JSON-serializable; "
+                "use a named topology model")
+        if self.observers:
+            raise ScenarioValidationError(
+                "observers", "live observer objects are not JSON-serializable")
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "observers":
+                continue
+            if f.name == "objective_map" and value is not None:
+                value = {str(k): v for k, v in value.items()}
+            elif f.name == "solver" and isinstance(value, tuple):
+                value = list(value)
+            elif f.name in ("churn", "transport", "newscast", "pso",
+                            "coordination"):
+                value = asdict(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output.
+
+        Unknown keys — top-level or inside a nested bundle — raise a
+        :class:`ScenarioValidationError` naming the offending field, so
+        a typo in a JSON sweep file fails loudly instead of silently
+        running defaults.
+        """
+        nested = {
+            "churn": ChurnConfig,
+            "transport": TransportSpec,
+            "newscast": NewscastConfig,
+            "pso": PSOConfig,
+            "coordination": CoordinationConfig,
+        }
+        known = {f.name for f in fields(cls)}
+        kwargs: dict[str, Any] = {}
+        for key, value in data.items():
+            if key not in known or key == "observers":
+                raise ScenarioValidationError(key, "unknown scenario field")
+            if key in nested and isinstance(value, Mapping):
+                ctor = nested[key]
+                sub_known = {f.name for f in fields(ctor)}
+                bad = set(value) - sub_known
+                if bad:
+                    raise ScenarioValidationError(
+                        f"{key}.{sorted(bad)[0]}", "unknown scenario field")
+                try:
+                    value = ctor(**value)
+                except ConfigurationError as exc:
+                    raise ScenarioValidationError(key, str(exc)) from None
+            elif key == "objective_map" and value is not None:
+                try:
+                    value = {int(k): str(v) for k, v in value.items()}
+                except (TypeError, ValueError):
+                    raise ScenarioValidationError(
+                        "objective_map",
+                        "must map integer node ids to function names",
+                    ) from None
+            elif key == "solver" and isinstance(value, list):
+                value = tuple(value)
+            kwargs[key] = value
+        return cls(**kwargs)

@@ -1,0 +1,144 @@
+"""Deprecation shims: old entry points warn and match the facade."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.runner import run_experiment, run_single
+from repro.deployment import AsyncDeployment, AsyncRuntime, DeploymentConfig
+from repro.scenario import Scenario, Session
+from repro.utils.config import ExperimentConfig
+
+
+def make_config(**overrides) -> ExperimentConfig:
+    base = dict(
+        function="sphere", nodes=6, particles_per_node=4,
+        total_evaluations=6 * 4 * 10, gossip_cycle=4, repetitions=2, seed=31,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestRunSingleShim:
+    def test_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="run_single is deprecated"):
+            run_single(make_config())
+
+    def test_matches_facade_reference(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_single(make_config(), record_history=True)
+        facade = Session(
+            Scenario.from_experiment_config(make_config(), record_history=True)
+        ).run_one(0)
+        assert legacy.best_value == facade.best_value
+        assert legacy.total_evaluations == facade.total_evaluations
+        assert legacy.history == facade.history
+
+    def test_matches_facade_fast(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_single(make_config(), engine="fast")
+        facade = Session(
+            Scenario.from_experiment_config(make_config(), engine="fast")
+        ).run_one(0)
+        assert legacy.best_value == facade.best_value
+
+    def test_legacy_error_contract(self):
+        with pytest.raises(ValueError):
+            run_single(make_config(), engine="warp")
+        with pytest.raises(ValueError):
+            run_single(make_config(), engine="fast",
+                       topology_factory=lambda nid: None)
+
+
+class TestRunExperimentShim:
+    def test_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="run_experiment is deprecated"):
+            run_experiment(make_config())
+
+    def test_matches_facade(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_experiment(make_config())
+        facade = Session(Scenario.from_experiment_config(make_config())).run()
+        assert [r.best_value for r in legacy.runs] == [
+            r.best_value for r in facade.records
+        ]
+        assert legacy.quality_stats.mean == facade.quality_stats.mean
+
+    def test_legacy_result_type_preserved(self):
+        from repro.core.runner import ExperimentResult
+
+        with pytest.warns(DeprecationWarning):
+            legacy = run_experiment(make_config())
+        assert isinstance(legacy, ExperimentResult)
+        assert legacy.config == make_config()
+
+
+class TestDeploymentShim:
+    def make_deployment_config(self) -> DeploymentConfig:
+        from repro.utils.config import CoordinationConfig
+
+        # coordination.cycle_length mirrors the scenario layer's
+        # normalization (gossip_cycle == evals_per_tick == 4).
+        return DeploymentConfig(
+            function="sphere", nodes=4, particles_per_node=4,
+            budget_per_node=40, evals_per_tick=4, seed=5,
+            coordination=CoordinationConfig(cycle_length=4),
+        )
+
+    def test_async_deployment_warns(self):
+        with pytest.warns(DeprecationWarning, match="AsyncDeployment is deprecated"):
+            AsyncDeployment(self.make_deployment_config())
+
+    def test_async_runtime_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            AsyncRuntime(self.make_deployment_config())
+
+    def test_matches_facade(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = AsyncDeployment(self.make_deployment_config()).run(until=2000.0)
+        scenario = Scenario(
+            function="sphere", nodes=4, particles_per_node=4,
+            total_evaluations=160, gossip_cycle=4, seed=5,
+            engine="event", horizon=2000.0,
+        )
+        facade = Session(scenario).run_one(0)
+        assert legacy.best_value == facade.best_value
+        assert legacy.total_evaluations == facade.total_evaluations
+        assert legacy.stop_reason == facade.stop_reason
+
+
+class TestBaselineFacade:
+    def test_centralized_routes_through_session(self):
+        from repro.baselines import run_centralized
+
+        config = make_config()
+        legacy = run_centralized(config)
+        facade = Session(
+            Scenario.from_experiment_config(config, baseline="centralized")
+        ).run()
+        assert legacy.qualities == facade.qualities()
+
+    def test_legacy_baselines_ignore_quality_threshold(self):
+        # Pre-facade behavior: baselines always ran to budget even
+        # when the config carried a threshold.
+        from repro.baselines import run_centralized, run_independent
+
+        config = make_config(quality_threshold=1e-6, repetitions=1)
+        assert run_centralized(config).qualities
+        assert run_independent(config).qualities
+
+    def test_independent_routes_through_session(self):
+        from repro.baselines import run_independent
+
+        config = make_config()
+        legacy = run_independent(config)
+        facade = Session(
+            Scenario.from_experiment_config(config, baseline="independent")
+        ).run()
+        assert legacy.qualities == facade.qualities()
+        assert legacy.per_node_qualities == [
+            r.node_qualities for r in facade.records
+        ]

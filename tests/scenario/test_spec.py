@@ -1,0 +1,217 @@
+"""Scenario validation and JSON round-trip contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenario import (
+    Scenario,
+    ScenarioValidationError,
+    TransportSpec,
+)
+from repro.utils.config import ChurnConfig, PSOConfig
+from repro.utils.exceptions import ConfigurationError
+
+
+def make(**overrides) -> Scenario:
+    base = dict(
+        function="sphere", nodes=8, particles_per_node=4,
+        total_evaluations=800, gossip_cycle=4, repetitions=2, seed=7,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestValidation:
+    def test_defaults_validate(self):
+        s = Scenario(function="sphere")
+        assert s.engine == "reference"
+        assert s.evaluations_per_node == 1000
+
+    @pytest.mark.parametrize(
+        "field,overrides",
+        [
+            ("function", {"function": None}),
+            ("function", {"function": "sphere",
+                          "objective_map": {i: "sphere" for i in range(8)}}),
+            ("nodes", {"nodes": 0}),
+            ("particles_per_node", {"particles_per_node": 0}),
+            ("total_evaluations", {"total_evaluations": 0}),
+            ("gossip_cycle", {"gossip_cycle": 0}),
+            ("repetitions", {"repetitions": 0}),
+            ("seed", {"seed": -1}),
+            ("engine", {"engine": "warp"}),
+            ("topology", {"topology": "torus"}),
+            ("topology", {"topology": "star", "engine": "fast"}),
+            ("solver", {"solver": "annealing"}),
+            ("solver", {"solver": ()}),
+            ("solver", {"solver": "de", "engine": "fast"}),
+            ("partitioned", {"partitioned": True, "engine": "fast"}),
+            ("baseline", {"baseline": "quantum"}),
+            ("baseline", {"baseline": "centralized", "engine": "fast"}),
+            ("baseline", {"baseline": "independent",
+                          "churn": ChurnConfig(crash_rate=0.1)}),
+            ("swarm_size", {"swarm_size": 9}),
+            ("swarm_size", {"baseline": "centralized", "swarm_size": 0}),
+            ("quality_threshold", {"quality_threshold": 0.0}),
+            ("quality_threshold", {"baseline": "centralized",
+                                   "quality_threshold": 1e-6}),
+            ("horizon", {"horizon": 100.0}),
+            ("horizon", {"engine": "event"}),
+            ("max_cycles", {"max_cycles": 0}),
+            ("max_cycles", {"max_cycles": 5, "engine": "event",
+                            "horizon": 10.0}),
+        ],
+    )
+    def test_errors_name_offending_field(self, field, overrides):
+        with pytest.raises(ScenarioValidationError) as err:
+            make(**overrides)
+        assert err.value.field.startswith(field)
+        assert str(err.value).startswith(f"Scenario.{field}")
+
+    def test_validation_error_is_configuration_and_value_error(self):
+        with pytest.raises(ConfigurationError):
+            make(engine="warp")
+        with pytest.raises(ValueError):
+            make(engine="warp")
+
+    def test_objective_map_must_cover_all_nodes(self):
+        with pytest.raises(ScenarioValidationError) as err:
+            make(function=None, objective_map={0: "sphere"})
+        assert err.value.field == "objective_map"
+
+    def test_objective_map_unknown_function(self):
+        bad = {i: "sphere" for i in range(8)}
+        bad[3] = "not_a_function"
+        with pytest.raises(ScenarioValidationError) as err:
+            make(function=None, objective_map=bad)
+        assert err.value.field == "objective_map"
+
+    def test_objective_map_dimension_mismatch(self):
+        # f2 is 2-D, sphere is 10-D.
+        bad = {i: ("sphere" if i else "f2") for i in range(8)}
+        with pytest.raises(ScenarioValidationError) as err:
+            make(function=None, objective_map=bad)
+        assert err.value.field == "objective_map"
+
+    def test_transport_validation_names_field(self):
+        with pytest.raises(ScenarioValidationError) as err:
+            TransportSpec(loss_rate=1.5)
+        assert "transport.loss_rate" in str(err.value)
+
+    def test_nested_bundles_normalized(self):
+        s = make(particles_per_node=6, gossip_cycle=3,
+                 pso=PSOConfig(particles=99))
+        assert s.pso.particles == 6
+        assert s.coordination.cycle_length == 3
+
+    def test_solver_list_normalized_to_tuple(self):
+        s = make(solver=["pso", "de"])
+        assert s.solver == ("pso", "de")
+
+    def test_solver_singleton_pso_tuple_is_homogeneous(self):
+        # ("pso",) means plain PSO — valid on any engine.
+        s = make(solver=("pso",), engine="fast")
+        assert s.engine == "fast"
+
+
+class TestDerivedViews:
+    def test_function_for_and_groups(self):
+        m = {i: ("sphere" if i % 2 == 0 else "rastrigin") for i in range(8)}
+        s = make(function=None, objective_map=m)
+        assert s.function_for(0) == "sphere"
+        assert s.function_for(1) == "rastrigin"
+        assert s.function_for(9) == "rastrigin"  # joiner: 9 % 8 = 1
+        groups = dict(s.function_groups())
+        assert groups["sphere"] == [0, 2, 4, 6]
+        assert groups["rastrigin"] == [1, 3, 5, 7]
+        assert s.primary_function() == "sphere"
+
+    def test_homogeneous_groups(self):
+        s = make()
+        assert s.function_groups() == [("sphere", list(range(8)))]
+
+    def test_to_experiment_config_round(self):
+        s = make(quality_threshold=1e-6)
+        cfg = s.to_experiment_config()
+        assert cfg.function == "sphere"
+        assert cfg.nodes == 8
+        assert cfg.quality_threshold == 1e-6
+        assert Scenario.from_experiment_config(cfg) == s
+
+    def test_with_returns_new_validated_value(self):
+        s = make()
+        fast = s.with_(engine="fast")
+        assert fast.engine == "fast"
+        assert s.engine == "reference"
+        with pytest.raises(ScenarioValidationError):
+            s.with_(engine="warp")
+
+    def test_describe_mentions_engine(self):
+        assert "engine=fast" in make(engine="fast").describe()
+
+
+class TestRoundTrip:
+    def test_round_trip_identity(self):
+        s = make(engine="fast", quality_threshold=1e-8,
+                 churn=ChurnConfig(crash_rate=0.01, join_rate=0.01))
+        assert Scenario.from_dict(s.to_dict()) == s
+
+    def test_round_trip_through_json_text(self):
+        s = make(
+            function=None,
+            objective_map={i: ("sphere" if i < 4 else "levy") for i in range(8)},
+            solver="pso",
+        )
+        blob = json.dumps(s.to_dict())
+        assert Scenario.from_dict(json.loads(blob)) == s
+
+    def test_round_trip_event_engine(self):
+        s = make(engine="event", horizon=500.0,
+                 transport=TransportSpec(loss_rate=0.2, gossip_period=2.0))
+        assert Scenario.from_dict(s.to_dict()) == s
+
+    def test_objective_map_keys_stringified_in_dict(self):
+        s = make(function=None,
+                 objective_map={i: "sphere" for i in range(8)})
+        d = s.to_dict()
+        assert set(d["objective_map"]) == {str(i) for i in range(8)}
+
+    def test_unknown_key_named(self):
+        with pytest.raises(ScenarioValidationError) as err:
+            Scenario.from_dict({"function": "sphere", "gossip_cycel": 8})
+        assert err.value.field == "gossip_cycel"
+
+    def test_unknown_nested_key_named(self):
+        data = make().to_dict()
+        data["churn"]["crashrate"] = 0.5
+        with pytest.raises(ScenarioValidationError) as err:
+            Scenario.from_dict(data)
+        assert "churn.crashrate" in str(err.value)
+
+    def test_invalid_nested_value_named(self):
+        data = make().to_dict()
+        data["churn"]["crash_rate"] = 2.0
+        with pytest.raises(ScenarioValidationError) as err:
+            Scenario.from_dict(data)
+        assert err.value.field == "churn"
+
+    def test_callable_topology_not_serializable(self):
+        s = make(topology=lambda nid: None)
+        with pytest.raises(ScenarioValidationError) as err:
+            s.to_dict()
+        assert err.value.field == "topology"
+
+    def test_observers_not_serializable(self):
+        s = make(observers=(object(),))
+        with pytest.raises(ScenarioValidationError) as err:
+            s.to_dict()
+        assert err.value.field == "observers"
+
+    def test_solver_tuple_round_trips(self):
+        s = make(solver=("pso", "de", "random"))
+        d = s.to_dict()
+        assert d["solver"] == ["pso", "de", "random"]
+        assert Scenario.from_dict(d).solver == ("pso", "de", "random")

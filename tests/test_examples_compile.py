@@ -1,19 +1,25 @@
-"""Guard: every example script parses and its imports resolve.
+"""Guard: every example parses, resolves its imports, and *runs*.
 
-Running the full examples takes minutes; compiling them and resolving
-their imports catches the common bit-rot (renamed APIs, moved modules)
-in milliseconds.
+Compiling and resolving imports catches renamed APIs in milliseconds;
+actually executing each script (in its ``--tiny`` mode: n ≤ 8, per-node
+budgets ≤ 200) catches the drift that compilation cannot — changed
+result shapes, renamed fields, broken facade wiring.  Every example is
+required to support ``--tiny``.
 """
 
 from __future__ import annotations
 
 import ast
 import importlib
+import os
+import subprocess
+import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+REPO_ROOT = Path(__file__).parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
 
 
@@ -41,6 +47,37 @@ def test_example_imports_resolve(path):
             for alias in node.names:
                 if alias.name.startswith("repro"):
                     importlib.import_module(alias.name)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_supports_tiny_mode(path):
+    """Examples must read ``--tiny`` so the execution smoke stays fast."""
+    assert "--tiny" in path.read_text(), (
+        f"{path.name} must support a --tiny smoke mode"
+    )
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_executes_tiny(path):
+    """Run the example end-to-end with smoke parameters."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, str(path), "--tiny"],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{path.name} failed in --tiny mode:\n"
+        f"--- stdout ---\n{proc.stdout[-2000:]}\n"
+        f"--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{path.name} produced no output"
 
 
 def test_examples_exist():
