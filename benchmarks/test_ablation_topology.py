@@ -1,11 +1,16 @@
-"""Ablation A2: topology service under churn.
+"""Ablation A2: topology service under churn — on the fast engine.
 
 The paper's case for NEWSCAST over static overlays is robustness, not
 raw quality: "even if a large portion of the network fails, the
 computation will end successfully".  This ablation runs the same
-optimization over NEWSCAST, a static random overlay, a ring and a
-master–slave star, then injects a crash wave and measures how much
-coordination survives (adoptions after the wave).
+optimization over every named overlay — through the declarative
+scenario API, on the vectorized fast engine, which since PR 3
+simulates the real overlays — then injects a crash wave (including
+the star's hub) and measures how much coordination survives.
+
+The same sweep used to force the per-node reference engine; the fast
+engine answers it at fast-path speed, and the cross-engine agreement
+is pinned separately in ``tests/topology/test_provider_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -14,79 +19,52 @@ import numpy as np
 
 from benchmarks.conftest import save_report
 from repro.analysis.tables import format_paper_table, format_value
-from repro.core.metrics import global_best
-from repro.core.node import OptimizationNodeSpec, build_optimization_node
-from repro.functions.base import get_function
-from repro.simulator.engine import CycleDrivenEngine
-from repro.simulator.network import Network
-from repro.topology.newscast import bootstrap_views
-from repro.topology.static import (
-    StaticTopologyProtocol,
-    k_regular_random,
-    ring_lattice,
-    star_graph,
-)
-from repro.utils.config import CoordinationConfig, NewscastConfig, PSOConfig
-from repro.utils.rng import SeedSequenceTree
+from repro.core.fastpath import FastEngine
+from repro.scenario import Scenario, Session
 
 N = 32
 CRASH = 12  # nodes killed mid-run
 
+TOPOLOGIES = ("newscast", "cyclon", "kregular", "ring", "star")
 
-def run_one(topology_name: str, seed: int = 202):
-    tree = SeedSequenceTree(seed)
-    if topology_name == "newscast":
-        topology_factory = None
-    else:
-        if topology_name == "random":
-            adjacency = k_regular_random(N, 6, tree.rng("topo"))
-        elif topology_name == "ring":
-            adjacency = ring_lattice(N, 2)
-        elif topology_name == "star":
-            adjacency = star_graph(N, center=0)
-        else:  # pragma: no cover - guarded by caller
-            raise ValueError(topology_name)
-        topology_factory = lambda nid: (
-            StaticTopologyProtocol.PROTOCOL_NAME,
-            StaticTopologyProtocol(adjacency.get(nid, [])),
-        )
 
-    spec = OptimizationNodeSpec(
-        function=get_function("sphere"),
-        pso=PSOConfig(particles=8),
-        newscast=NewscastConfig(view_size=12),
-        coordination=CoordinationConfig(),
-        rng_tree=tree,
-        evals_per_cycle=8,
-        budget_per_node=100_000,
-        topology_factory=topology_factory,
+def base_scenario(topology: str) -> Scenario:
+    return Scenario(
+        function="sphere",
+        nodes=N,
+        particles_per_node=8,
+        total_evaluations=N * 8 * 60,
+        gossip_cycle=8,
+        seed=202,
+        engine="fast",
+        topology=topology,
     )
-    net = Network(rng=tree.rng("network"))
-    net.populate(N, factory=lambda node: build_optimization_node(node, spec))
-    if topology_factory is None:
-        bootstrap_views(net, tree.rng("bootstrap"))
-    engine = CycleDrivenEngine(net, rng=tree.rng("engine"))
 
+
+def run_one(topology: str):
+    # Quality under the overlay, via the declarative API.
+    record = Session(base_scenario(topology)).run_one(0)
+
+    # Crash-wave robustness: drive the engine manually and kill a
+    # third of the network, hub first.
+    engine = FastEngine(
+        base_scenario(topology).to_experiment_config(), topology=topology
+    )
+    engine.budget = None  # run past the budget stop: we drive cycles
     engine.run(20)
-    # Crash wave, including the star's hub (node 0).
     for nid in range(CRASH):
-        net.crash(nid)
-    adoptions_at_wave = sum(
-        net.node(nid).protocol("coordination").adoptions for nid in net.live_ids()
-    )
+        engine.crash_node(nid)
+    adoptions_at_wave = engine.adoptions
     engine.run(40)
-    adoptions_after = sum(
-        net.node(nid).protocol("coordination").adoptions for nid in net.live_ids()
-    )
     return {
-        "topology": topology_name,
-        "post_crash_adoptions": adoptions_after - adoptions_at_wave,
-        "final_best": global_best(net),
+        "topology": topology,
+        "post_crash_adoptions": engine.adoptions - adoptions_at_wave,
+        "final_best": record.best_value,
     }
 
 
 def run_ablation():
-    return [run_one(name) for name in ("newscast", "random", "ring", "star")]
+    return [run_one(name) for name in TOPOLOGIES]
 
 
 def test_ablation_topology_under_churn(benchmark, report_dir):
@@ -104,7 +82,7 @@ def test_ablation_topology_under_churn(benchmark, report_dir):
         rows,
         columns=("function", "avg", "min"),
         title=(
-            "Ablation A2 — topology under a crash wave "
+            "Ablation A2 — topology under a crash wave, fast engine "
             "(avg = final best, min = post-crash adoptions)"
         ),
     )
@@ -115,8 +93,9 @@ def test_ablation_topology_under_churn(benchmark, report_dir):
     # The star's hub died: coordination stops entirely.
     assert by_name["star"]["post_crash_adoptions"] == 0
 
-    # NEWSCAST keeps diffusing after losing 12/32 nodes.
+    # Gossip overlays keep diffusing after losing 12/32 nodes.
     assert by_name["newscast"]["post_crash_adoptions"] > 0
+    assert by_name["cyclon"]["post_crash_adoptions"] > 0
 
     # All topologies still hold a finite best (local swarms worked on).
     assert all(np.isfinite(r["final_best"]) for r in rows_raw)

@@ -18,7 +18,7 @@ from repro.topology.newscast import NewscastProtocol, bootstrap_views
 from repro.utils.config import NewscastConfig, PSOConfig
 from repro.utils.rng import SeedSequenceTree
 
-from run_bench import _time, engine_pair
+from run_bench import _time, fast_engine, reference_engine, scenario_config
 
 
 class TestFunctionEvaluation:
@@ -84,29 +84,33 @@ class TestNewscastCycle:
 
 class TestNetworkEngineCycle:
     """Whole-network cycle cost: reference protocol stack vs the
-    vectorized SoA fast path, on the exp2 smoke scenario (n=1000,
-    k=16, r=k).  The speedup test is this PR's acceptance gate."""
+    vectorized SoA fast path, both simulating the real NEWSCAST
+    overlay, on the paper-default scenario shape (n=1000, k=r=8).
+    The speedup test mirrors the BENCH_3 CI gate at a safety floor."""
 
-    def test_fast_engine_cycle_n1000_k16(self, benchmark):
-        fast, _ = engine_pair(1000, 16)
+    def test_fast_engine_cycle_n1000_k8(self, benchmark):
+        fast = fast_engine(scenario_config(1000, 8), "newscast")
         fast.run(2)  # settle into steady-state full sweeps
         benchmark.pedantic(fast.run_one_cycle, rounds=10, iterations=1)
 
-    def test_reference_engine_cycle_n1000_k16(self, benchmark):
-        _, reference = engine_pair(1000, 16)
+    def test_reference_engine_cycle_n1000_k8(self, benchmark):
+        reference = reference_engine(scenario_config(1000, 8))
         reference.run(1)
         benchmark.pedantic(reference.run, args=(1,), rounds=3, iterations=1)
 
     def test_fast_engine_at_least_10x_faster(self, report_dir):
         """Median-of-rounds wall-clock ratio on one engine cycle.
 
-        Measured ~19x on the development machine; asserted at the 10x
-        acceptance floor, with one re-measure (more rounds) before
+        Measured ~17x on the development machine with real overlays
+        (BENCH_3's headline is gated at 15x in CI); asserted here at a
+        10x safety floor, with one re-measure (more rounds) before
         failing so a transient load spike on a shared runner doesn't
         sink the suite.  Timing comes from run_bench._time — the same
-        code that produces the committed BENCH_1.json numbers.
+        code that produces the committed BENCH_3.json numbers.
         """
-        fast, reference = engine_pair(1000, 16)
+        config = scenario_config(1000, 8)
+        fast = fast_engine(config, "newscast")
+        reference = reference_engine(config)
         fast.run(2)
         reference.run(1)
 
@@ -123,7 +127,8 @@ class TestNetworkEngineCycle:
             report_dir,
             "engine_speedup",
             (
-                "Fast vs reference engine, one cycle at n=1000 k=16 r=k\n"
+                "Fast vs reference engine (real NEWSCAST overlay), "
+                "one cycle at n=1000 k=8 r=k\n"
                 f"reference: {1e3 * ref_s:8.2f} ms/cycle\n"
                 f"fast:      {1e3 * fast_s:8.2f} ms/cycle\n"
                 f"speedup:   {speedup:8.1f} x (acceptance floor: 10x)\n"

@@ -1,14 +1,17 @@
 #!/usr/bin/env python
-"""Topology bake-off: NEWSCAST vs master–slave star vs ring.
+"""Topology bake-off: NEWSCAST vs CYCLON vs static overlays, both engines.
 
 Paper Sec. 3.2 lists the topology service's possible instantiations —
 a gossip random overlay, a mesh, "but also a star-shaped topology
 used in a master-slave approach".  Because the scenario layer
 isolates the topology behind one declarative field, swapping overlays
 is a one-word change: ``Scenario(topology="star")`` *is* the
-master–slave architecture.  This script runs the identical
-optimization over three overlays and then kills one node (the star's
-hub) to show why the paper prefers the decentralized option.
+master–slave architecture.  Since PR 3 every named overlay also runs
+on the vectorized fast engine (array-backed views), so the whole
+bake-off matrix — five topologies x two engines — takes seconds.
+
+The script then kills one node (the star's hub) on the fast engine to
+show why the paper prefers the decentralized option.
 
 Run::
 
@@ -19,12 +22,12 @@ Run::
 import sys
 
 from repro import Scenario, Session
-from repro.core.metrics import global_best
-from repro.simulator.engine import CycleDrivenEngine
+from repro.core.fastpath import FastEngine
 
 TINY = "--tiny" in sys.argv
 N = 8 if TINY else 24
 BUDGET = 25 if TINY else 1500
+TOPOLOGIES = ("newscast", "cyclon", "ring", "kregular", "star")
 
 base = Scenario(
     function="zakharov",
@@ -36,37 +39,39 @@ base = Scenario(
     seed=99,
 )
 
-print(f"same task on three overlays — {base.describe()}")
-print(f"{'topology':<14} {'avg quality':>14} {'min':>14} {'consensus spread':>18}")
-for topology in ("newscast", "star", "ring"):
-    result = Session(base.with_(topology=topology)).run()
-    stats = result.quality_stats
-    spread = sum(r.node_best_spread for r in result.records) / len(result.records)
-    print(f"{topology:<14} {stats.mean:>14.4e} {stats.minimum:>14.4e} "
-          f"{spread:>18.4e}")
+print(f"same task, five overlays, two engines — {base.describe()}")
+print(f"{'topology':<10} {'engine':<10} {'avg quality':>13} {'min':>12} "
+      f"{'consensus spread':>17} {'view traffic':>13}")
+for topology in TOPOLOGIES:
+    for engine in ("reference", "fast"):
+        result = Session(
+            base.with_(topology=topology, engine=engine)
+        ).run()
+        stats = result.quality_stats
+        spread = sum(r.node_best_spread for r in result.records) / len(
+            result.records
+        )
+        exchanges = sum(
+            r.messages.newscast_exchanges for r in result.records
+        )
+        print(f"{topology:<10} {engine:<10} {stats.mean:>13.4e} "
+              f"{stats.minimum:>12.4e} {spread:>17.4e} {exchanges:>13d}")
 
 print()
-print("now crash node 0 mid-run (the star's master) ...")
+print("now crash node 0 mid-run (the star's master), fast engine ...")
 
 
 def run_with_hub_crash(topology: str):
-    # The session's escape hatch hands us the materialized node graph
-    # so we can drive the engine manually and inject the fault.
     scenario = base.with_(
         topology=topology, seed=7, total_evaluations=N * 10_000, repetitions=1
     )
-    net, spec, tree = Session(scenario).build_network()
-    engine = CycleDrivenEngine(net, rng=tree.rng("engine"))
+    engine = FastEngine(scenario.to_experiment_config(), topology=topology)
+    engine.budget = None  # we drive the cycles ourselves
     engine.run(3 if TINY else 10)
-    net.crash(0)
-    before = sum(
-        net.node(i).protocol("coordination").adoptions for i in net.live_ids()
-    )
+    engine.crash_node(0)
+    before = engine.adoptions
     engine.run(10 if TINY else 30)
-    after = sum(
-        net.node(i).protocol("coordination").adoptions for i in net.live_ids()
-    )
-    return after - before, global_best(net)
+    return engine.adoptions - before, engine.global_best()
 
 
 for topology in ("newscast", "star"):

@@ -15,20 +15,31 @@ handful of whole-network array operations:
 
 1. **churn** — binomial crash thinning and Poisson joins, drawing from
    the same ``("churn")`` seed-tree stream with the same call sequence
-   as :class:`~repro.simulator.churn.ChurnProcess`;
-2. **optimization** — one fused velocity/position/clamp update over all
+   as :class:`~repro.simulator.churn.ChurnProcess`.  Node ids map to
+   array *slots* through an indirection table: joins reuse crashed
+   nodes' slots (their evaluation counts are retired into an
+   accumulator first) and otherwise extend the SoA arrays with
+   geometric capacity doubling — amortized O(k·d) per join instead of
+   the former per-join O(n·k·d) concatenation;
+2. **topology** — the scenario's overlay advanced by its array-backed
+   :class:`~repro.topology.provider.ViewProvider` (vectorized NEWSCAST
+   view exchanges, CYCLON shuffles, or static neighborhoods — see
+   :mod:`repro.topology.array_views`);
+3. **optimization** — one fused velocity/position/clamp update over all
    ``n·k`` particles, one batched objective evaluation over the
    ``(n·k, d)`` reshape, and vectorized pbest/swarm-optimum folds
    (``np.where`` / row ``argmin`` reductions);
-3. **coordination** — an array-level anti-entropy exchange: one peer
-   index drawn per node, scatter-min adoption of the better optimum via
-   ``np.lexsort``/``np.where``, with message and adoption tallies
-   tracked in the returned :class:`~repro.core.metrics.MessageTally`
-   (adoption counts use phased semantics — at most one adoption per
-   receiver per cycle, where the reference's sequential delivery can
-   count several — so compare them within an engine, not across).
+4. **coordination** — an array-level anti-entropy exchange: each node's
+   partner drawn *from its own overlay view* via the provider,
+   scatter-min adoption of the better optimum, with message, loss and
+   adoption tallies tracked in the returned
+   :class:`~repro.core.metrics.MessageTally` (adoption counts use
+   phased semantics — at most one adoption per receiver per cycle,
+   where the reference's sequential delivery can count several — so
+   compare them within an engine, not across).
 
-Equivalence contract (pinned by ``tests/core/test_fastpath.py``)
+Equivalence contract (pinned by ``tests/core/test_fastpath.py`` and
+``tests/topology/test_provider_equivalence.py``)
 ----------------------------------------------------------------
 
 *Bit-identical*: per-node swarm dynamics.  Node state is initialized by
@@ -41,22 +52,37 @@ floating-point trajectory.  Consequently a whole run is same-seed
 **trajectory-identical** to the reference engine at ``r = k`` whenever
 gossip exchanges cannot reorder information flow mid-cycle: ``n = 1``
 under the default NEWSCAST setup, and any ``n`` with gossip disabled
-(reference: a peerless topology; fast: ``gossip=False``).
+(reference: a peerless topology; fast: ``gossip=False``).  Topology
+providers draw from their own ``("topology", ...)`` streams, so the
+overlay choice never perturbs node trajectories.
 
-*Statistically equivalent*: everything else.  The fast path samples
-gossip partners uniformly from the live population — the idealization
-NEWSCAST provably approximates — and applies all of a cycle's
-exchanges against consistent cycle-start snapshots instead of the
-reference's shuffled in-cycle interleaving.  Per-particle (``r ≠ k``)
-stepping is likewise applied in phased chunks rather than the
-asynchronous move-one-evaluate-one loop.  Final-quality distributions
-match the reference engine's (see the equivalence tests); individual
-trajectories do not.
+*Statistically equivalent*: everything else.  Overlay dynamics apply a
+cycle's exchanges against consistent cycle-start snapshots instead of
+the reference's shuffled in-cycle interleaving, and per-particle
+(``r ≠ k``) stepping is applied in phased chunks rather than the
+asynchronous move-one-evaluate-one loop.  Overlay structure (degree
+distributions, clustering, connectivity) and final-quality
+distributions match the reference engine's (see the equivalence
+tests); individual trajectories do not.
 
-What the fast path intentionally does **not** simulate: NEWSCAST view
-dynamics (so ``MessageTally.newscast_exchanges`` is 0), message loss /
-latency transports, and custom topology factories — use the reference
-engine when those mechanisms are the object of study.
+Two RNG regimes drive the per-particle draws (``rng_mode``):
+
+* ``"strict"`` (default) — each node consumes its private
+  ``("node", nid, "pso")`` stream exactly like the reference solver:
+  the regime under which the bit-identity contract above holds.
+* ``"batched"`` — the whole network's ``(n, 2, k, d)`` uniform block
+  is filled by one generator call per chunk, seed-branched as
+  ``("fastpath", "draws", cycle, chunk)`` and indexed by node id, so
+  each node's draws still depend only on ``(seed, repetition, cycle,
+  chunk, node id)`` — reproducible run-to-run and unperturbed by
+  which *other* nodes are alive — but are no longer the reference
+  engine's bit stream.  Statistically equivalent, measurably faster
+  (the per-node draw loop was ~40% of the strict cycle; see
+  ``benchmarks/BENCH_3.json``).
+
+What the fast path intentionally does **not** simulate: message loss /
+latency transports and arbitrary topology factory callables — use the
+reference engine when those mechanisms are the object of study.
 """
 
 from __future__ import annotations
@@ -70,11 +96,30 @@ from repro.pso.state import SwarmStateSoA, stack_states
 from repro.pso.swarm import initial_swarm_state
 from repro.pso.velocity import resolve_vmax
 from repro.simulator.observers import StopCondition
+from repro.topology.provider import ViewProvider, make_array_provider
 from repro.utils.config import ExperimentConfig
 from repro.utils.exceptions import ConfigurationError
 from repro.utils.rng import SeedSequenceTree
 
-__all__ = ["FastEngine", "run_single_fast"]
+__all__ = ["FastEngine", "run_single_fast", "RNG_MODES"]
+
+#: Supported per-particle draw regimes (see module docstring).
+RNG_MODES = ("strict", "batched")
+
+#: Batched draws are generated in fixed node-id blocks of this size,
+#: each from its own seed branch — per-node-id stable, and O(live)
+#: work under churn regardless of how many ids have ever existed.
+_DRAW_BLOCK_BITS = 8
+_DRAW_BLOCK = 1 << _DRAW_BLOCK_BITS
+
+
+def _grow_1d(arr: np.ndarray, size: int, fill) -> np.ndarray:
+    """Return ``arr`` with room for ``size`` entries (geometric growth)."""
+    if arr.shape[0] >= size:
+        return arr
+    grown = np.full(max(size, 2 * arr.shape[0]), fill, dtype=arr.dtype)
+    grown[: arr.shape[0]] = arr
+    return grown
 
 
 class FastEngine:
@@ -95,19 +140,27 @@ class FastEngine:
         Seed-tree branch ``("rep", repetition)``, as in
         :func:`~repro.core.runner.run_single`.
     gossip:
-        Run the anti-entropy coordination phase.  ``False`` isolates
-        the nodes — the configuration under which fast and reference
-        engines are same-seed trajectory-identical for any ``n``.
+        Run the topology and anti-entropy coordination phases.
+        ``False`` isolates the nodes — the configuration under which
+        fast and reference engines are same-seed trajectory-identical
+        for any ``n``.
     objective_map:
         Optional heterogeneous network: ``{node_id: function_name}``
         covering every initial node (all functions must share one
         dimensionality; joiners reuse ``node_id % initial_size``'s
         objective).  Nodes are grouped by function and each chunk
-        issues **one batched objective evaluation per group**, so the
-        fast path keeps its whole-network arithmetic while every
-        group minimizes its own function — the grouped multi-function
-        batching named in ROADMAP.md.  Velocity/position bounds become
-        per-node rows when the groups' domains differ.
+        issues **one batched objective evaluation per group**.
+        Velocity/position bounds become per-node rows when the
+        groups' domains differ.
+    topology:
+        Name of an array-backed overlay (``"newscast"`` — the paper's
+        protocol and the default — ``"cyclon"``, ``"ring"``,
+        ``"kregular"``, ``"star"``, or ``"oracle"`` for the idealized
+        uniform sampler), or a ready
+        :class:`~repro.topology.provider.ViewProvider` instance.
+    rng_mode:
+        ``"strict"`` or ``"batched"`` per-particle draws (see module
+        docstring).
     """
 
     def __init__(
@@ -116,9 +169,16 @@ class FastEngine:
         repetition: int = 0,
         gossip: bool = True,
         objective_map=None,
+        topology: str | ViewProvider = "newscast",
+        rng_mode: str = "strict",
     ):
         self.config = config
         self.gossip = gossip
+        if rng_mode not in RNG_MODES:
+            raise ConfigurationError(
+                f"rng_mode must be one of {RNG_MODES}, got {rng_mode!r}"
+            )
+        self.rng_mode = rng_mode
         tree = SeedSequenceTree(config.seed).subtree("rep", repetition)
         self._tree = tree
         self._init_objectives(config, objective_map)
@@ -136,11 +196,30 @@ class FastEngine:
 
         # Liveness mirror of Network: a swap-remove live list keeps
         # churn victim selection order-compatible with the reference.
+        # ``_live`` holds node *ids*; the indirection tables map ids to
+        # SoA slots (identical until churn reuses a crashed slot).
         self._live: list[int] = list(range(n))
         self._live_pos: dict[int, int] = {i: i for i in range(n)}
         self._initial_size = n
+        self._next_id = n
+        self._slot_of_id = np.arange(n, dtype=np.int64)
+        self._id_of_slot = np.arange(n, dtype=np.int64)
+        self._alive = np.ones(n, dtype=bool)
+        self._free_slots: list[int] = []
+        self._retired_evaluations = 0
         self._churn_rng = tree.rng("churn") if config.churn.enabled else None
         self._gossip_rng = tree.rng("fastpath", "gossip")
+
+        if callable(topology) and not isinstance(topology, ViewProvider):
+            raise ConfigurationError(
+                "the fast engine takes a named topology or ViewProvider, "
+                "not a factory callable (use the reference engine)"
+            )
+        if isinstance(topology, ViewProvider):
+            self.provider: ViewProvider = topology
+            self.provider.ensure_capacity(n)
+        else:
+            self.provider = make_array_provider(topology, config, tree)
 
         self.budget = config.evaluations_per_node
         self.cycle: int = 0
@@ -152,6 +231,7 @@ class FastEngine:
         # Communication tallies (mirroring CoordinationProtocol's).
         self.messages_sent = 0
         self.adoptions = 0
+        self.transport_to_dead = 0
         self.crashes = 0
         self.joins = 0
         self._draws: np.ndarray | None = None
@@ -163,9 +243,10 @@ class FastEngine:
             self.function: Function = get_function(config.function)
             self._functions: list[Function] = [self.function]
             self._node_group: list[int] | None = None
+            self._group_of_id: list[int] | None = None
             self._vmax = resolve_vmax(self.function, config.pso.vmax_fraction)
-            self._vmax_rows = None
-            self._lower_rows = self._upper_rows = None
+            self._group_vmax = None
+            self._group_lower = self._group_upper = None
             return
         names: list[str] = []
         index: dict[str, int] = {}
@@ -188,21 +269,21 @@ class FastEngine:
                 f"objective_map functions must share one dimension, got {sorted(dims)}"
             )
         self.function = self._functions[groups[0]]
-        self._node_group = groups
-        # Bounds become per-node rows: groups may have different boxes.
+        # Per-slot (ndarray: indexed in the hot kernels) and per-id
+        # group assignment — identical until churn recycles slots.
+        self._node_group = np.asarray(groups, dtype=np.int64)
+        self._group_of_id = list(groups)
+        # Bounds become per-group rows: groups may have different boxes.
         self._vmax = None
         vmaxes = [resolve_vmax(f, config.pso.vmax_fraction) for f in self._functions]
-        if vmaxes[0] is None:
-            self._vmax_rows = None
-        else:
-            self._vmax_rows = np.stack([vmaxes[g] for g in groups])
-        self._lower_rows = np.stack([self._functions[g].lower for g in groups])
-        self._upper_rows = np.stack([self._functions[g].upper for g in groups])
+        self._group_vmax = None if vmaxes[0] is None else np.stack(vmaxes)
+        self._group_lower = np.stack([f.lower for f in self._functions])
+        self._group_upper = np.stack([f.upper for f in self._functions])
 
     def _function_of(self, nid: int) -> Function:
-        if self._node_group is None:
+        if self._group_of_id is None:
             return self.function
-        return self._functions[self._node_group[nid]]
+        return self._functions[self._group_of_id[nid]]
 
     def quality_of(self, value: float) -> float:
         """Solution quality of ``value`` across the network's objectives."""
@@ -217,7 +298,7 @@ class FastEngine:
         if self._node_group is None:
             return self.function.batch(pos.reshape(-1, d)).reshape(nl, width)
         out = np.empty((nl, width))
-        groups = np.asarray(self._node_group, dtype=np.int64)[live]
+        groups = self._node_group[live]
         for gi, fn in enumerate(self._functions):
             rows = np.nonzero(groups == gi)[0]
             if rows.size:
@@ -263,8 +344,27 @@ class FastEngine:
         return len(self._live)
 
     def live_ids(self) -> np.ndarray:
-        """Live node slots as an index array (live-list order)."""
+        """Live node ids as an index array (live-list order)."""
         return np.asarray(self._live, dtype=np.int64)
+
+    def live_slots(self) -> np.ndarray:
+        """SoA slots of the live nodes (live-list order).
+
+        Equal to :meth:`live_ids` until churn recycles a crashed
+        node's slot for a joiner.
+        """
+        return self._slot_of_id[self.live_ids()]
+
+    def is_alive(self, node_id: int) -> bool:
+        """Liveness check by node id."""
+        return 0 <= node_id < self._next_id and bool(self._alive[node_id])
+
+    def crash_node(self, node_id: int) -> None:
+        """Externally crash a live node (fault-injection hook)."""
+        if not self.is_alive(node_id):
+            raise ConfigurationError(f"node {node_id} is not alive")
+        self._crash(node_id)
+        self.crashes += 1
 
     def _crash(self, nid: int) -> None:
         pos = self._live_pos.pop(nid)
@@ -273,26 +373,46 @@ class FastEngine:
         self._live.pop()
         if last != nid:
             self._live_pos[last] = pos
+        self._alive[nid] = False
+        self._free_slots.append(int(self._slot_of_id[nid]))
+        self._slot_of_id[nid] = -1
+        self.provider.on_crash(nid)
 
     def _join(self) -> int:
-        nid = self.soa.n
+        nid = self._next_id
+        self._next_id += 1
         rng = self._tree.rng("node", nid, "pso")
         function = self.function
-        if self._node_group is not None:
-            group = self._node_group[nid % self._initial_size]
-            self._node_group.append(group)
+        group = None
+        if self._group_of_id is not None:
+            group = self._group_of_id[nid % self._initial_size]
+            self._group_of_id.append(group)
             function = self._functions[group]
-            if self._vmax_rows is not None:
-                self._vmax_rows = np.vstack(
-                    [self._vmax_rows, self._vmax_rows[nid % self._initial_size][None]]
-                )
-            self._lower_rows = np.vstack([self._lower_rows, function.lower[None]])
-            self._upper_rows = np.vstack([self._upper_rows, function.upper[None]])
         state = initial_swarm_state(function, self.config.pso, rng)
-        self.soa.extend([state])
-        self._gens.append(rng)
+
+        if self._free_slots:
+            slot = self._free_slots.pop()
+            self._retired_evaluations += int(self.soa.evaluations[slot])
+            self.soa.replace_slot(slot, state)
+            self._gens[slot] = rng
+            self._id_of_slot[slot] = nid
+        else:
+            slot = self.soa.append_state(state)
+            self._gens.append(rng)
+            self._id_of_slot = _grow_1d(self._id_of_slot, slot + 1, -1)
+            self._id_of_slot[slot] = nid
+        if self._node_group is not None:
+            self._node_group = _grow_1d(self._node_group, slot + 1, 0)
+            self._node_group[slot] = group
+
+        self._slot_of_id = _grow_1d(self._slot_of_id, nid + 1, -1)
+        self._slot_of_id[nid] = slot
+        self._alive = _grow_1d(self._alive, nid + 1, False)
+        self._alive[nid] = True
         self._live_pos[nid] = len(self._live)
         self._live.append(nid)
+        self.provider.ensure_capacity(self._next_id)
+        self.provider.on_join(nid, self.live_ids(), float(self.now))
         return nid
 
     # -- oracle metrics (GlobalQualityObserver hooks) -----------------------------------
@@ -301,13 +421,13 @@ class FastEngine:
         """Best objective value known by any live node (inf if none yet)."""
         if not self._live:
             return float("inf")
-        vals = self.soa.best_values[self.live_ids()]
+        vals = self.soa.best_values[self.live_slots()]
         finite = vals[np.isfinite(vals)]
         return float(finite.min()) if finite.size else float("inf")
 
     def total_evaluations(self) -> int:
         """Function evaluations summed over all nodes (incl. crashed)."""
-        return int(self.soa.evaluations.sum())
+        return int(self.soa.evaluations.sum()) + self._retired_evaluations
 
     def budgets_exhausted(self) -> bool:
         """Whether every live node has spent its local budget."""
@@ -315,14 +435,14 @@ class FastEngine:
             return False
         if not self._live:
             return True
-        live = self.live_ids()
+        live = self.live_slots()
         return bool(np.all(self.soa.evaluations[live] >= self.budget))
 
     def node_best_spread(self) -> float:
         """Max − min of live nodes' best values (consensus distance)."""
         if not self._live:
             return float("inf")
-        vals = self.soa.best_values[self.live_ids()]
+        vals = self.soa.best_values[self.live_slots()]
         finite = vals[np.isfinite(vals)]
         if finite.size == 0:
             return float("inf")
@@ -331,18 +451,20 @@ class FastEngine:
     def message_tally(self) -> MessageTally:
         """Communication tally in the reference engine's schema.
 
-        The fast path simulates no NEWSCAST traffic (peer sampling is
-        an oracle), so ``newscast_exchanges`` stays 0.  Message counts
-        follow the reference protocol's send rules; adoption counts use
-        the phased semantics described in :meth:`_gossip_phase` and
-        run slightly below the reference's sequential counting.
+        ``newscast_exchanges`` counts the overlay provider's view
+        exchanges/shuffles (0 for static and oracle overlays).
+        Message counts follow the reference protocol's send rules —
+        including sends to dead peers, which also land in
+        ``transport_to_dead``; adoption counts use the phased
+        semantics described in :meth:`_gossip_phase` and run slightly
+        below the reference's sequential counting.
         """
         return MessageTally(
-            newscast_exchanges=0,
+            newscast_exchanges=int(getattr(self.provider, "exchanges", 0)),
             coordination_messages=self.messages_sent,
             coordination_adoptions=self.adoptions,
             transport_sent=self.messages_sent,
-            transport_to_dead=0,
+            transport_to_dead=self.transport_to_dead,
         )
 
     # -- cycle phases ------------------------------------------------------------
@@ -372,12 +494,13 @@ class FastEngine:
     def _pso_phase(self, live: np.ndarray) -> None:
         """Spend every live node's per-cycle evaluation allowance.
 
-        The allowance ``min(r, remaining budget)`` is consumed in
-        chunks that visit each particle at most once, so each chunk is
-        one fused move + one batched evaluation + one fold.  At
-        ``r = k`` (cursors at 0) a cycle is exactly one chunk and the
-        per-node arithmetic/stream consumption matches
-        :meth:`~repro.pso.swarm.Swarm.step_cycle` bit-for-bit.
+        ``live`` holds SoA slots.  The allowance ``min(r, remaining
+        budget)`` is consumed in chunks that visit each particle at
+        most once, so each chunk is one fused move + one batched
+        evaluation + one fold.  At ``r = k`` (cursors at 0) a cycle is
+        exactly one chunk and the per-node arithmetic/stream
+        consumption matches :meth:`~repro.pso.swarm.Swarm.step_cycle`
+        bit-for-bit under strict RNG.
         """
         soa = self.soa
         k = soa.k
@@ -388,15 +511,64 @@ class FastEngine:
             allowance = np.minimum(r, self.budget - soa.evaluations[live])
             np.maximum(allowance, 0, out=allowance)
         done = np.zeros_like(allowance)
+        chunk = 0
         while True:
             remaining = allowance - done
             width = int(min(k, remaining.max(initial=0)))
             if width <= 0:
                 break
-            self._chunk_step(live, remaining, width)
+            self._chunk_step(live, remaining, width, chunk)
             done += np.minimum(remaining, width)
+            chunk += 1
 
-    def _chunk_step(self, live: np.ndarray, remaining: np.ndarray, width: int) -> None:
+    def _chunk_draws(
+        self, live: np.ndarray, moving_nodes: np.ndarray, width: int, chunk: int
+    ) -> np.ndarray:
+        """The chunk's ``(nl, 2, width, d)`` uniform block (both regimes)."""
+        nl, d = live.shape[0], self.soa.d
+        if self.rng_mode == "strict":
+            draws = self._draw_buffer((nl, 2, width, d))
+            gens = self._gens
+            for j in moving_nodes:
+                gens[live[j]].random(out=draws[j])
+            return draws
+        # Batched: seed-branched fills keyed by node-id *block*, so a
+        # node's draws depend only on (seed, cycle, chunk, node id) —
+        # never on which other nodes are alive — while the work stays
+        # proportional to the blocks the live population touches
+        # (churn retires old id blocks; a long heavy-churn run does
+        # not drag an ever-growing dead-id range through the
+        # generator).  SFC64 fills roughly twice as fast as PCG64 and
+        # this stream owes bit-compatibility to nothing.
+        out = self._draw_buffer((nl, 2, width, d))
+
+        def block_rows(block: int) -> np.ndarray:
+            rng = np.random.Generator(
+                np.random.SFC64(
+                    self._tree.seed_sequence(
+                        "fastpath", "draws", self.cycle, chunk, block
+                    )
+                )
+            )
+            return rng.random((_DRAW_BLOCK, 2, width, d))
+
+        if self.crashes == 0:
+            # No churn holes: live row i is node id i — fill by
+            # contiguous block slices.
+            for block in range((nl + _DRAW_BLOCK - 1) >> _DRAW_BLOCK_BITS):
+                lo = block << _DRAW_BLOCK_BITS
+                hi = min(nl, lo + _DRAW_BLOCK)
+                out[lo:hi] = block_rows(block)[: hi - lo]
+            return out
+        ids = self._id_of_slot[live]
+        for block in np.unique(ids >> _DRAW_BLOCK_BITS):
+            sel = (ids >> _DRAW_BLOCK_BITS) == block
+            out[sel] = block_rows(int(block))[ids[sel] & (_DRAW_BLOCK - 1)]
+        return out
+
+    def _chunk_step(
+        self, live: np.ndarray, remaining: np.ndarray, width: int, chunk: int = 0
+    ) -> None:
         """Advance up to ``width`` round-robin particles on every live node."""
         soa = self.soa
         cfg = self.config.pso
@@ -424,17 +596,22 @@ class FastEngine:
             sub_pb = soa.pbest_positions[rows, cols]
             sub_pbv = soa.pbest_values[rows, cols]
 
-        participating = np.arange(width)[None, :] < remaining[:, None]
-        move = participating & np.isfinite(sub_pbv)
-        moving_nodes = np.nonzero(move.any(axis=1))[0]
+        all_in = bool(remaining.min(initial=0) >= width)
+        participating = (
+            None if all_in else np.arange(width)[None, :] < remaining[:, None]
+        )
+        finite = np.isfinite(sub_pbv)
+        if all_in and finite.all():
+            move = None  # steady state: every particle moves
+            moving_nodes = np.arange(nl)
+        else:
+            move = finite if all_in else (participating & finite)
+            moving_nodes = np.nonzero(move.any(axis=1))[0]
 
         if moving_nodes.size:
-            # Per-node draws from the node's private stream, in the
-            # same (r1 block, r2 block) order as Swarm.step_cycle.
-            draws = self._draw_buffer((nl, 2, width, d))
-            gens = self._gens
-            for j in moving_nodes:
-                gens[live[j]].random(out=draws[j])
+            # Per-node draws in the same (r1 block, r2 block) order as
+            # Swarm.step_cycle; see _chunk_draws for the two regimes.
+            draws = self._chunk_draws(live, moving_nodes, width, chunk)
             r1 = draws[:, 0]
             r2 = draws[:, 1]
             gbest = (
@@ -447,8 +624,9 @@ class FastEngine:
             )
             if self._vmax is not None:
                 np.clip(vel, -self._vmax, self._vmax, out=vel)
-            elif self._vmax_rows is not None:
-                bound = self._vmax_rows[live][:, None, :]
+            elif self._group_vmax is not None:
+                groups = self._node_group[live]
+                bound = self._group_vmax[groups][:, None, :]
                 np.clip(vel, -bound, bound, out=vel)
             new_pos = sub_pos + vel
             if cfg.clamp_positions:
@@ -458,36 +636,41 @@ class FastEngine:
                         out=new_pos,
                     )
                 else:
+                    groups = self._node_group[live]
                     np.clip(
                         new_pos,
-                        self._lower_rows[live][:, None, :],
-                        self._upper_rows[live][:, None, :],
+                        self._group_lower[groups][:, None, :],
+                        self._group_upper[groups][:, None, :],
                         out=new_pos,
                     )
-            mask3 = move[:, :, None]
-            vel = np.where(mask3, vel, sub_vel)
-            new_pos = np.where(mask3, new_pos, sub_pos)
+            if move is not None:
+                mask3 = move[:, :, None]
+                vel = np.where(mask3, vel, sub_vel)
+                new_pos = np.where(mask3, new_pos, sub_pos)
         else:
             vel = sub_vel
             new_pos = sub_pos
 
         values = self._batch_eval(live, new_pos)
 
-        improved = participating & (values < sub_pbv)
+        improved = values < sub_pbv
+        if participating is not None:
+            improved &= participating
         new_pbv = np.where(improved, values, sub_pbv)
         new_pb = np.where(improved[:, :, None], new_pos, sub_pb)
 
         if full_sweep:
-            soa.positions = new_pos
-            soa.velocities = vel
-            soa.pbest_positions = new_pb
-            soa.pbest_values = new_pbv
+            # Zero-copy handoff; these arrays are not touched again.
+            soa.adopt_arrays(new_pos, vel, new_pb, new_pbv)
         else:
             soa.positions[rows, cols] = new_pos
             soa.velocities[rows, cols] = vel
             soa.pbest_positions[rows, cols] = new_pb
             soa.pbest_values[rows, cols] = new_pbv
-        soa.evaluations[live] += participating.sum(axis=1)
+        if participating is None:
+            soa.evaluations[live] += width
+        else:
+            soa.evaluations[live] += participating.sum(axis=1)
         soa.cursors[live] = (cursors + np.minimum(remaining, width)) % k
 
         # Swarm-optimum fold: first-index argmin over the chunk, adopt
@@ -501,29 +684,38 @@ class FastEngine:
             soa.best_values[winners] = cand_val[better]
             soa.best_positions[winners] = new_pb[idx[better], best_j[better]]
 
-    def _gossip_phase(self, live: np.ndarray) -> None:
+    def _gossip_phase(self, live_ids: np.ndarray, live: np.ndarray) -> None:
         """One anti-entropy exchange per live node, array-level.
 
-        Every node draws one uniform peer (≠ itself) and the configured
-        mode's exchange is applied against consistent cycle-start
-        snapshots: incoming offers fold by scatter-min (best offer per
-        receiver wins; adopted iff strictly better), then push-pull /
-        pull replies fold back onto the initiators.  Message counts
-        follow the reference protocol's send rules; adoptions are
-        counted per applied fold, so a receiver drawing several
-        better offers in one cycle counts one adoption where the
-        reference's sequential delivery may count each.
+        Every node draws one partner from its overlay view (via the
+        topology provider) and the configured mode's exchange is
+        applied against consistent cycle-start snapshots: incoming
+        offers fold by scatter-min (best offer per receiver wins;
+        adopted iff strictly better), then push-pull / pull replies
+        fold back onto the initiators.  Messages to dead contacts are
+        sent and lost, exactly like the reference engine's transport
+        (counted in both ``transport_sent`` and ``transport_to_dead``).
+        Message counts follow the reference protocol's send rules;
+        adoptions are counted per applied fold, so a receiver drawing
+        several better offers in one cycle counts one adoption where
+        the reference's sequential delivery may count each.
         """
         nl = live.shape[0]
         if nl < 2:
             return
         soa = self.soa
         mode = self.config.coordination.mode
-        rng = self._gossip_rng
 
-        # Uniform peer ≠ self, in live-list positions.
-        draw = rng.integers(0, nl - 1, size=nl)
-        peer = draw + (draw >= np.arange(nl))
+        peers = self.provider.gossip_targets(live_ids, self._gossip_rng)
+        known = peers >= 0
+        if not np.any(known):
+            return
+        peers_safe = np.maximum(peers, 0)
+        peer_alive = known & self._alive[peers_safe]
+        # Peer position in the live list (only meaningful where alive).
+        pos_of = np.full(self._next_id, 0, dtype=np.int64)
+        pos_of[live_ids] = np.arange(nl)
+        peer_pos = pos_of[peers_safe]
 
         val = soa.best_values[live].copy()  # cycle-start snapshot
         posm = soa.best_positions[live].copy()
@@ -532,10 +724,13 @@ class FastEngine:
         new_pos = posm.copy()
 
         if mode in ("push", "push-pull"):
-            senders = np.nonzero(has)[0]
-            self.messages_sent += int(senders.size)
+            attempted = has & known
+            self.messages_sent += int(attempted.sum())
+            lost = attempted & ~peer_alive
+            self.transport_to_dead += int(lost.sum())
+            senders = np.nonzero(attempted & peer_alive)[0]
             if senders.size:
-                targets = peer[senders]
+                targets = peer_pos[senders]
                 order = np.lexsort((val[senders], targets))
                 tgt_sorted = targets[order]
                 src_sorted = senders[order]
@@ -550,21 +745,24 @@ class FastEngine:
             if mode == "push-pull":
                 # Receiver at least as good -> it replies; initiator
                 # adopts iff the reply strictly improves on it.
-                replied = has & has[peer] & (val >= val[peer])
+                delivered = attempted & peer_alive
+                replied = delivered & has[peer_pos] & (val >= val[peer_pos])
                 self.messages_sent += int(replied.sum())
-                back = replied & (val[peer] < new_val)
+                back = replied & (val[peer_pos] < new_val)
                 if np.any(back):
-                    new_val[back] = val[peer[back]]
-                    new_pos[back] = posm[peer[back]]
+                    new_val[back] = val[peer_pos[back]]
+                    new_pos[back] = posm[peer_pos[back]]
                     self.adoptions += int(back.sum())
         else:  # pull: blind requests, reply iff the peer knows anything
-            self.messages_sent += nl
-            replied = has[peer]
+            self.messages_sent += int(known.sum())
+            lost = known & ~peer_alive
+            self.transport_to_dead += int(lost.sum())
+            replied = peer_alive & has[peer_pos]
             self.messages_sent += int(replied.sum())
-            back = replied & (val[peer] < new_val)
+            back = replied & (val[peer_pos] < new_val)
             if np.any(back):
-                new_val[back] = val[peer[back]]
-                new_pos[back] = posm[peer[back]]
+                new_val[back] = val[peer_pos[back]]
+                new_pos[back] = posm[peer_pos[back]]
                 self.adoptions += int(back.sum())
 
         soa.best_values[live] = new_val
@@ -576,11 +774,15 @@ class FastEngine:
         """Run one cycle; returns False if aborted before completion."""
         if self.config.churn.enabled:
             self._churn_phase()
-        live = self.live_ids()
-        if live.size:
+        live_ids = self.live_ids()
+        if live_ids.size:
+            live = self._slot_of_id[live_ids]
+            if self.gossip:
+                # Topology service first, like the reference stack.
+                self.provider.begin_cycle(live_ids, self._alive, float(self.now))
             self._pso_phase(live)
             if self.gossip:
-                self._gossip_phase(live)
+                self._gossip_phase(live_ids, live)
         if self._stopped:
             return False
         self.cycle += 1
@@ -615,6 +817,8 @@ def run_single_fast(
     objective_map=None,
     extra_observers=(),
     max_cycles: int | None = None,
+    topology: str | ViewProvider = "newscast",
+    rng_mode: str = "strict",
 ) -> RunResult:
     """Fast-path counterpart of the reference single-repetition runner.
 
@@ -622,7 +826,9 @@ def run_single_fast(
     the module docstring for the equivalence guarantees.  Reached via
     ``Scenario(engine="fast")`` through the session facade in normal
     use; ``objective_map`` routes heterogeneous networks through
-    grouped batch evaluation (see :class:`FastEngine`).
+    grouped batch evaluation, ``topology`` selects the array-backed
+    overlay, and ``rng_mode`` the draw regime (see
+    :class:`FastEngine`).
     """
     if config.evaluations_per_node < 1:
         raise ConfigurationError(
@@ -630,7 +836,12 @@ def run_single_fast(
             f"{config.evaluations_per_node} < 1 for n={config.nodes}"
         )
     engine = FastEngine(
-        config, repetition=repetition, gossip=gossip, objective_map=objective_map
+        config,
+        repetition=repetition,
+        gossip=gossip,
+        objective_map=objective_map,
+        topology=topology,
+        rng_mode=rng_mode,
     )
     quality_obs = GlobalQualityObserver(
         threshold=config.quality_threshold, record_history=record_history

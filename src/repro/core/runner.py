@@ -157,6 +157,22 @@ def _build_network(
     topology_factory=None,
     optimizer_factory=None,
 ) -> tuple[Network, OptimizationNodeSpec]:
+    """Materialize the population with its topology attached.
+
+    ``topology_factory`` may be the legacy bare callable
+    ``node_id -> (protocol_name, sampler)``, or a
+    :class:`~repro.topology.provider.TopologyPlan` whose ``per_node``
+    additionally receives the repetition's seed tree and whose
+    optional ``bootstrap`` seeds initial views after the population
+    exists (how CYCLON and seeded static overlays come up).
+    """
+    from repro.topology.provider import TopologyPlan
+
+    plan = topology_factory if isinstance(topology_factory, TopologyPlan) else None
+    if plan is not None:
+        per_node = lambda nid: plan.per_node(nid, tree)  # noqa: E731
+    else:
+        per_node = topology_factory
     spec = OptimizationNodeSpec(
         function=function,
         pso=config.pso,
@@ -165,7 +181,7 @@ def _build_network(
         rng_tree=tree,
         evals_per_cycle=config.gossip_cycle,
         budget_per_node=config.evaluations_per_node,
-        topology_factory=topology_factory,
+        topology_factory=per_node,
         optimizer_factory=optimizer_factory,
     )
     network = Network(rng=tree.rng("network"))
@@ -176,6 +192,8 @@ def _build_network(
     network.populate(config.nodes, factory=factory)
     if topology_factory is None:
         bootstrap_views(network, tree.rng("bootstrap"))
+    elif plan is not None and plan.bootstrap is not None:
+        plan.bootstrap(network, tree)
     return network, spec
 
 

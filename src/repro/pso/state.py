@@ -95,89 +95,207 @@ class SwarmState:
         )
 
 
-@dataclass
+#: SoA array names, in the order the keyword constructor takes them.
+_SOA_FIELDS = (
+    "positions",
+    "velocities",
+    "pbest_positions",
+    "pbest_values",
+    "best_positions",
+    "best_values",
+    "evaluations",
+    "cursors",
+)
+
+
+def _soa_slot_property(field: str):
+    buf = "_" + field
+
+    def getter(self: "SwarmStateSoA") -> np.ndarray:
+        return getattr(self, buf)[: self._n]
+
+    def setter(self: "SwarmStateSoA", value: np.ndarray) -> None:
+        # Public assignment always copies into the backing slots, so
+        # callers keep ownership of ``value``; the fast path's
+        # zero-copy full-sweep store goes through adopt_arrays.
+        arr = getattr(self, buf)
+        if value.shape[0] != self._n:
+            raise ValueError(
+                f"{field}: expected leading axis {self._n}, got {value.shape[0]}"
+            )
+        arr[: self._n] = value
+
+    return property(getter, setter)
+
+
 class SwarmStateSoA:
     """Structure-of-arrays state of ``n`` same-shaped swarms.
 
     The network-level fast path (:mod:`repro.core.fastpath`) advances
     every node's swarm with single batched array operations, so the
     per-node :class:`SwarmState` rows are stacked along a leading node
-    axis.  Axis 0 is the node slot (dense, never reused, dead nodes
-    keep their rows so past evaluations stay accounted for), axis 1 the
-    particle, axis 2 the search dimension.
+    axis.  Axis 0 is the node *slot* (the fast engine maps node ids to
+    slots and may reuse a crashed node's slot for a joiner), axis 1
+    the particle, axis 2 the search dimension.
 
-    Attributes
-    ----------
-    positions / velocities / pbest_positions:
-        Shape ``(n, k, d)``.
-    pbest_values:
-        Shape ``(n, k)``.
-    best_positions / best_values:
-        Per-node swarm optima ``g_p`` / ``f(g_p)``; shapes ``(n, d)``
-        and ``(n,)``.
-    evaluations / cursors:
-        Per-node local time and round-robin cursor, shape ``(n,)``.
+    Storage is capacity-backed: the physical arrays may hold spare
+    trailing rows, and :meth:`append_state` grows them geometrically —
+    a churn join is amortized O(k·d) instead of the O(n·k·d)
+    reallocation a per-join concatenation costs (the ROADMAP's
+    "fast-path churn at scale" item).  All public array attributes are
+    views of the first ``n`` rows, so shapes look exactly like the
+    pre-capacity layout:
+
+    * ``positions`` / ``velocities`` / ``pbest_positions``: ``(n, k, d)``
+    * ``pbest_values``: ``(n, k)``
+    * ``best_positions`` / ``best_values``: per-slot swarm optima
+      ``g_p`` / ``f(g_p)``, ``(n, d)`` and ``(n,)``
+    * ``evaluations`` / ``cursors``: per-slot local time and
+      round-robin cursor, ``(n,)``
     """
 
-    positions: np.ndarray
-    velocities: np.ndarray
-    pbest_positions: np.ndarray
-    pbest_values: np.ndarray
-    best_positions: np.ndarray
-    best_values: np.ndarray
-    evaluations: np.ndarray
-    cursors: np.ndarray
+    positions = _soa_slot_property("positions")
+    velocities = _soa_slot_property("velocities")
+    pbest_positions = _soa_slot_property("pbest_positions")
+    pbest_values = _soa_slot_property("pbest_values")
+    best_positions = _soa_slot_property("best_positions")
+    best_values = _soa_slot_property("best_values")
+    evaluations = _soa_slot_property("evaluations")
+    cursors = _soa_slot_property("cursors")
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+        pbest_positions: np.ndarray,
+        pbest_values: np.ndarray,
+        best_positions: np.ndarray,
+        best_values: np.ndarray,
+        evaluations: np.ndarray,
+        cursors: np.ndarray,
+    ):
+        self._n = positions.shape[0]
+        for name, arr in zip(
+            _SOA_FIELDS,
+            (positions, velocities, pbest_positions, pbest_values,
+             best_positions, best_values, evaluations, cursors),
+        ):
+            setattr(self, "_" + name, np.ascontiguousarray(arr))
 
     @property
     def n(self) -> int:
-        """Number of node slots (live and dead)."""
-        return self.positions.shape[0]
+        """Number of occupied node slots."""
+        return self._n
+
+    @property
+    def capacity(self) -> int:
+        """Physical slots allocated (``>= n``)."""
+        return self._positions.shape[0]
 
     @property
     def k(self) -> int:
         """Particles per node."""
-        return self.positions.shape[1]
+        return self._positions.shape[1]
 
     @property
     def d(self) -> int:
         """Search-space dimensionality."""
-        return self.positions.shape[2]
+        return self._positions.shape[2]
 
     def node_state(self, i: int) -> SwarmState:
-        """Materialize node ``i`` as an independent :class:`SwarmState`.
+        """Materialize slot ``i`` as an independent :class:`SwarmState`.
 
         Used by tests and observers to compare fast-path rows against
         reference swarms; the returned state shares no memory with the
         SoA arrays.
         """
         return SwarmState(
-            positions=self.positions[i].copy(),
-            velocities=self.velocities[i].copy(),
-            pbest_positions=self.pbest_positions[i].copy(),
-            pbest_values=self.pbest_values[i].copy(),
-            best_position=self.best_positions[i].copy(),
-            best_value=float(self.best_values[i]),
-            evaluations=int(self.evaluations[i]),
-            cursor=int(self.cursors[i]),
+            positions=self._positions[i].copy(),
+            velocities=self._velocities[i].copy(),
+            pbest_positions=self._pbest_positions[i].copy(),
+            pbest_values=self._pbest_values[i].copy(),
+            best_position=self._best_positions[i].copy(),
+            best_value=float(self._best_values[i]),
+            evaluations=int(self._evaluations[i]),
+            cursor=int(self._cursors[i]),
         )
+
+    def adopt_arrays(
+        self,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+        pbest_positions: np.ndarray,
+        pbest_values: np.ndarray,
+    ) -> None:
+        """Take ownership of freshly computed particle arrays.
+
+        The fast engine's full-sweep chunk rewrites all four particle
+        arrays every cycle; while the buffers carry no spare capacity (the
+        no-churn steady state) they are adopted by reference — the
+        caller MUST NOT mutate them afterwards.  With spare capacity
+        the values are copied into the backing slots instead, keeping
+        the headroom.
+        """
+        new = (positions, velocities, pbest_positions, pbest_values)
+        names = _SOA_FIELDS[:4]
+        if self.capacity == self._n:
+            for name, arr in zip(names, new):
+                if arr.shape[0] != self._n:
+                    raise ValueError(f"{name}: wrong leading axis")
+                setattr(self, "_" + name, np.ascontiguousarray(arr))
+        else:
+            for name, arr in zip(names, new):
+                getattr(self, "_" + name)[: self._n] = arr
+
+    def reserve(self, slots: int) -> None:
+        """Ensure physical capacity for ``slots`` rows (geometric growth)."""
+        cap = self.capacity
+        if cap >= slots:
+            return
+        new_cap = max(slots, 2 * cap)
+        for name in _SOA_FIELDS:
+            buf = getattr(self, "_" + name)
+            grown = np.zeros((new_cap, *buf.shape[1:]), dtype=buf.dtype)
+            grown[:cap] = buf
+            setattr(self, "_" + name, grown)
+
+    def _write_row(self, slot: int, state: SwarmState) -> None:
+        self._positions[slot] = state.positions
+        self._velocities[slot] = state.velocities
+        self._pbest_positions[slot] = state.pbest_positions
+        self._pbest_values[slot] = state.pbest_values
+        self._best_positions[slot] = state.best_position
+        self._best_values[slot] = state.best_value
+        self._evaluations[slot] = state.evaluations
+        self._cursors[slot] = state.cursor
+
+    def append_state(self, state: SwarmState) -> int:
+        """Append one state in the next free slot; returns the slot.
+
+        Amortized O(k·d): at capacity the buffers double, otherwise
+        only the new row is written.
+        """
+        self.reserve(self._n + 1)
+        slot = self._n
+        self._n += 1
+        self._write_row(slot, state)
+        return slot
+
+    def replace_slot(self, slot: int, state: SwarmState) -> None:
+        """Overwrite an existing slot with a fresh node state.
+
+        The fast engine recycles crashed nodes' slots through this
+        (after retiring their evaluation counts), so long heavy-churn
+        runs do not grow the arrays without bound.
+        """
+        if not (0 <= slot < self._n):
+            raise ValueError(f"slot {slot} out of range [0, {self._n})")
+        self._write_row(slot, state)
 
     def extend(self, states: Sequence[SwarmState]) -> None:
         """Append per-node states as new trailing slots (churn joins)."""
-        if not states:
-            return
-        other = stack_states(states)
-        self.positions = np.concatenate([self.positions, other.positions])
-        self.velocities = np.concatenate([self.velocities, other.velocities])
-        self.pbest_positions = np.concatenate(
-            [self.pbest_positions, other.pbest_positions]
-        )
-        self.pbest_values = np.concatenate([self.pbest_values, other.pbest_values])
-        self.best_positions = np.concatenate(
-            [self.best_positions, other.best_positions]
-        )
-        self.best_values = np.concatenate([self.best_values, other.best_values])
-        self.evaluations = np.concatenate([self.evaluations, other.evaluations])
-        self.cursors = np.concatenate([self.cursors, other.cursors])
+        for state in states:
+            self.append_state(state)
 
 
 def stack_states(states: Sequence[SwarmState]) -> SwarmStateSoA:

@@ -35,28 +35,75 @@ def _star_args(args: tuple) -> RunRecord:
 
 
 def _topology_factory(scenario: Scenario):
-    """Materialize the scenario's topology model for the reference engine."""
+    """Materialize the scenario's topology model for the reference engine.
+
+    Returns ``None`` for the default NEWSCAST stack, the callable
+    itself for custom factories, or a
+    :class:`~repro.topology.provider.TopologyPlan` for the other named
+    models.  Plans derive random structure (the k-regular wiring, the
+    CYCLON per-node streams) from the repetition's seed tree through
+    the same paths the fast engine's array providers use, so the two
+    backends build comparable — for static overlays, identical —
+    graphs.
+    """
     topology = scenario.topology
     if callable(topology):
         return topology
     if topology == "newscast":
         return None
-    if topology == "star":
-        from repro.baselines.masterslave import star_topology_factory
+    if topology == "cyclon":
+        from repro.topology.cyclon import (
+            CyclonConfig,
+            CyclonProtocol,
+            bootstrap_cyclon,
+        )
+        from repro.topology.provider import TopologyPlan
 
-        return star_topology_factory(scenario.nodes)
-    if topology == "ring":
-        from repro.topology.static import StaticTopologyProtocol, ring_lattice
+        cyclon_config = CyclonConfig(
+            view_size=scenario.newscast.view_size,
+            shuffle_length=max(1, scenario.newscast.view_size // 2),
+        )
 
-        adjacency = ring_lattice(scenario.nodes, radius=2)
-
-        def factory(node_id: int):
+        def cyclon_node(node_id: int, tree):
             return (
-                StaticTopologyProtocol.PROTOCOL_NAME,
-                StaticTopologyProtocol(adjacency.get(node_id, [])),
+                CyclonProtocol.PROTOCOL_NAME,
+                CyclonProtocol(cyclon_config, tree.rng("node", node_id, "cyclon")),
             )
 
-        return factory
+        return TopologyPlan(
+            name="cyclon",
+            per_node=cyclon_node,
+            bootstrap=lambda network, tree: bootstrap_cyclon(
+                network, tree.rng("bootstrap")
+            ),
+        )
+    if topology in ("ring", "star", "kregular"):
+        from repro.topology.provider import TopologyPlan, static_adjacency
+        from repro.topology.static import StaticTopologyProtocol
+
+        cache: dict[int, tuple[dict, list]] = {}
+
+        def built(tree):
+            key = tree.master_seed
+            if key not in cache:
+                cache[key] = static_adjacency(
+                    topology,
+                    scenario.nodes,
+                    scenario.newscast.view_size,
+                    tree.rng("topology", topology),
+                )
+            return cache[key]
+
+        def static_node(node_id: int, tree):
+            adjacency, join_contacts = built(tree)
+            return (
+                StaticTopologyProtocol.PROTOCOL_NAME,
+                StaticTopologyProtocol(
+                    adjacency.get(node_id, list(join_contacts))
+                ),
+            )
+
+        return TopologyPlan(name=topology, per_node=static_node)
     raise ConfigurationError(f"unknown topology {topology!r}")  # pragma: no cover
 
 
@@ -183,6 +230,8 @@ class Session:
             objective_map=scenario.objective_map,
             extra_observers=scenario.observers,
             max_cycles=scenario.max_cycles,
+            topology=scenario.topology,
+            rng_mode=scenario.rng_mode,
         )
         return RunRecord.from_run_result(run)
 

@@ -42,6 +42,7 @@ from repro.utils.exceptions import ConfigurationError
 __all__ = [
     "ENGINES",
     "TOPOLOGIES",
+    "RNG_MODES",
     "SOLVERS",
     "BASELINES",
     "Scenario",
@@ -52,7 +53,13 @@ __all__ = [
 #: Engines a scenario can run on.
 ENGINES = ("reference", "fast", "event")
 #: Built-in topology models (a callable factory is also accepted).
-TOPOLOGIES = ("newscast", "star", "ring")
+#: Every named model runs on both the reference engine (per-node
+#: protocol objects) and the fast engine (array-backed view matrices);
+#: "oracle" is the fast path's idealized uniform sampler kept for
+#: kernel-vs-overlay ablations.
+TOPOLOGIES = ("newscast", "cyclon", "ring", "kregular", "star", "oracle")
+#: Per-particle RNG regimes of the fast engine (see repro.core.fastpath).
+RNG_MODES = ("strict", "batched")
 #: Built-in local solvers (a tuple of these cycles over the nodes).
 SOLVERS = ("pso", "de", "random")
 #: Baseline comparison modes (master–slave is ``topology="star"``).
@@ -135,10 +142,19 @@ class Scenario:
         ``"fast"`` (vectorized SoA kernel) or ``"event"``
         (asynchronous message-passing deployment).
     topology:
-        ``"newscast"`` (default), ``"star"`` (master–slave),
-        ``"ring"`` (radius-2 lattice), or a callable
-        ``node_id -> (protocol_name, PeerSampler)`` for custom
+        ``"newscast"`` (default), ``"cyclon"`` (shuffle-based peer
+        sampling), ``"ring"`` (radius-2 lattice), ``"kregular"``
+        (frozen random overlay), ``"star"`` (master–slave), or
+        ``"oracle"`` (the fast path's idealized uniform sampler —
+        fast engine only).  Every named model runs on both the
+        reference and the fast engine; a callable
+        ``node_id -> (protocol_name, PeerSampler)`` builds custom
         overlays (reference engine only).
+    rng_mode:
+        Fast-engine per-particle draw regime: ``"strict"`` (default;
+        bit-compatible with the reference solver streams) or
+        ``"batched"`` (one seed-branched ``(n, 2, k, d)`` fill per
+        chunk, statistically equivalent and faster).
     solver:
         ``"pso"`` (the paper), ``"de"``, ``"random"``, or a tuple of
         those cycled over node ids — the heterogeneous-solver
@@ -183,6 +199,7 @@ class Scenario:
     seed: int = 0
     engine: str = "reference"
     topology: str | Callable = "newscast"
+    rng_mode: str = "strict"
     solver: str | tuple = "pso"
     partitioned: bool = False
     baseline: str | None = None
@@ -281,6 +298,11 @@ class Scenario:
                  f"all objectives must share one dimension, got {sorted(dims)}")
 
     def _validate_topology(self) -> None:
+        _require("rng_mode", self.rng_mode in RNG_MODES,
+                 f"must be one of {RNG_MODES}, got {self.rng_mode!r}")
+        if self.rng_mode != "strict":
+            _require("rng_mode", self.engine == "fast",
+                     "batched draws are a fast-engine regime")
         if callable(self.topology):
             _require("topology", self.engine == "reference",
                      "custom topology factories need the reference engine")
@@ -288,10 +310,14 @@ class Scenario:
         _require("topology", self.topology in TOPOLOGIES,
                  f"must be one of {TOPOLOGIES} or a factory callable, "
                  f"got {self.topology!r}")
-        if self.topology != "newscast":
-            _require("topology", self.engine == "reference",
-                     f"topology {self.topology!r} needs the reference engine "
-                     "(fast/event model peer sampling as NEWSCAST)")
+        if self.topology == "oracle":
+            _require("topology", self.engine == "fast",
+                     "the oracle sampler is the fast engine's idealized "
+                     "overlay; other engines model real topologies")
+        elif self.topology != "newscast":
+            _require("topology", self.engine in ("reference", "fast"),
+                     f"topology {self.topology!r} runs on the reference or "
+                     "fast engine (the event runtime models NEWSCAST)")
 
     def _validate_solver(self) -> None:
         names = self.solver if isinstance(self.solver, (tuple, list)) else (self.solver,)

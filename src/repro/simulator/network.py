@@ -203,6 +203,28 @@ class Network:
         """Iterate over every node ever created."""
         return iter(self._nodes)
 
+    def neighbor_matrix(self, protocol_name: str = "newscast") -> np.ndarray:
+        """Padded ``(size, c)`` neighbor-id matrix of the live overlay.
+
+        Row ``i`` holds node ``i``'s current view entries (``-1``
+        padding; dead or protocol-less nodes yield all ``-1`` rows) —
+        the same shape :class:`~repro.topology.provider.ViewProvider`
+        backends emit, so overlay analysis reads both engines'
+        topologies identically.
+        """
+        rows: dict[int, list[int]] = {}
+        width = 1
+        for node in self.live_nodes():
+            if not node.has_protocol(protocol_name):
+                continue
+            peers = [int(p) for p in node.protocol(protocol_name).known_peers(node)]  # type: ignore[attr-defined]
+            rows[node.node_id] = peers
+            width = max(width, len(peers))
+        out = np.full((self.size, width), -1, dtype=np.int64)
+        for nid, peers in rows.items():
+            out[nid, : len(peers)] = peers
+        return out
+
     # -- random selection --------------------------------------------------------
 
     def random_live_node(self, exclude: NodeId | None = None) -> Node:

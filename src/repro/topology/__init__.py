@@ -12,19 +12,40 @@ with communication partners.  Implementations:
   ring, star/master–slave, k-regular random, Watts–Strogatz
   small-world, 2-D grid), mentioned by the paper as alternative
   instantiations and used by our topology ablation.
+* :mod:`~repro.topology.array_views` — the same protocols as
+  whole-overlay array kernels (id/timestamp matrices, vectorized
+  NEWSCAST merges and CYCLON shuffles) powering the fast engine.
 * :mod:`~repro.topology.analysis` — overlay extraction to networkx
   and graph metrics used to validate NEWSCAST's published properties
   (connectivity, degree concentration, self-repair).
 
-All topology protocols implement the :class:`PeerSampler` interface:
-``sample_peer(node, rng)`` returns a peer id drawn from the node's
-*local* knowledge — never from global state.
+Two backends, one abstraction: per-node protocols implement the
+:class:`PeerSampler` interface (``sample_peer(node, rng)`` draws from
+the node's *local* knowledge — never from global state), and whole-
+network backends implement :class:`ViewProvider` (same discipline,
+answered for all nodes at once).  :class:`NetworkViewProvider` adapts
+any :class:`PeerSampler`-equipped network to the provider contract, so
+analysis and tests interrogate either engine's overlay identically.
 """
 
 from repro.topology.views import NodeDescriptor, PartialView
 from repro.topology.newscast import NewscastProtocol, bootstrap_views
 from repro.topology.cyclon import CyclonConfig, CyclonProtocol, bootstrap_cyclon
 from repro.topology.sampler import PeerSampler
+from repro.topology.provider import (
+    ARRAY_TOPOLOGIES,
+    NetworkViewProvider,
+    TopologyPlan,
+    ViewProvider,
+    make_array_provider,
+)
+from repro.topology.array_views import (
+    CyclonArrayViews,
+    NewscastArrayViews,
+    OracleViews,
+    StaticArrayViews,
+    merge_views,
+)
 from repro.topology.static import (
     StaticTopologyProtocol,
     complete_graph,
@@ -43,6 +64,16 @@ __all__ = [
     "NodeDescriptor",
     "PartialView",
     "PeerSampler",
+    "ViewProvider",
+    "NetworkViewProvider",
+    "TopologyPlan",
+    "ARRAY_TOPOLOGIES",
+    "make_array_provider",
+    "merge_views",
+    "NewscastArrayViews",
+    "CyclonArrayViews",
+    "StaticArrayViews",
+    "OracleViews",
     "NewscastProtocol",
     "bootstrap_views",
     "CyclonConfig",

@@ -2,14 +2,18 @@
 
 NEWSCAST's value rests on graph-theoretic claims (random-graph-like
 overlay, connectivity at ``c ≈ 20``, self-repair).  This module turns
-a live simulation's views into :mod:`networkx` graphs and computes the
-metrics our tests check against the published behaviour.
+a live overlay — from *either* topology backend: a reference-engine
+:class:`~repro.simulator.network.Network` of per-node protocol
+objects, or a fast-engine
+:class:`~repro.topology.provider.ViewProvider` of view matrices —
+into :mod:`networkx` graphs and computes the metrics our tests check
+against the published behaviour.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 import networkx as nx
 import numpy as np
@@ -17,7 +21,45 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simulator.network import Network
 
-__all__ = ["overlay_digraph", "overlay_metrics", "OverlayMetrics"]
+__all__ = [
+    "overlay_digraph",
+    "overlay_digraph_from_views",
+    "overlay_metrics",
+    "overlay_metrics_from_views",
+    "path_length_sample",
+    "path_length_sample_from_views",
+    "OverlayMetrics",
+]
+
+
+def overlay_digraph_from_views(
+    neighbor_matrix: np.ndarray,
+    live_ids: Iterable[int],
+    live_only: bool = True,
+) -> nx.DiGraph:
+    """Directed overlay from a padded ``(n, c)`` neighbor-id matrix.
+
+    The array-backend counterpart of :func:`overlay_digraph`: row
+    ``i`` of ``neighbor_matrix`` holds node ``i``'s view entries
+    (``-1`` padding).  Works on anything exposing the
+    :meth:`~repro.topology.provider.ViewProvider.neighbor_matrix`
+    layout — fast-engine providers and
+    :meth:`repro.simulator.network.Network.neighbor_matrix` alike.
+    """
+    g = nx.DiGraph()
+    live = [int(i) for i in live_ids]
+    live_set = set(live)
+    g.add_nodes_from(live)
+    for nid in live:
+        if nid >= neighbor_matrix.shape[0]:
+            continue
+        row = neighbor_matrix[nid]
+        for peer in row[row >= 0]:
+            peer = int(peer)
+            if live_only and peer not in live_set:
+                continue
+            g.add_edge(nid, peer)
+    return g
 
 
 def overlay_digraph(
@@ -82,6 +124,31 @@ class OverlayMetrics:
         }
 
 
+def overlay_metrics_from_views(
+    neighbor_matrix: np.ndarray,
+    live_ids: Iterable[int],
+) -> OverlayMetrics:
+    """:class:`OverlayMetrics` of an array-backed overlay snapshot.
+
+    Mirrors :func:`overlay_metrics` for
+    :class:`~repro.topology.provider.ViewProvider` backends; entries
+    pointing outside the live set count as stale.
+    """
+    live = [int(i) for i in live_ids]
+    live_set = set(live)
+    total = stale = 0
+    for nid in live:
+        if nid >= neighbor_matrix.shape[0]:
+            continue
+        row = neighbor_matrix[nid]
+        for peer in row[row >= 0]:
+            total += 1
+            if int(peer) not in live_set:
+                stale += 1
+    g = overlay_digraph_from_views(neighbor_matrix, live, live_only=True)
+    return _metrics_of(g, stale / total if total else 0.0)
+
+
 def overlay_metrics(
     network: "Network",
     protocol_name: str = "newscast",
@@ -93,9 +160,6 @@ def overlay_metrics(
     few cycles after a crash wave.
     """
     g = overlay_digraph(network, protocol_name, live_only=True)
-    n = g.number_of_nodes()
-    if n == 0:
-        return OverlayMetrics(0, 0, False, 0.0, 0, 0.0, 0.0, 0.0)
 
     # Stale entries: count over raw views, not the live-only graph.
     total_entries = 0
@@ -108,6 +172,14 @@ def overlay_metrics(
             if not network.is_alive(peer):
                 stale_entries += 1
     stale_fraction = stale_entries / total_entries if total_entries else 0.0
+    return _metrics_of(g, stale_fraction)
+
+
+def _metrics_of(g: nx.DiGraph, stale_fraction: float) -> OverlayMetrics:
+    """Graph-theoretic summary shared by both overlay backends."""
+    n = g.number_of_nodes()
+    if n == 0:
+        return OverlayMetrics(0, 0, False, 0.0, 0, 0.0, 0.0, 0.0)
 
     in_degrees = np.array([d for _, d in g.in_degree()], dtype=float)
     out_degrees = np.array([d for _, d in g.out_degree()], dtype=float)
@@ -145,6 +217,23 @@ def path_length_sample(
     overlays where 200 pairs is effectively exhaustive.
     """
     g = overlay_digraph(network, protocol_name).to_undirected()
+    return _path_length(g, pairs, rng)
+
+
+def path_length_sample_from_views(
+    neighbor_matrix: np.ndarray,
+    live_ids: Iterable[int],
+    pairs: int = 200,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """:func:`path_length_sample` for array-backed overlays."""
+    g = overlay_digraph_from_views(neighbor_matrix, live_ids).to_undirected()
+    return _path_length(g, pairs, rng)
+
+
+def _path_length(
+    g: nx.Graph, pairs: int, rng: np.random.Generator | None
+) -> float:
     nodes = list(g.nodes)
     if len(nodes) < 2:
         return 0.0

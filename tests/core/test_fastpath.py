@@ -233,8 +233,16 @@ class TestRunSemantics:
         tally = result.messages
         assert tally.coordination_messages > 0
         assert 0 < tally.coordination_adoptions <= tally.coordination_messages
-        assert tally.newscast_exchanges == 0  # oracle sampling, documented
+        # The fast engine simulates real NEWSCAST view exchanges now:
+        # one initiated exchange per live node per cycle.
+        assert tally.newscast_exchanges == cfg.nodes * result.cycles
         assert tally.transport_sent == tally.coordination_messages
+
+    def test_oracle_topology_reports_no_view_traffic(self):
+        cfg = small_config(nodes=16, total_evaluations=16 * 8 * 10)
+        result = run_single_fast(cfg, topology="oracle")
+        assert result.messages.newscast_exchanges == 0
+        assert result.messages.coordination_messages > 0
 
     def test_gossip_tightens_consensus(self):
         cfg = small_config(nodes=24, total_evaluations=24 * 8 * 20, seed=47)
@@ -253,8 +261,12 @@ class TestRunSemantics:
         engine.run(30)
         assert engine.crashes > 0
         assert engine.joins > 0
-        assert engine.soa.n == cfg.nodes + engine.joins
+        # Joins reuse crashed nodes' slots before growing the arrays,
+        # so slot count stays within [peak live, nodes + joins].
+        assert engine.live_count <= engine.soa.n <= cfg.nodes + engine.joins
         assert engine.live_count == cfg.nodes + engine.joins - engine.crashes
+        # Retired evaluations from recycled slots stay accounted for.
+        assert engine.total_evaluations() > 0
 
     def test_min_population_floor_respected(self):
         cfg = small_config(
@@ -288,3 +300,103 @@ class TestEngineSelectionAPI:
         assert [r.total_evaluations for r in seq.runs] == [
             r.total_evaluations for r in par.runs
         ]
+
+
+class TestTopologyProviders:
+    """The fast engine runs every named overlay (PR 3 tentpole)."""
+
+    @pytest.mark.parametrize(
+        "topology", ["newscast", "cyclon", "ring", "kregular", "star", "oracle"]
+    )
+    def test_runs_and_finishes_budget(self, topology):
+        cfg = small_config(nodes=10, total_evaluations=10 * 8 * 6)
+        result = run_single_fast(cfg, topology=topology)
+        assert result.stop_reason == "budget"
+        assert result.total_evaluations == 10 * 8 * 6
+
+    def test_topology_choice_never_perturbs_node_streams(self):
+        """Overlay randomness lives on its own seed branch, so swarm
+        trajectories with gossip off are identical whatever overlay
+        is configured."""
+        cfg = small_config(nodes=6, total_evaluations=6 * 8 * 5)
+        results = [
+            run_single_fast(cfg, gossip=False, topology=t).best_value
+            for t in ("newscast", "cyclon", "ring", "oracle")
+        ]
+        assert len(set(results)) == 1
+
+    def test_rejects_factory_callables(self):
+        with pytest.raises(Exception, match="factory"):
+            FastEngine(small_config(), topology=isolated_topology)
+
+
+class TestBatchedRng:
+    """The batched draw regime: reproducible, per-node stable."""
+
+    def test_deterministic_and_statistically_equivalent(self):
+        cfg = small_config(nodes=12, total_evaluations=12 * 8 * 20, seed=71)
+        a = run_single_fast(cfg, rng_mode="batched")
+        b = run_single_fast(cfg, rng_mode="batched")
+        assert a.best_value == b.best_value
+        strict = run_single_fast(cfg, rng_mode="strict")
+        ra = np.log10(max(a.quality, 1e-300))
+        rs = np.log10(max(strict.quality, 1e-300))
+        assert abs(ra - rs) < 2.0
+
+    def test_per_node_blocks_keyed_by_id(self):
+        """A node's draws depend on (seed, cycle, node id), not on the
+        rest of the population: with gossip off, node 0's trajectory
+        matches between an n=1 and an n=4 run."""
+        cfg1 = small_config(nodes=1, total_evaluations=1 * 8 * 5)
+        cfg4 = small_config(nodes=4, total_evaluations=4 * 8 * 5)
+        e1 = FastEngine(cfg1, gossip=False, rng_mode="batched")
+        e4 = FastEngine(cfg4, gossip=False, rng_mode="batched")
+        e1.run(5)
+        e4.run(5)
+        row1 = e1.soa.node_state(0)
+        row4 = e4.soa.node_state(0)
+        assert np.array_equal(row1.positions, row4.positions)
+        assert row1.best_value == row4.best_value
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(Exception, match="rng_mode"):
+            FastEngine(small_config(), rng_mode="philox")
+
+
+class TestChurnSlotReuse:
+    """Joins recycle crashed slots with capacity-doubling growth."""
+
+    def test_slots_bounded_by_peak_population(self):
+        cfg = small_config(
+            nodes=12,
+            total_evaluations=12 * 8 * 60,
+            churn=ChurnConfig(crash_rate=0.25, join_rate=0.25, min_population=4),
+            seed=83,
+        )
+        engine = FastEngine(cfg)
+        engine.budget = None
+        engine.run(60)
+        assert engine.joins > engine.soa.n  # reuse actually happened
+        assert engine.soa.n <= cfg.nodes + engine.joins
+        # Ids keep growing monotonically even though slots recycle.
+        assert engine.live_count == len(set(engine.live_ids().tolist()))
+        assert engine.total_evaluations() == int(
+            engine.soa.evaluations.sum()
+        ) + engine._retired_evaluations
+
+    def test_quality_still_matches_reference_under_heavy_churn(self):
+        cfg = small_config(
+            nodes=16,
+            total_evaluations=16 * 8 * 20,
+            churn=ChurnConfig(crash_rate=0.10, join_rate=0.10, min_population=5),
+            seed=89,
+        )
+        ref = [
+            run_single(cfg, repetition=r).quality for r in range(4)
+        ]
+        fast = [
+            run_single_fast(cfg, repetition=r).quality for r in range(4)
+        ]
+        log_ref = np.log10(np.maximum(ref, 1e-300)).mean()
+        log_fast = np.log10(np.maximum(fast, 1e-300)).mean()
+        assert abs(log_ref - log_fast) < 2.0

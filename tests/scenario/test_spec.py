@@ -44,7 +44,11 @@ class TestValidation:
             ("seed", {"seed": -1}),
             ("engine", {"engine": "warp"}),
             ("topology", {"topology": "torus"}),
-            ("topology", {"topology": "star", "engine": "fast"}),
+            ("topology", {"topology": "star", "engine": "event",
+                          "horizon": 50.0}),
+            ("topology", {"topology": "oracle"}),
+            ("rng_mode", {"rng_mode": "philox"}),
+            ("rng_mode", {"rng_mode": "batched"}),
             ("solver", {"solver": "annealing"}),
             ("solver", {"solver": ()}),
             ("solver", {"solver": "de", "engine": "fast"}),

@@ -1,0 +1,184 @@
+"""Overlay equivalence: array backend vs object backend.
+
+The fast engine's claim is that its array overlays are *the same
+topologies* the reference engine simulates, so the graph statistics
+the paper's arguments rest on — degree concentration, clustering,
+connectivity, path length — must match between backends on the same
+spec.  Static overlays must match edge-for-edge (both backends derive
+them from the same seed-tree stream); gossip overlays must match
+statistically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.node import OptimizationNodeSpec, build_optimization_node
+from repro.functions.base import get_function
+from repro.scenario import Scenario, Session
+from repro.simulator.engine import CycleDrivenEngine
+from repro.simulator.network import Network
+from repro.topology.analysis import (
+    overlay_metrics,
+    overlay_metrics_from_views,
+    path_length_sample_from_views,
+)
+from repro.topology.array_views import NewscastArrayViews
+from repro.topology.newscast import bootstrap_views
+from repro.topology.provider import (
+    NetworkViewProvider,
+    make_array_provider,
+    static_adjacency,
+)
+from repro.utils.config import (
+    CoordinationConfig,
+    ExperimentConfig,
+    NewscastConfig,
+    PSOConfig,
+)
+from repro.utils.rng import SeedSequenceTree
+
+N, C = 48, 8
+
+
+def reference_newscast_overlay(cycles: int, seed: int = 31) -> Network:
+    """A reference-engine network after `cycles` of NEWSCAST mixing."""
+    tree = SeedSequenceTree(seed)
+    spec = OptimizationNodeSpec(
+        function=get_function("sphere"),
+        pso=PSOConfig(particles=4),
+        newscast=NewscastConfig(view_size=C),
+        coordination=CoordinationConfig(),
+        rng_tree=tree,
+        evals_per_cycle=4,
+        budget_per_node=10**9,
+    )
+    net = Network(rng=tree.rng("network"))
+    net.populate(N, factory=lambda node: build_optimization_node(node, spec))
+    bootstrap_views(net, tree.rng("bootstrap"))
+    engine = CycleDrivenEngine(net, rng=tree.rng("engine"))
+    engine.run(cycles)
+    return net
+
+
+def array_newscast_overlay(cycles: int, seed: int = 31) -> NewscastArrayViews:
+    provider = NewscastArrayViews(N, C, np.random.default_rng(seed))
+    live = np.arange(N, dtype=np.int64)
+    provider.bootstrap(live)
+    alive = np.ones(N, dtype=bool)
+    for cycle in range(cycles):
+        provider.begin_cycle(live, alive, float(cycle))
+    return provider
+
+
+class TestNewscastStatistics:
+    """Array NEWSCAST reproduces the object overlay's graph shape."""
+
+    def test_overlay_statistics_match_reference(self):
+        ref = overlay_metrics(reference_newscast_overlay(cycles=12))
+        live = list(range(N))
+        arr = overlay_metrics_from_views(
+            array_newscast_overlay(cycles=12).neighbor_matrix(), live
+        )
+        # Identical structural constants.
+        assert arr.nodes == ref.nodes == N
+        assert arr.mean_out_degree == pytest.approx(ref.mean_out_degree, abs=0.5)
+        assert arr.weakly_connected
+        # The clustering and in-degree statistics land in the same
+        # band — NEWSCAST's high view correlation, far from the
+        # random-graph baseline (c/n ~ 0.17 here).
+        assert arr.clustering == pytest.approx(ref.clustering, abs=0.15)
+        assert arr.clustering > 0.4
+        assert arr.in_degree_std == pytest.approx(ref.in_degree_std, rel=0.5)
+        assert arr.max_in_degree <= 3 * ref.max_in_degree
+
+    def test_path_length_short_like_random_graph(self):
+        provider = array_newscast_overlay(cycles=12)
+        length = path_length_sample_from_views(
+            provider.neighbor_matrix(), range(N),
+            pairs=150, rng=np.random.default_rng(5),
+        )
+        # log(48)/log(8) ~ 1.9: a couple of hops, like the reference.
+        assert 1.0 <= length <= 3.0
+
+
+class TestStaticParity:
+    """Static overlays are bit-identical across backends."""
+
+    @pytest.mark.parametrize("topology", ["ring", "star", "kregular"])
+    def test_same_adjacency_from_same_tree(self, topology):
+        config = ExperimentConfig(
+            function="sphere", nodes=16, particles_per_node=4,
+            total_evaluations=16 * 4 * 4, gossip_cycle=4, seed=9,
+        )
+        tree = SeedSequenceTree(9).subtree("rep", 0)
+        provider = make_array_provider(topology, config, tree)
+        adjacency, _ = static_adjacency(
+            topology, 16, config.newscast.view_size,
+            SeedSequenceTree(9).subtree("rep", 0).rng("topology", topology),
+        )
+        for nid in range(16):
+            assert sorted(provider.known_peers(nid)) == sorted(adjacency[nid])
+
+    def test_network_view_provider_adapts_object_backend(self):
+        net = reference_newscast_overlay(cycles=6)
+        adapter = NetworkViewProvider(net, "newscast")
+        matrix = adapter.neighbor_matrix()
+        for node in net.live_nodes():
+            peers = node.protocol("newscast").known_peers(node)
+            row = matrix[node.node_id]
+            assert sorted(row[row >= 0].tolist()) == sorted(peers)
+        # Sampling draws only from the node's own view.
+        rng = np.random.default_rng(0)
+        targets = adapter.gossip_targets(net.live_ids(), rng)
+        for nid, peer in zip(net.live_ids(), targets):
+            assert int(peer) in set(adapter.known_peers(nid))
+
+
+class TestEngineLevelEquivalence:
+    """Session-level: same scenario, both engines, matching overlays."""
+
+    def scenario(self, topology):
+        return Scenario(
+            function="sphere", nodes=32, particles_per_node=4,
+            total_evaluations=32 * 4 * 12, gossip_cycle=4,
+            repetitions=4, seed=17, topology=topology,
+        )
+
+    @pytest.mark.parametrize("topology", ["newscast", "cyclon", "ring",
+                                          "kregular", "star"])
+    def test_quality_distributions_overlap(self, topology):
+        base = self.scenario(topology)
+        ref = Session(base).run()
+        fast = Session(base.with_(engine="fast")).run()
+        log_ref = np.mean([np.log10(max(r.quality, 1e-300))
+                           for r in ref.records])
+        log_fast = np.mean([np.log10(max(r.quality, 1e-300))
+                            for r in fast.records])
+        assert abs(log_ref - log_fast) < 1.5
+
+    def test_star_hub_death_kills_coordination_on_fast_engine(self):
+        from repro.core.fastpath import FastEngine
+
+        config = self.scenario("star").to_experiment_config()
+        engine = FastEngine(config, topology="star")
+        engine.budget = None
+        engine.run(5)
+        engine.crash_node(0)  # the hub
+        before = engine.adoptions
+        engine.run(10)
+        assert engine.adoptions == before  # nobody reaches anybody
+
+    def test_newscast_survives_crash_wave_on_fast_engine(self):
+        from repro.core.fastpath import FastEngine
+
+        config = self.scenario("newscast").to_experiment_config()
+        engine = FastEngine(config, topology="newscast")
+        engine.budget = None
+        engine.run(5)
+        for nid in range(12):
+            engine.crash_node(nid)
+        before = engine.adoptions
+        engine.run(10)
+        assert engine.adoptions > before
