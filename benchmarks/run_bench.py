@@ -12,12 +12,13 @@ trajectory of the repo can be tracked PR-over-PR::
 Schema of the emitted file::
 
     {
-      "schema": "repro-bench/2",
+      "schema": "repro-bench/3",
       "environment": {"python": ..., "numpy": ...},
       "parameters": {"nodes": ..., "particles": ..., "rounds": ...},
       "benches": {"<name>": {"median_s": ..., "rounds": N}},
       "derived": {"fast_vs_reference_speedup": ...,
                   "speedup_grid": {...},
+                  "event_speedup": ...,
                   "join_slowdown_large_vs_small": ...}
     }
 
@@ -35,6 +36,14 @@ and ``--min-speedup`` turns that floor into a CI gate.
 ``join_slowdown_large_vs_small`` guards the churn-at-scale work: a
 join into a large network must not cost O(n) more than a join into a
 small one.
+
+``event_speedup`` is PR 4's number: wall-clock ratio of simulating the
+same asynchronous deployment horizon (n = 1000, default timer periods)
+on the per-node :class:`~repro.deployment.runtime.AsyncRuntime` versus
+the cohort-batched :class:`~repro.core.eventpath.CohortEventEngine`.
+Engine construction is excluded, like the cycle benches.  Measured
+~8-9x on the development machine; ``--min-event-speedup`` gates it at
+5x in CI.
 """
 
 from __future__ import annotations
@@ -49,15 +58,17 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.eventpath import CohortEventEngine
 from repro.core.fastpath import FastEngine
 from repro.core.runner import _build_network
+from repro.deployment.runtime import AsyncRuntime, DeploymentConfig
 from repro.functions.base import get_function
 from repro.pso.swarm import Swarm
 from repro.simulator.engine import CycleDrivenEngine
 from repro.utils.config import ExperimentConfig, PSOConfig
 from repro.utils.rng import SeedSequenceTree
 
-DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_3.json"
+DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_4.json"
 
 
 def _time(fn, rounds: int, warmup: int = 1) -> dict[str, float]:
@@ -113,6 +124,70 @@ def bench_engine_pair(
     if ref_key not in benches or remeasure:
         reference = reference_engine(config)
         benches[ref_key] = _time(lambda: reference.run(1), ref_rounds, warmup=1)
+    return benches[ref_key]["median_s"] / benches[fast_key]["median_s"]
+
+
+def event_bench_point(nodes: int, quick: bool) -> tuple[int, float]:
+    """The event bench's (nodes, horizon) — one source for the main
+    grid and the gate's re-measure, so they stay commensurable."""
+    return (200, 10.0) if quick else (nodes, 30.0)
+
+
+def event_config(nodes: int) -> DeploymentConfig:
+    """The event bench scenario: default timer periods, budget beyond
+    reach (the horizon is the stop condition)."""
+    return DeploymentConfig(
+        function="sphere",
+        nodes=nodes,
+        particles_per_node=8,
+        budget_per_node=10**6,
+        evals_per_tick=8,
+        seed=1,
+    )
+
+
+def _time_rebuild(make_engine, run, rounds: int, warmup: int = 1) -> dict:
+    """Like :func:`_time` for one-shot runs: a fresh engine per round
+    (running a horizon consumes the engine), construction untimed."""
+    samples = []
+    for i in range(warmup + rounds):
+        engine = make_engine()
+        t0 = time.perf_counter()
+        run(engine)
+        if i >= warmup:
+            samples.append(time.perf_counter() - t0)
+    return {
+        "mean_s": statistics.fmean(samples),
+        "stddev_s": statistics.pstdev(samples),
+        "median_s": statistics.median(samples),
+        "rounds": rounds,
+    }
+
+
+def bench_event_pair(
+    benches: dict, nodes: int, horizon: float,
+    rounds: int, ref_rounds: int, remeasure: bool = False,
+) -> float:
+    """Time one (cohort, per-node) asynchronous pair; returns the speedup.
+
+    Both engines simulate ``horizon`` seconds of the same deployment
+    (n nodes, default 1 s compute / 10 s protocol timers); construction
+    is excluded from the timing, like the cycle benches.
+    """
+    config = event_config(nodes)
+    fast_key = f"event_cohort_h{horizon:g}_n{nodes}"
+    benches[fast_key] = _time_rebuild(
+        lambda: CohortEventEngine(config, rng_mode="batched"),
+        lambda engine: engine.run(until=horizon),
+        rounds,
+    )
+    ref_key = f"event_async_h{horizon:g}_n{nodes}"
+    if ref_key not in benches or remeasure:
+        benches[ref_key] = _time_rebuild(
+            lambda: AsyncRuntime(config),
+            lambda runtime: runtime.run(until=horizon),
+            ref_rounds,
+        )
     return benches[ref_key]["median_s"] / benches[fast_key]["median_s"]
 
 
@@ -181,10 +256,18 @@ def run_benches(
             2,
         )
 
+    # Event engines: same asynchronous deployment horizon on the
+    # per-node heap runtime vs the cohort-batched SoA engine.
+    event_nodes, event_horizon = event_bench_point(nodes, quick)
+    event_speedup = bench_event_pair(
+        benches, event_nodes, event_horizon,
+        rounds=max(3, rounds // 4), ref_rounds=max(2, ref_rounds // 2),
+    )
+
     join_ratio = bench_churn_joins(benches, quick)
 
     return {
-        "schema": "repro-bench/2",
+        "schema": "repro-bench/3",
         "environment": {
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -201,6 +284,7 @@ def run_benches(
         "derived": {
             "fast_vs_reference_speedup": round(headline, 2),
             "speedup_grid": grid,
+            "event_speedup": round(event_speedup, 2),
             "join_slowdown_large_vs_small": round(join_ratio, 2),
         },
     }
@@ -220,6 +304,11 @@ def main(argv: list[str] | None = None) -> int:
         "--min-speedup", type=float, default=None,
         help="exit non-zero if the headline fast-vs-reference speedup "
              "(real NEWSCAST overlays on both engines) falls below this",
+    )
+    parser.add_argument(
+        "--min-event-speedup", type=float, default=None,
+        help="exit non-zero if the cohort-batched event engine's speedup "
+             "over the per-node AsyncRuntime falls below this",
     )
     parser.add_argument(
         "--max-join-ratio", type=float, default=None,
@@ -245,6 +334,7 @@ def main(argv: list[str] | None = None) -> int:
           f"{derived['fast_vs_reference_speedup']:10.2f} x")
     for point, ratio in derived["speedup_grid"].items():
         print(f"{'  grid ' + point:45s} {ratio:10.2f} x")
+    print(f"{'event_speedup':45s} {derived['event_speedup']:10.2f} x")
     print(f"{'join_slowdown_large_vs_small':45s} "
           f"{derived['join_slowdown_large_vs_small']:10.2f} x")
     print(f"report written to {args.output}", file=sys.stderr)
@@ -265,6 +355,22 @@ def main(argv: list[str] | None = None) -> int:
         if retry < args.min_speedup:
             print(f"FAIL: speedup {retry:.2f}x "
                   f"< required {args.min_speedup}x", file=sys.stderr)
+            failed = True
+    if (args.min_event_speedup is not None
+            and derived["event_speedup"] < args.min_event_speedup):
+        # Same transient-load-spike tolerance as the cycle gate: one
+        # re-measure with more rounds before failing the build.
+        event_nodes, event_horizon = event_bench_point(nodes, args.quick)
+        retry = bench_event_pair(
+            report["benches"], event_nodes, event_horizon,
+            rounds=6, ref_rounds=4, remeasure=True,
+        )
+        derived["event_speedup"] = round(retry, 2)
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"re-measured event speedup: {retry:.2f}x", file=sys.stderr)
+        if retry < args.min_event_speedup:
+            print(f"FAIL: event speedup {retry:.2f}x "
+                  f"< required {args.min_event_speedup}x", file=sys.stderr)
             failed = True
     if (args.max_join_ratio is not None
             and derived["join_slowdown_large_vs_small"] > args.max_join_ratio):

@@ -1,0 +1,465 @@
+"""Cohort-batched event engine: the asynchronous regime on the SoA kernel.
+
+:class:`~repro.deployment.runtime.AsyncRuntime` simulates the paper's
+deployment story faithfully — every node ticks on its own jittered
+timers, every message is a heap event — and pays for that fidelity
+with ``O(events)`` Python round-trips: at ``n = 1000`` a single
+simulated second is ~1500 heap pops, each dispatching per-node
+protocol objects.  The paper's time-to-quality and churn experiments
+(exp4/exp5) cannot scale past small ``n`` on it.
+
+:class:`CohortEventEngine` keeps the asynchronous *model* — per-node
+independent timers with drift, Poisson churn in continuous time,
+message loss, a monitor sampling wall-clock quality — but executes it
+in **time windows**: the virtual clock advances in steps of ``window``
+simulated seconds, and all nodes whose next timer firing lands inside
+the current window form a *cohort* that runs through the existing
+fused kernels at once:
+
+* **compute cohorts** go through :meth:`FastEngine._pso_phase` — one
+  fused velocity/position update + one batched objective evaluation
+  per chunk, spending ``evals_per_tick`` of each firing node's budget;
+* **peer-sampling cohorts** initiate NEWSCAST view exchanges through
+  :class:`~repro.topology.array_views.NewscastArrayViews` (the
+  ``initiators=`` subset form of its vertex-disjoint exchange rounds);
+* **gossip cohorts** run an array-level anti-entropy exchange whose
+  partners come from the initiators' own views and may be *any* node
+  in the network — dead contacts lose the message, exactly like the
+  reference transport.
+
+Within a window the phase order is topology → optimization →
+coordination (the reference stack's service order); across windows
+events keep global time order.  The approximation is therefore the
+*intra-window* event interleaving: two firings less than ``window``
+apart may execute in phase order rather than timestamp order.  With
+the default window of half the fastest timer period each timer fires
+at most once per window and the error is bounded by one firing —
+quality trajectories and message tallies are statistically
+indistinguishable from :class:`AsyncRuntime`'s (pinned by
+``tests/core/test_eventpath.py``), while individual event orderings
+(and hence exact trajectories) differ.
+
+Randomness is drawn from the repetition's seed tree: construction-time
+state (swarm init, view bootstrap, timer phases) from the same
+branches the fast engine uses, and everything per-window — churn
+counts, timer drift, gossip partners, message-loss coin flips — from
+the branch ``("eventpath", "window", w)``, so any run is reproducible
+per ``(seed, window index)`` and independent of wall clock.
+
+What this engine intentionally does **not** model (use
+:class:`AsyncRuntime`, the correctness oracle, when they matter):
+message *latency* (delivery is intra-window; the default latency band
+of 0.05–0.5 s is far below the 10 s protocol periods it would
+perturb), reply-leg message loss on view exchanges (request-leg loss
+subsumes it statistically), and sub-window event interleaving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fastpath import (
+    _DRAW_BLOCK,
+    _DRAW_BLOCK_BITS,
+    FastEngine,
+    scatter_min_fold,
+)
+from repro.core.metrics import MessageTally
+from repro.deployment.runtime import DeploymentConfig, DeploymentResult
+from repro.utils.config import ExperimentConfig
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["CohortEventEngine", "run_single_event_fast", "default_window"]
+
+
+def default_window(config: DeploymentConfig) -> float:
+    """Half the fastest timer period: every timer fires ≤ once per window."""
+    return 0.5 * min(
+        config.compute_period, config.newscast_period, config.gossip_period
+    )
+
+
+class CohortEventEngine(FastEngine):
+    """Asynchronous deployment semantics on the vectorized SoA kernel.
+
+    Drop-in counterpart of
+    :class:`~repro.deployment.runtime.AsyncRuntime`: same
+    :class:`~repro.deployment.runtime.DeploymentConfig` in, same
+    :class:`~repro.deployment.runtime.DeploymentResult` out, same
+    seed-tree convention (``("rep", repetition)``), reached via
+    ``Scenario(engine="event", event_backend="fast")``.
+
+    Parameters
+    ----------
+    config:
+        The deployment point.  ``latency_min``/``latency_max`` are
+        accepted but not simulated (see the module docstring).
+    repetition:
+        Seed-tree branch, as everywhere else.
+    window:
+        Cohort window in simulated seconds; ``None`` uses
+        :func:`default_window`.  Larger windows batch more per kernel
+        call and approximate event order more coarsely.
+    rng_mode:
+        Per-particle draw regime of the underlying kernel, as on
+        :class:`FastEngine`: ``"strict"`` (default; per-node streams)
+        or ``"batched"`` (seed-branched block fills — marginally
+        faster, the regime the benchmarks record).  Neither regime
+        owes bit-compatibility to :class:`AsyncRuntime`.
+    """
+
+    def __init__(
+        self,
+        config: DeploymentConfig,
+        repetition: int = 0,
+        window: float | None = None,
+        rng_mode: str = "strict",
+    ):
+        self.deployment = config
+        if window is None:
+            window = default_window(config)
+        if not (np.isfinite(window) and window > 0):
+            raise ConfigurationError(
+                f"event window must be positive and finite (got {window!r})"
+            )
+        fastest = min(config.compute_period, config.newscast_period,
+                      config.gossip_period)
+        if config.latency_max > fastest:
+            raise ConfigurationError(
+                f"latency_max {config.latency_max!r} exceeds the fastest "
+                f"timer period ({fastest!r}): the cohort-batched engine "
+                "treats delivery as instantaneous — use AsyncRuntime to "
+                "study latency"
+            )
+        self.window = float(window)
+        super().__init__(
+            ExperimentConfig(
+                function=config.function,
+                nodes=config.nodes,
+                particles_per_node=config.particles_per_node,
+                total_evaluations=config.nodes * config.budget_per_node,
+                gossip_cycle=config.evals_per_tick,
+                seed=config.seed,
+                quality_threshold=config.quality_threshold,
+                newscast=config.newscast,
+                pso=config.pso,
+                coordination=config.coordination,
+            ),
+            repetition=repetition,
+            gossip=True,
+            topology="newscast",
+            rng_mode=rng_mode,
+        )
+        n = config.nodes
+        rng = self._tree.rng("eventpath", "timers")
+        # Per-id next-firing clocks, random initial phase in [0, period)
+        # like AsyncRuntime._schedule_node_timer.
+        self._next_compute = config.compute_period * rng.random(n)
+        self._next_newscast = config.newscast_period * rng.random(n)
+        self._next_gossip = config.gossip_period * rng.random(n)
+        self._next_monitor = config.monitor_period
+        self._window_index = 0
+        #: distinct key per _pso_phase pass so batched draw streams
+        #: never repeat for a node id (FastEngine keys them by
+        #: ``self.cycle``).
+        self._draw_epoch = 0
+        self._newscast_requests = 0
+        self._newscast_replies = 0
+        self.history: list[tuple[float, int, float]] = []
+        self.threshold_time: float | None = None
+
+    # -- per-id timer bookkeeping -------------------------------------------------
+
+    def _grow_timers(self, n_ids: int) -> None:
+        for name in ("_next_compute", "_next_newscast", "_next_gossip"):
+            arr = getattr(self, name)
+            if arr.shape[0] < n_ids:
+                grown = np.full(max(n_ids, 2 * arr.shape[0]), np.inf)
+                grown[: arr.shape[0]] = arr
+                setattr(self, name, grown)
+
+    def _due(self, live_ids: np.ndarray, clocks: np.ndarray, w_end: float) -> np.ndarray:
+        """Ids of ``live_ids`` whose ``clocks`` entry fires before ``w_end``."""
+        return live_ids[clocks[live_ids] < w_end]
+
+    def _advance(self, clocks: np.ndarray, ids: np.ndarray, period: float,
+                 rng: np.random.Generator) -> None:
+        """Reschedule: next = now + period · (1 + jitter·U), per firing."""
+        jitter = self.deployment.clock_jitter
+        if jitter > 0:
+            clocks[ids] += period * (1.0 + jitter * rng.random(ids.shape[0]))
+        else:
+            clocks[ids] += period
+
+    # -- churn (continuous-time Poisson, drawn per window) -----------------------
+
+    def _churn_window(self, rng: np.random.Generator, span: float) -> None:
+        cfg = self.deployment
+        if cfg.crash_rate > 0:
+            for _ in range(int(rng.poisson(cfg.crash_rate * span))):
+                if self.live_count <= cfg.min_population:
+                    break
+                victim = self._live[int(rng.integers(self.live_count))]
+                self._crash(victim)
+                self.crashes += 1
+        if cfg.join_rate > 0:
+            for _ in range(int(rng.poisson(cfg.join_rate * span))):
+                nid = self._join()
+                self.joins += 1
+                self._grow_timers(nid + 1)
+                # Fresh random phases from the joiner's arrival instant.
+                self._next_compute[nid] = (
+                    self.now + cfg.compute_period * rng.random()
+                )
+                self._next_newscast[nid] = (
+                    self.now + cfg.newscast_period * rng.random()
+                )
+                self._next_gossip[nid] = (
+                    self.now + cfg.gossip_period * rng.random()
+                )
+
+    # -- cohort phases -------------------------------------------------------------
+
+    def _compute_window(self, w_end: float, rng: np.random.Generator) -> None:
+        cfg = self.deployment
+        while True:
+            live_ids = self.live_ids()
+            ids = self._due(live_ids, self._next_compute, w_end)
+            if ids.size == 0:
+                return
+            # Each pass is its own draw epoch: a node firing twice in
+            # one (oversized) window must not reuse its uniform block.
+            self.cycle = self._draw_epoch
+            self._draw_epoch += 1
+            self._pso_phase(self._slot_of_id[ids])
+            self._advance(self._next_compute, ids, cfg.compute_period, rng)
+
+    def _newscast_window(self, w_end: float, rng: np.random.Generator) -> None:
+        cfg = self.deployment
+        while True:
+            live_ids = self.live_ids()
+            ids = self._due(live_ids, self._next_newscast, w_end)
+            if ids.size == 0:
+                return
+            active = ids[self.provider.view_counts(ids) > 0]
+            self._newscast_requests += int(active.size)
+            if cfg.loss_rate > 0 and active.size:
+                # Request-leg loss: a dropped SHUFFLE_REQ means no
+                # exchange (the event protocol's degradation mode).
+                active = active[rng.random(active.size) >= cfg.loss_rate]
+            if active.size:
+                before = self.provider.exchanges
+                self.provider.begin_cycle(
+                    live_ids, self._alive, float(self.now), initiators=active
+                )
+                self._newscast_replies += self.provider.exchanges - before
+            self._advance(self._next_newscast, ids, cfg.newscast_period, rng)
+
+    def _gossip_window(self, w_end: float, rng: np.random.Generator) -> None:
+        cfg = self.deployment
+        while True:
+            live_ids = self.live_ids()
+            ids = self._due(live_ids, self._next_gossip, w_end)
+            if ids.size == 0:
+                return
+            self._gossip_cohort(ids, rng)
+            self._advance(self._next_gossip, ids, cfg.gossip_period, rng)
+
+    def _gossip_cohort(self, ids: np.ndarray, rng: np.random.Generator) -> None:
+        """Anti-entropy exchanges for one cohort of initiators.
+
+        Mirrors :meth:`FastEngine._gossip_phase` except partners may be
+        *any* node (cohort members gossip with nodes outside the
+        cohort), receiver folds scatter straight onto the global SoA
+        arrays, and each message independently survives the configured
+        loss rate.  Offer/reply values are cohort-entry snapshots — the
+        value a message carries is the value at send time — and
+        adoption uses the same phased semantics as the fast engine
+        (at most one adoption per receiver per cohort).
+        """
+        soa = self.soa
+        cfg = self.deployment
+        mode = self.config.coordination.mode
+        m = ids.shape[0]
+
+        peers = self.provider.gossip_targets(ids, rng)
+        known = peers >= 0
+        if not np.any(known):
+            return
+        peers_safe = np.maximum(peers, 0)
+        peer_alive = known & self._alive[peers_safe]
+        slots = self._slot_of_id[ids]
+        pslots = np.maximum(self._slot_of_id[peers_safe], 0)
+
+        val = soa.best_values[slots].copy()  # send-time snapshots
+        posm = soa.best_positions[slots].copy()
+        pval = soa.best_values[pslots].copy()
+        ppos = soa.best_positions[pslots].copy()
+        has = np.isfinite(val)
+        p_has = np.isfinite(pval) & peer_alive
+
+        def survives(mask: np.ndarray) -> np.ndarray:
+            if cfg.loss_rate <= 0:
+                return mask
+            return mask & (rng.random(m) >= cfg.loss_rate)
+
+        if mode in ("push", "push-pull"):
+            attempted = has & known
+            self.messages_sent += int(attempted.sum())
+            carried = survives(attempted)
+            self.transport_to_dead += int((carried & ~peer_alive).sum())
+            delivered = carried & peer_alive
+            # Offers fold straight onto the receivers' global SoA rows
+            # (receivers may be outside the cohort).
+            self.adoptions += scatter_min_fold(
+                np.nonzero(delivered)[0], pslots, val, posm,
+                soa.best_values, soa.best_values, soa.best_positions,
+            )
+            if mode == "push-pull":
+                # Receiver at least as good -> replies with its own
+                # (pre-fold) optimum; initiator adopts iff better.
+                replied = delivered & p_has & (val >= pval)
+                self.messages_sent += int(replied.sum())
+                back = survives(replied) & (pval < soa.best_values[slots])
+                if np.any(back):
+                    soa.best_values[slots[back]] = pval[back]
+                    soa.best_positions[slots[back]] = ppos[back]
+                    self.adoptions += int(back.sum())
+        else:  # pull: blind requests, reply iff the peer knows anything
+            self.messages_sent += int(known.sum())
+            carried = survives(known)
+            self.transport_to_dead += int((carried & ~peer_alive).sum())
+            replied = carried & p_has
+            self.messages_sent += int(replied.sum())
+            back = survives(replied) & (pval < soa.best_values[slots])
+            if np.any(back):
+                soa.best_values[slots[back]] = pval[back]
+                soa.best_positions[slots[back]] = ppos[back]
+                self.adoptions += int(back.sum())
+
+    # -- batched draws over arbitrary cohorts --------------------------------------
+
+    def _chunk_draws(
+        self, live: np.ndarray, moving_nodes: np.ndarray, width: int, chunk: int
+    ) -> np.ndarray:
+        """Cohorts are arbitrary slot subsets: always key blocks by id.
+
+        :meth:`FastEngine._chunk_draws` has a contiguous fast path that
+        assumes row ``i`` is node id ``i`` — true for whole-population
+        cycles without churn, never guaranteed for a cohort — so the
+        batched regime here always takes the id-keyed block fill (same
+        streams: ``("fastpath", "draws", epoch, chunk, block)``).
+        """
+        if self.rng_mode == "strict":
+            return super()._chunk_draws(live, moving_nodes, width, chunk)
+        nl, d = live.shape[0], self.soa.d
+        out = self._draw_buffer((nl, 2, width, d))
+        ids = self._id_of_slot[live]
+        for block in np.unique(ids >> _DRAW_BLOCK_BITS):
+            rng = np.random.Generator(
+                np.random.SFC64(
+                    self._tree.seed_sequence(
+                        "fastpath", "draws", self.cycle, chunk, int(block)
+                    )
+                )
+            )
+            rows = rng.random((_DRAW_BLOCK, 2, width, d))
+            sel = (ids >> _DRAW_BLOCK_BITS) == block
+            out[sel] = rows[ids[sel] & (_DRAW_BLOCK - 1)]
+        return out
+
+    # -- monitoring / stopping ------------------------------------------------------
+
+    def _monitor(self) -> None:
+        cfg = self.deployment
+        while self._next_monitor <= self.now and not self._stopped:
+            t = self._next_monitor
+            best = self.global_best()
+            evals = self.total_evaluations()
+            self.history.append((t, evals, best))
+            if (
+                cfg.quality_threshold is not None
+                and self.threshold_time is None
+                and best <= cfg.quality_threshold
+            ):
+                self.threshold_time = t
+                self.stop("threshold")
+                return
+            if self.budgets_exhausted():
+                self.stop("budget")
+                return
+            self._next_monitor += cfg.monitor_period
+
+    def message_tally(self) -> MessageTally:
+        """Tally in :class:`AsyncRuntime`'s accounting scheme.
+
+        ``newscast_exchanges`` counts shuffle *requests* (like the
+        event protocol's ``requests_sent``); ``transport_sent`` is all
+        messages — requests, replies and coordination traffic —
+        including ones lost in flight or addressed to dead nodes.
+        """
+        return MessageTally(
+            newscast_exchanges=self._newscast_requests,
+            coordination_messages=self.messages_sent,
+            coordination_adoptions=self.adoptions,
+            transport_sent=(
+                self._newscast_requests
+                + self._newscast_replies
+                + self.messages_sent
+            ),
+            transport_to_dead=(
+                self.transport_to_dead + self.provider.failed_exchanges
+            ),
+        )
+
+    # -- driving ----------------------------------------------------------------------
+
+    def run(self, until: float) -> DeploymentResult:
+        """Run until the horizon, the budget, or the quality threshold."""
+        if until <= 0:
+            raise ValueError("until must be positive")
+        cfg = self.deployment
+        churning = cfg.crash_rate > 0 or cfg.join_rate > 0
+        while not self._stopped and self.now < until:
+            w_end = min(self.now + self.window, until)
+            rng = self._tree.rng("eventpath", "window", self._window_index)
+            if churning:
+                self._churn_window(rng, w_end - self.now)
+            if self._live:
+                self._newscast_window(w_end, rng)
+                self._compute_window(w_end, rng)
+                self._gossip_window(w_end, rng)
+            self.now = w_end
+            self._window_index += 1
+            self._monitor()
+        best = self.global_best()
+        return DeploymentResult(
+            best_value=best,
+            quality=self.quality_of(best),
+            total_evaluations=self.total_evaluations(),
+            sim_time=float(self.now),
+            stop_reason=self._stop_reason if self._stopped else "horizon",
+            threshold_time=self.threshold_time,
+            messages=self.message_tally(),
+            crashes=self.crashes,
+            joins=self.joins,
+            history=list(self.history),
+        )
+
+
+def run_single_event_fast(
+    config: DeploymentConfig,
+    until: float,
+    repetition: int = 0,
+    window: float | None = None,
+    rng_mode: str = "strict",
+) -> DeploymentResult:
+    """One cohort-batched asynchronous run (functional convenience).
+
+    The event-engine counterpart of
+    :func:`~repro.core.fastpath.run_single_fast`; normal use reaches it
+    through ``Scenario(engine="event", event_backend="fast")``.
+    """
+    return CohortEventEngine(
+        config, repetition=repetition, window=window, rng_mode=rng_mode
+    ).run(until=until)

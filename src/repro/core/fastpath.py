@@ -122,6 +122,43 @@ def _grow_1d(arr: np.ndarray, size: int, fill) -> np.ndarray:
     return grown
 
 
+def scatter_min_fold(
+    senders: np.ndarray,
+    targets: np.ndarray,
+    src_val: np.ndarray,
+    src_pos: np.ndarray,
+    cmp_val: np.ndarray,
+    out_val: np.ndarray,
+    out_pos: np.ndarray,
+) -> int:
+    """Fold concurrent anti-entropy offers onto their receivers.
+
+    For every distinct entry of ``targets[senders]`` the single best
+    (lowest ``src_val``) offer is selected and adopted iff strictly
+    better than ``cmp_val`` at the receiver — the phased semantics both
+    SoA gossip phases share: at most one adoption per receiver per
+    call, where the reference engine's sequential delivery may count
+    several.  Writes adopted values/positions into ``out_val`` /
+    ``out_pos`` (which may alias ``cmp_val``) and returns the number of
+    receivers that adopted.
+    """
+    if senders.size == 0:
+        return 0
+    tgt = targets[senders]
+    order = np.lexsort((src_val[senders], tgt))
+    tgt_sorted = tgt[order]
+    src_sorted = senders[order]
+    uniq_tgt, first = np.unique(tgt_sorted, return_index=True)
+    best_src = src_sorted[first]
+    adopt = src_val[best_src] < cmp_val[uniq_tgt]
+    if not np.any(adopt):
+        return 0
+    receivers = uniq_tgt[adopt]
+    out_val[receivers] = src_val[best_src[adopt]]
+    out_pos[receivers] = src_pos[best_src[adopt]]
+    return int(adopt.sum())
+
+
 class FastEngine:
     """Batched cycle-driven engine over structure-of-arrays swarm state.
 
@@ -729,19 +766,9 @@ class FastEngine:
             lost = attempted & ~peer_alive
             self.transport_to_dead += int(lost.sum())
             senders = np.nonzero(attempted & peer_alive)[0]
-            if senders.size:
-                targets = peer_pos[senders]
-                order = np.lexsort((val[senders], targets))
-                tgt_sorted = targets[order]
-                src_sorted = senders[order]
-                uniq_tgt, first = np.unique(tgt_sorted, return_index=True)
-                best_src = src_sorted[first]
-                adopt = val[best_src] < val[uniq_tgt]
-                if np.any(adopt):
-                    receivers = uniq_tgt[adopt]
-                    new_val[receivers] = val[best_src[adopt]]
-                    new_pos[receivers] = posm[best_src[adopt]]
-                    self.adoptions += int(adopt.sum())
+            self.adoptions += scatter_min_fold(
+                senders, peer_pos, val, posm, val, new_val, new_pos
+            )
             if mode == "push-pull":
                 # Receiver at least as good -> it replies; initiator
                 # adopts iff the reply strictly improves on it.

@@ -84,24 +84,56 @@ class DeploymentConfig:
     coordination: CoordinationConfig = field(default_factory=CoordinationConfig)
 
     def __post_init__(self) -> None:
+        # Everything here would otherwise surface mid-run as a corrupt
+        # event heap (NaN timestamps order arbitrarily, non-positive
+        # periods schedule in the past, 1/0 churn rates overflow the
+        # exponential draw) — so reject at construction, naming the
+        # field.
+        def bad(field_name: str, message: str) -> ConfigurationError:
+            value = getattr(self, field_name)
+            return ConfigurationError(
+                f"DeploymentConfig.{field_name} {message} (got {value!r})"
+            )
+
         if self.nodes < 1:
-            raise ConfigurationError("nodes must be >= 1")
+            raise bad("nodes", "must be >= 1")
+        if self.particles_per_node < 1:
+            raise bad("particles_per_node", "must be >= 1")
         if self.budget_per_node < 1:
-            raise ConfigurationError("budget_per_node must be >= 1")
+            raise bad("budget_per_node", "must be >= 1")
         if self.evals_per_tick < 1:
-            raise ConfigurationError("evals_per_tick must be >= 1")
+            raise bad("evals_per_tick", "must be >= 1")
         for name in ("compute_period", "newscast_period", "gossip_period",
                      "monitor_period"):
-            if getattr(self, name) <= 0:
-                raise ConfigurationError(f"{name} must be positive")
-        if not (0 <= self.latency_min <= self.latency_max):
-            raise ConfigurationError("require 0 <= latency_min <= latency_max")
+            value = getattr(self, name)
+            if not (np.isfinite(value) and value > 0):
+                raise bad(name, "must be a positive finite timer period")
+        if not (np.isfinite(self.latency_min) and self.latency_min >= 0):
+            raise bad("latency_min", "must be finite and >= 0")
+        if not np.isfinite(self.latency_max):
+            raise bad("latency_max", "must be finite")
+        if self.latency_max < self.latency_min:
+            raise bad("latency_max", "must be >= latency_min "
+                                     f"({self.latency_min!r})")
         if not (0.0 <= self.loss_rate < 1.0):
-            raise ConfigurationError("loss_rate must be in [0, 1)")
-        if not (0.0 <= self.clock_jitter <= 1.0):
-            raise ConfigurationError("clock_jitter must be in [0, 1]")
-        if self.crash_rate < 0 or self.join_rate < 0:
-            raise ConfigurationError("churn rates must be >= 0")
+            raise bad("loss_rate", "must be in [0, 1)")
+        if not (np.isfinite(self.clock_jitter)
+                and 0.0 <= self.clock_jitter <= 1.0):
+            raise bad("clock_jitter", "must be in [0, 1]")
+        for name in ("crash_rate", "join_rate"):
+            value = getattr(self, name)
+            if not (np.isfinite(value) and value >= 0):
+                raise bad(name, "must be a finite churn rate >= 0 "
+                                "(events per simulated second)")
+        if self.min_population < 1:
+            raise bad("min_population", "must be >= 1")
+        if self.quality_threshold is not None and not (
+            np.isfinite(self.quality_threshold) and self.quality_threshold > 0
+        ):
+            raise bad("quality_threshold", "must be positive and finite, "
+                                           "or None")
+        if self.seed < 0:
+            raise bad("seed", "must be >= 0")
         object.__setattr__(
             self, "pso",
             PSOConfig(

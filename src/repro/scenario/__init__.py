@@ -36,6 +36,7 @@ from repro.scenario.session import Session
 from repro.scenario.spec import (
     BASELINES,
     ENGINES,
+    EVENT_BACKENDS,
     SOLVERS,
     TOPOLOGIES,
     Scenario,
@@ -51,6 +52,7 @@ __all__ = [
     "TransportSpec",
     "ScenarioValidationError",
     "ENGINES",
+    "EVENT_BACKENDS",
     "TOPOLOGIES",
     "SOLVERS",
     "BASELINES",

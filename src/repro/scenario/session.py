@@ -236,9 +236,21 @@ class Session:
         return RunRecord.from_run_result(run)
 
     def _run_event(self, repetition: int) -> RunRecord:
+        scenario = self.scenario
+        if scenario.event_backend == "fast":
+            from repro.core.eventpath import CohortEventEngine
+
+            engine = CohortEventEngine(
+                self.deployment_config(),
+                repetition=repetition,
+                window=scenario.event_window,
+                rng_mode=scenario.rng_mode,
+            )
+            return RunRecord.from_deployment_result(
+                engine.run(until=scenario.horizon)
+            )
         from repro.deployment.runtime import AsyncRuntime
 
-        scenario = self.scenario
         runtime = AsyncRuntime(self.deployment_config(), repetition=repetition)
         return RunRecord.from_deployment_result(runtime.run(until=scenario.horizon))
 

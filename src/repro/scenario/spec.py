@@ -27,6 +27,7 @@ True
 
 from __future__ import annotations
 
+import math
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Callable, Mapping
 
@@ -41,6 +42,7 @@ from repro.utils.exceptions import ConfigurationError
 
 __all__ = [
     "ENGINES",
+    "EVENT_BACKENDS",
     "TOPOLOGIES",
     "RNG_MODES",
     "SOLVERS",
@@ -52,6 +54,10 @@ __all__ = [
 
 #: Engines a scenario can run on.
 ENGINES = ("reference", "fast", "event")
+#: Execution backends of the ``event`` engine: the per-node
+#: discrete-event runtime (the correctness oracle) or the
+#: cohort-batched SoA kernel (see repro.core.eventpath).
+EVENT_BACKENDS = ("reference", "fast")
 #: Built-in topology models (a callable factory is also accepted).
 #: Every named model runs on both the reference engine (per-node
 #: protocol objects) and the fast engine (array-backed view matrices);
@@ -141,6 +147,18 @@ class Scenario:
         ``"reference"`` (full per-node protocol stack),
         ``"fast"`` (vectorized SoA kernel) or ``"event"``
         (asynchronous message-passing deployment).
+    event_backend:
+        How the ``event`` engine executes: ``"reference"`` (default —
+        the per-node discrete-event :class:`AsyncRuntime`, every timer
+        a heap event) or ``"fast"`` (the cohort-batched
+        :class:`~repro.core.eventpath.CohortEventEngine`, which runs
+        timer cohorts through the SoA kernels; statistically
+        equivalent, much faster at scale, approximates sub-window
+        event order and does not model message latency).
+    event_window:
+        Cohort window of the fast event backend, in simulated seconds
+        (``None`` = half the fastest timer period).  Fast event
+        backend only.
     topology:
         ``"newscast"`` (default), ``"cyclon"`` (shuffle-based peer
         sampling), ``"ring"`` (radius-2 lattice), ``"kregular"``
@@ -151,10 +169,12 @@ class Scenario:
         ``node_id -> (protocol_name, PeerSampler)`` builds custom
         overlays (reference engine only).
     rng_mode:
-        Fast-engine per-particle draw regime: ``"strict"`` (default;
-        bit-compatible with the reference solver streams) or
-        ``"batched"`` (one seed-branched ``(n, 2, k, d)`` fill per
-        chunk, statistically equivalent and faster).
+        Per-particle draw regime of the SoA kernels — the fast engine
+        and the fast event backend: ``"strict"`` (default;
+        per-node streams, bit-compatible with the reference solver on
+        the cycle engines) or ``"batched"`` (one seed-branched
+        ``(n, 2, k, d)`` fill per chunk, statistically equivalent and
+        faster).
     solver:
         ``"pso"`` (the paper), ``"de"``, ``"random"``, or a tuple of
         those cycled over node ids — the heterogeneous-solver
@@ -207,6 +227,8 @@ class Scenario:
     synchronous: bool = True
     quality_threshold: float | None = None
     horizon: float | None = None
+    event_backend: str = "reference"
+    event_window: float | None = None
     max_cycles: int | None = None
     record_history: bool = False
     churn: ChurnConfig = field(default_factory=ChurnConfig)
@@ -242,6 +264,30 @@ class Scenario:
         else:
             _require("horizon", self.horizon is None,
                      "only the event engine takes a time horizon")
+        _require("event_backend", self.event_backend in EVENT_BACKENDS,
+                 f"must be one of {EVENT_BACKENDS}, got {self.event_backend!r}")
+        if self.event_backend != "reference":
+            _require("event_backend", self.engine == "event",
+                     "an event backend needs engine='event'")
+        if self.engine == "event" and self.event_backend == "fast":
+            # The cohort backend treats delivery as instantaneous; a
+            # latency band comparable to the timer periods is exactly
+            # the mechanism it cannot model.
+            fastest = min(self.transport.compute_period,
+                          self.transport.newscast_period,
+                          self.transport.gossip_period)
+            _require("transport.latency_max",
+                     self.transport.latency_max <= fastest,
+                     "exceeds the fastest timer period: the cohort-"
+                     "batched backend treats delivery as instantaneous "
+                     "— study latency on event_backend='reference'")
+        if self.event_window is not None:
+            _require("event_window",
+                     self.engine == "event" and self.event_backend == "fast",
+                     "cohort windows are a fast-event-backend knob")
+            _require("event_window",
+                     math.isfinite(self.event_window) and self.event_window > 0,
+                     "must be positive finite simulated seconds, or None")
         if self.max_cycles is not None:
             _require("max_cycles", self.max_cycles >= 1, "must be >= 1 or None")
             _require("max_cycles", self.engine != "event",
@@ -301,8 +347,12 @@ class Scenario:
         _require("rng_mode", self.rng_mode in RNG_MODES,
                  f"must be one of {RNG_MODES}, got {self.rng_mode!r}")
         if self.rng_mode != "strict":
-            _require("rng_mode", self.engine == "fast",
-                     "batched draws are a fast-engine regime")
+            _require("rng_mode",
+                     self.engine == "fast"
+                     or (self.engine == "event"
+                         and self.event_backend == "fast"),
+                     "batched draws are a SoA-kernel regime (the fast "
+                     "engine or the fast event backend)")
         if callable(self.topology):
             _require("topology", self.engine == "reference",
                      "custom topology factories need the reference engine")

@@ -194,6 +194,15 @@ class _ArrayViewBase(ViewProvider):
         hit = np.nonzero(row == peer_id)[0]
         return int(self._ts[node_id, hit[0]]) if hit.size else None
 
+    def view_counts(self, node_ids: np.ndarray) -> np.ndarray:
+        """Number of view entries per node of ``node_ids``.
+
+        Used by the event engines to tell silent nodes (empty view →
+        no shuffle request) from active initiators without reading the
+        matrices directly.
+        """
+        return (self._ids[node_ids] >= 0).sum(axis=1)
+
     def gossip_targets(
         self, live_ids: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
@@ -308,10 +317,23 @@ class NewscastArrayViews(_ArrayViewBase):
     name = "newscast"
 
     def begin_cycle(
-        self, live_ids: np.ndarray, alive: np.ndarray, now: float
+        self,
+        live_ids: np.ndarray,
+        alive: np.ndarray,
+        now: float,
+        initiators: np.ndarray | None = None,
     ) -> None:
+        """One exchange per initiator (default: every live node).
+
+        ``initiators`` — the cohort-batched event engine's subset form:
+        only these nodes start exchanges this call, but their targets
+        may be any node and merge symmetrically, and every live node's
+        self-descriptor is stamped fresh (a target answers a shuffle
+        with its own current descriptor regardless of whose timer
+        fired).  ``None`` keeps the cycle-driven semantics exactly.
+        """
         m = live_ids.shape[0]
-        if m < 2:
+        if m < 2 or (initiators is not None and initiators.size == 0):
             return
         rng = self.rng
 
@@ -333,7 +355,10 @@ class NewscastArrayViews(_ArrayViewBase):
         # current views and the round executes as one symmetric batch
         # against round-start state — exactly some sequential order of
         # one-exchange-per-initiator.
-        pending = live_ids[rng.permutation(m)]
+        if initiators is None:
+            pending = live_ids[rng.permutation(m)]
+        else:
+            pending = initiators[rng.permutation(initiators.shape[0])]
         while pending.size:
             targets = self.gossip_targets(pending, rng)
             known = targets >= 0  # empty views stay silent, like the

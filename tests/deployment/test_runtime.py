@@ -70,6 +70,47 @@ class TestBasicExecution:
         with pytest.raises(ValueError):
             AsyncDeployment(make_config()).run(until=0.0)
 
+    @pytest.mark.parametrize("field,value", [
+        ("compute_period", 0.0),
+        ("compute_period", -1.0),
+        ("compute_period", float("nan")),
+        ("compute_period", float("inf")),
+        ("newscast_period", 0.0),
+        ("newscast_period", float("nan")),
+        ("gossip_period", -2.5),
+        ("monitor_period", 0.0),
+        ("crash_rate", -0.1),
+        ("crash_rate", float("nan")),
+        ("join_rate", -1.0),
+        ("join_rate", float("inf")),
+        ("particles_per_node", 0),
+        ("min_population", 0),
+        ("quality_threshold", 0.0),
+        ("quality_threshold", -1e-3),
+        ("quality_threshold", float("nan")),
+        ("clock_jitter", float("nan")),
+        ("latency_min", float("nan")),
+        ("latency_max", float("nan")),
+        ("seed", -1),
+    ])
+    def test_construction_rejects_bad_field_with_clear_message(
+        self, field, value
+    ):
+        # Each of these used to be representable and only blew up (or
+        # silently misbehaved) mid-run inside the event heap — NaN
+        # timestamps have no heap order, non-positive periods schedule
+        # into the past.  Construction must reject them and name the
+        # field.
+        with pytest.raises(ConfigurationError) as err:
+            make_config(**{field: value})
+        message = str(err.value)
+        assert field in message or f"DeploymentConfig.{field}" in message
+
+    def test_latency_ordering_error_blames_latency_max(self):
+        with pytest.raises(ConfigurationError) as err:
+            make_config(latency_min=2.0, latency_max=1.0)
+        assert "DeploymentConfig.latency_max" in str(err.value)
+
 
 class TestDeterminism:
     def test_same_seed_identical(self):

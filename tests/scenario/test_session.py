@@ -111,6 +111,40 @@ class TestEngines:
         assert a.best_value == b.best_value
         assert a.best_value != Session(scenario).run_one(1).best_value
 
+    def test_event_fast_backend_same_schema(self):
+        scenario = make(engine="event", horizon=4_000.0, repetitions=1)
+        ref = Session(scenario).run_one(0)
+        fast = Session(
+            scenario.with_(event_backend="fast")
+        ).run_one(0)
+        # Same unified record shape and the same physical outcome:
+        # both spend the whole budget of the same configuration.
+        assert fast.sim_time is not None and fast.sim_time > 0
+        assert fast.stop_reason == ref.stop_reason == "budget"
+        assert fast.total_evaluations == ref.total_evaluations
+        assert fast.messages.coordination_messages > 0
+        # Both backends sample the monitor on the same cadence.
+        assert len(fast.history) > 0 and len(ref.history) > 0
+
+    def test_event_fast_backend_window_override(self):
+        scenario = make(engine="event", horizon=300.0, repetitions=1,
+                        event_backend="fast", event_window=0.25)
+        from repro.core.eventpath import CohortEventEngine
+
+        session = Session(scenario)
+        engine = CohortEventEngine(session.deployment_config(), window=0.25)
+        assert engine.window == 0.25
+        record = session.run_one(0)
+        assert record.total_evaluations > 0
+
+    def test_event_fast_backend_deterministic(self):
+        scenario = make(engine="event", horizon=500.0, repetitions=1,
+                        event_backend="fast")
+        a = Session(scenario).run_one(0)
+        b = Session(scenario).run_one(0)
+        assert a.best_value == b.best_value
+        assert a.best_value != Session(scenario).run_one(1).best_value
+
     def test_churn_reference_and_fast(self):
         scenario = make(
             churn=ChurnConfig(crash_rate=0.2, join_rate=0.5, min_population=2),

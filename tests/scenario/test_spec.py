@@ -64,6 +64,28 @@ class TestValidation:
                                    "quality_threshold": 1e-6}),
             ("horizon", {"horizon": 100.0}),
             ("horizon", {"engine": "event"}),
+            ("horizon", {"engine": "event", "horizon": 0.0}),
+            ("horizon", {"engine": "event", "horizon": -5.0}),
+            ("horizon", {"engine": "fast", "horizon": 100.0}),
+            ("event_backend", {"event_backend": "warp"}),
+            ("event_backend", {"event_backend": "fast"}),
+            ("event_backend", {"event_backend": "fast", "engine": "fast"}),
+            ("event_window", {"event_window": 0.5}),
+            ("event_window", {"event_window": 0.5, "engine": "event",
+                              "horizon": 10.0}),
+            ("event_window", {"event_window": 0.0, "engine": "event",
+                              "event_backend": "fast", "horizon": 10.0}),
+            ("event_window", {"event_window": -1.0, "engine": "event",
+                              "event_backend": "fast", "horizon": 10.0}),
+            ("event_window", {"event_window": float("inf"), "engine": "event",
+                              "event_backend": "fast", "horizon": 10.0}),
+            ("event_window", {"event_window": float("nan"), "engine": "event",
+                              "event_backend": "fast", "horizon": 10.0}),
+            ("rng_mode", {"rng_mode": "batched", "engine": "event",
+                          "horizon": 10.0}),
+            ("transport.latency_max",
+             {"engine": "event", "event_backend": "fast", "horizon": 10.0,
+              "transport": TransportSpec(latency_min=2.0, latency_max=8.0)}),
             ("max_cycles", {"max_cycles": 0}),
             ("max_cycles", {"max_cycles": 5, "engine": "event",
                             "horizon": 10.0}),
@@ -119,6 +141,11 @@ class TestValidation:
         # ("pso",) means plain PSO — valid on any engine.
         s = make(solver=("pso",), engine="fast")
         assert s.engine == "fast"
+
+    def test_batched_draws_valid_on_fast_event_backend(self):
+        s = make(engine="event", horizon=10.0, event_backend="fast",
+                 rng_mode="batched")
+        assert s.rng_mode == "batched"
 
 
 class TestDerivedViews:
@@ -176,6 +203,20 @@ class TestRoundTrip:
         s = make(engine="event", horizon=500.0,
                  transport=TransportSpec(loss_rate=0.2, gossip_period=2.0))
         assert Scenario.from_dict(s.to_dict()) == s
+
+    def test_round_trip_event_fast_backend(self):
+        s = make(engine="event", horizon=500.0, event_backend="fast",
+                 event_window=0.25)
+        assert Scenario.from_dict(s.to_dict()) == s
+
+    def test_pre_event_backend_dicts_still_load(self):
+        # Serialized by code that predates the cohort backend.
+        data = make(engine="event", horizon=500.0).to_dict()
+        del data["event_backend"]
+        del data["event_window"]
+        s = Scenario.from_dict(data)
+        assert s.event_backend == "reference"
+        assert s.event_window is None
 
     def test_objective_map_keys_stringified_in_dict(self):
         s = make(function=None,

@@ -121,3 +121,44 @@ class TestPeriodic:
             engine.schedule_periodic(0.0, 0.0, lambda e: None)
         with pytest.raises(ValueError):
             engine.schedule_periodic(0.0, 1.0, lambda e: None, jitter=-1.0)
+
+    def test_jitter_drifts_instead_of_resynchronizing(self):
+        # Each firing schedules the next relative to *its own* time,
+        # so jitter accumulates as clock drift — the timer never snaps
+        # back to the nominal grid.  This is the desynchronization the
+        # deployment runtime (and the cohort event engine's timer
+        # model) rely on.
+        engine = make_engine()
+        ticks: list[float] = []
+        engine.schedule_periodic(0.0, 1.0, lambda e: ticks.append(e.now),
+                                 jitter=0.5)
+        engine.run(until=200.0)
+        nominal = np.arange(len(ticks), dtype=float)
+        drift = np.asarray(ticks) - nominal
+        # Drift is cumulative (non-decreasing, since jitter >= 0) and
+        # grows without bound — by E[jitter]/2 per period on average.
+        assert np.all(np.diff(drift) >= -1e-9)
+        assert drift[-1] > 10.0
+        assert drift[-1] > drift[len(drift) // 2]
+
+    def test_zero_jitter_stays_on_grid(self):
+        engine = make_engine()
+        ticks: list[float] = []
+        engine.schedule_periodic(0.5, 1.0, lambda e: ticks.append(e.now))
+        engine.run(until=50.0)
+        assert ticks == pytest.approx([0.5 + i for i in range(len(ticks))])
+        assert len(ticks) == 50
+
+    def test_periodic_stops_with_engine_stop(self):
+        engine = make_engine()
+        ticks: list[float] = []
+
+        def tick(e):
+            ticks.append(e.now)
+            if len(ticks) == 3:
+                e.stop("enough")
+
+        engine.schedule_periodic(1.0, 1.0, tick)
+        engine.run(until=100.0)
+        assert len(ticks) == 3
+        assert engine.pending_events == 0  # no rescheduling after stop
