@@ -1,0 +1,52 @@
+"""CI smoke: a two-process spool sweep must equal the sequential baseline.
+
+Runs a tiny three-point sweep twice — sequentially through the
+`Session` facade, then through the distributed service with a spool
+directory and two worker processes — and exits non-zero unless the
+collected results are identical: same records, same deterministic
+point order. This is the distributed service's core contract (each
+repetition owns a seed-tree branch, so placement and completion order
+cannot change the numbers), checked end-to-end through the real
+JSON-over-spool transport.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/distributed_smoke.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.distributed import run_sweep_jobs
+from repro.scenario import Scenario, Session
+
+
+def main() -> int:
+    base = Scenario(
+        function="sphere", nodes=8, particles_per_node=4,
+        total_evaluations=800, gossip_cycle=4, repetitions=3, seed=123,
+    )
+    scenarios = [
+        base,
+        base.with_(gossip_cycle=2),
+        base.with_(function="griewank"),
+    ]
+    sequential = [Session(scenario).run() for scenario in scenarios]
+    with tempfile.TemporaryDirectory() as spool:
+        distributed = run_sweep_jobs(
+            scenarios, workers=2, spool=spool, stale_after=60.0
+        )
+    same_order = [r.scenario for r in distributed] == scenarios
+    same_records = [r.records for r in distributed] == [
+        r.records for r in sequential
+    ]
+    print(
+        f"distributed-smoke: order {'OK' if same_order else 'MISMATCH'}, "
+        f"records {'OK' if same_records else 'MISMATCH'}"
+    )
+    return 0 if (same_order and same_records) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

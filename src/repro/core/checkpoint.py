@@ -90,15 +90,38 @@ def save_checkpoint(engine: CycleDrivenEngine, path: str | Path) -> CheckpointMe
     return meta
 
 
+def _load_metadata(fh, path: str | Path) -> CheckpointMetadata:
+    """Unpickle the metadata header; truncation fails as truncation."""
+    try:
+        meta = pickle.load(fh)
+    except (EOFError, pickle.UnpicklingError, AttributeError,
+            ImportError, IndexError, ValueError) as exc:
+        raise SimulationError(
+            f"{path}: truncated or corrupt checkpoint metadata ({exc})"
+        ) from exc
+    if not isinstance(meta, CheckpointMetadata):
+        raise SimulationError(f"{path}: checkpoint header is not metadata")
+    return meta
+
+
 def load_checkpoint(path: str | Path) -> CycleDrivenEngine:
     """Load an engine checkpoint; validates magic, version and length."""
     with open(path, "rb") as fh:
         magic = fh.read(len(_MAGIC))
         if magic != _MAGIC:
             raise SimulationError(f"{path}: not a repro checkpoint")
-        meta: CheckpointMetadata = pickle.load(fh)
+        meta = _load_metadata(fh, path)
         meta.validate()
-        declared = int.from_bytes(fh.read(8), "little")
+        # A file cut inside this 8-byte field must not decode the
+        # partial read as a (garbage) length and then report a
+        # misleading size mismatch.
+        length_field = fh.read(8)
+        if len(length_field) != 8:
+            raise SimulationError(
+                f"{path}: truncated checkpoint header "
+                f"({len(length_field)} of 8 length bytes)"
+            )
+        declared = int.from_bytes(length_field, "little")
         payload = fh.read()
         if len(payload) != declared:
             raise SimulationError(
@@ -119,6 +142,6 @@ def peek_metadata(path: str | Path) -> CheckpointMetadata:
         magic = fh.read(len(_MAGIC))
         if magic != _MAGIC:
             raise SimulationError(f"{path}: not a repro checkpoint")
-        meta: CheckpointMetadata = pickle.load(fh)
+        meta = _load_metadata(fh, path)
     meta.validate()
     return meta

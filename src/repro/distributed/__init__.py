@@ -1,0 +1,53 @@
+"""Distributed sweep service: ship serialized scenarios to workers.
+
+The paper's full-extent sweeps (exp2 at ``n = 2^16`` × 50
+repetitions) are too big for one process — but every (point,
+repetition) pair of a sweep is independent by construction (each
+repetition draws from its own seed-tree branch), so a sweep is an
+embarrassingly parallel work pool.  This package is that pool:
+
+``jobs``
+    :class:`SweepJob` — a JSON-round-trippable (scenario dict, point
+    index, repetition range) work unit — and the deterministic
+    decomposition of a sweep into jobs.
+``spool``
+    :class:`JobQueue` — a file-spool queue with atomic
+    claim/complete/retry semantics, shareable across hosts through
+    any common directory.
+``worker``
+    :func:`run_worker` — the claim → ``Scenario.from_dict`` →
+    ``Session.run_one`` → publish loop
+    (``python -m repro.distributed worker --spool DIR``).
+``service``
+    :func:`run_sweep_jobs` / :func:`collect_from_spool` — the
+    coordinator that executes a sweep through the job machinery and
+    reassembles per-point :class:`~repro.scenario.result.Result`\\ s
+    in deterministic sweep order, pinned equal to the sequential run.
+
+Most callers never import this package directly:
+``Session.sweep(workers=N, spool=...)`` and
+``python -m repro.experiments expN --workers N --spool DIR`` route
+through it.
+"""
+
+from repro.distributed.jobs import SweepJob, execute_job, jobs_for_sweep
+from repro.distributed.service import (
+    collect_from_spool,
+    collect_results,
+    run_sweep_jobs,
+)
+from repro.distributed.spool import Claim, JobQueue, worker_identity
+from repro.distributed.worker import run_worker
+
+__all__ = [
+    "SweepJob",
+    "jobs_for_sweep",
+    "execute_job",
+    "JobQueue",
+    "Claim",
+    "worker_identity",
+    "run_worker",
+    "run_sweep_jobs",
+    "collect_results",
+    "collect_from_spool",
+]

@@ -1,0 +1,193 @@
+"""Command-line entry points of the distributed sweep service.
+
+Multi-host recipe (any shared directory — NFS, a synced mount)::
+
+    # host A: describe the sweep and submit it
+    python -m repro.experiments exp2 --scale full --dump-scenarios > sweep.json
+    python -m repro.distributed submit --spool /mnt/sweep --scenarios sweep.json
+
+    # hosts A, B, C, ...: add capacity (as many processes as you like)
+    python -m repro.distributed worker --spool /mnt/sweep --idle-timeout 60
+
+    # host A: watch, then reassemble in deterministic sweep order
+    python -m repro.distributed status  --spool /mnt/sweep
+    python -m repro.distributed collect --spool /mnt/sweep \\
+        --scenarios sweep.json --csv runs.csv
+
+``submit`` is idempotent (finished or in-flight jobs are skipped), so
+re-running the recipe resumes an interrupted sweep instead of
+restarting it.  Claims of workers killed mid-job are recovered
+automatically by idle workers on the same host (dead-owner probe); for
+a host that went away entirely, run::
+
+    python -m repro.distributed requeue --spool /mnt/sweep --stale-after 600
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.distributed.jobs import jobs_for_sweep
+from repro.distributed.service import collect_from_spool
+from repro.distributed.spool import JobQueue
+from repro.distributed.worker import run_worker
+from repro.scenario.spec import Scenario
+
+__all__ = ["main"]
+
+
+def _load_scenarios(path: str) -> list[Scenario]:
+    data = json.loads(Path(path).read_text())
+    if isinstance(data, dict):
+        data = [data]
+    return [Scenario.from_dict(spec) for spec in data]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.distributed",
+        description="Queue/worker sweep service over a shared spool directory.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_submit = sub.add_parser(
+        "submit", help="enqueue a sweep's jobs (idempotent/resumable)"
+    )
+    p_submit.add_argument("--spool", required=True, help="spool directory")
+    p_submit.add_argument(
+        "--scenarios", required=True,
+        help="JSON list of Scenario dicts (--dump-scenarios output)",
+    )
+    p_submit.add_argument(
+        "--reps-per-job", type=int, default=1,
+        help="repetitions bundled per job (default 1 = finest grain)",
+    )
+
+    p_worker = sub.add_parser(
+        "worker", help="claim and execute jobs from the spool"
+    )
+    p_worker.add_argument("--spool", required=True, help="spool directory")
+    p_worker.add_argument(
+        "--poll", type=float, default=0.5,
+        help="seconds between polls while idle (default 0.5)",
+    )
+    p_worker.add_argument(
+        "--idle-timeout", type=float, default=None,
+        help="keep polling this many seconds past the last claim "
+        "(default: exit as soon as nothing is pending)",
+    )
+    p_worker.add_argument(
+        "--max-jobs", type=int, default=None,
+        help="stop after executing this many jobs",
+    )
+    p_worker.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress"
+    )
+
+    p_status = sub.add_parser("status", help="one-line spool state summary")
+    p_status.add_argument("--spool", required=True, help="spool directory")
+
+    p_requeue = sub.add_parser(
+        "requeue",
+        help="recover claims of dead workers (abandoned-owner probe "
+        "plus an age threshold for claims on unreachable hosts)",
+    )
+    p_requeue.add_argument("--spool", required=True, help="spool directory")
+    p_requeue.add_argument(
+        "--stale-after", type=float, default=300.0,
+        help="also requeue any claim older than this many seconds "
+        "(default 300; must exceed the longest single job)",
+    )
+    p_requeue.add_argument(
+        "--retry-failed", action="store_true",
+        help="additionally give dead-lettered jobs a fresh start "
+        "(attempt counters reset) — without this, jobs that exhausted "
+        "their retries stay in failed/ and block collect",
+    )
+
+    p_collect = sub.add_parser(
+        "collect", help="reassemble per-point results in sweep order"
+    )
+    p_collect.add_argument("--spool", required=True, help="spool directory")
+    p_collect.add_argument(
+        "--scenarios", required=True,
+        help="the same JSON scenario list the sweep was submitted from",
+    )
+    p_collect.add_argument(
+        "--reps-per-job", type=int, default=1,
+        help="must match the value used at submit time",
+    )
+    p_collect.add_argument("--csv", default=None, help="dump raw runs to CSV")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "submit":
+        queue = JobQueue(args.spool)
+        jobs = jobs_for_sweep(
+            _load_scenarios(args.scenarios), reps_per_job=args.reps_per_job
+        )
+        submitted = sum(queue.submit(job) for job in jobs)
+        print(
+            f"submitted {submitted} of {len(jobs)} job(s) "
+            f"({len(jobs) - submitted} already in the spool)"
+        )
+        return 0
+
+    if args.command == "worker":
+        log = None if args.quiet else (
+            lambda message: print(message, file=sys.stderr, flush=True)
+        )
+        executed = run_worker(
+            args.spool,
+            poll_interval=args.poll,
+            idle_timeout=args.idle_timeout,
+            max_jobs=args.max_jobs,
+            log=log,
+        )
+        print(f"executed {executed} job(s)")
+        return 0
+
+    if args.command == "status":
+        counts = JobQueue(args.spool).counts()
+        print(
+            " ".join(f"{state}={count}" for state, count in counts.items())
+        )
+        return 0
+
+    if args.command == "requeue":
+        queue = JobQueue(args.spool)
+        requeued = queue.requeue_abandoned()
+        requeued += [
+            job_id
+            for job_id in queue.requeue_stale(args.stale_after)
+            if job_id not in requeued
+        ]
+        if args.retry_failed:
+            requeued += queue.retry_failed()
+        print(f"requeued {len(requeued)} job(s)"
+              + (": " + ", ".join(requeued) if requeued else ""))
+        return 0
+
+    # collect
+    scenarios = _load_scenarios(args.scenarios)
+    results = collect_from_spool(
+        args.spool, scenarios, reps_per_job=args.reps_per_job
+    )
+    for scenario, result in zip(scenarios, results):
+        print(
+            f"{scenario.describe()} -> mean quality "
+            f"{result.quality_stats.mean:.3e}"
+        )
+    if args.csv:
+        from repro.analysis.export import results_to_csv
+
+        results_to_csv(results, path=args.csv)
+        print(f"raw runs written to {args.csv}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

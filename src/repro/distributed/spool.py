@@ -1,0 +1,369 @@
+"""File-spool job queue with atomic claim / complete / retry.
+
+The queue is a directory — shareable over NFS or any mounted
+filesystem, which is what makes the sweep service multi-host without a
+broker.  State is encoded entirely in *which subdirectory a file is
+in*; every transition is a single atomic ``rename`` on one
+filesystem, so two workers racing for the same job cannot both win,
+and a reader never sees a half-written file:
+
+``pending/<job_id>.json``
+    A submitted job nobody owns: ``{"job": <SweepJob dict>,
+    "attempts": N}``.
+``claimed/<job_id>.json``
+    A job some worker owns.  If the worker dies, the file simply
+    stays here; :meth:`JobQueue.requeue_stale` moves it back to
+    ``pending/`` with the attempt counter bumped.
+``results/<job_id>.json``
+    A completed job's payload: the executed repetitions as
+    :meth:`~repro.scenario.result.RunRecord.to_dict` dicts plus the
+    job's wall-clock seconds.
+``failed/<job_id>.json``
+    Dead letters: jobs that exhausted ``max_retries`` or raised a
+    non-transient error.  ``collect`` reports these loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.distributed.jobs import SweepJob
+from repro.scenario.result import RunRecord
+
+__all__ = ["Claim", "JobQueue", "worker_identity"]
+
+_STATES = ("pending", "claimed", "results", "failed")
+
+
+def worker_identity(pid: int | None = None) -> str:
+    """The ``host:pid`` id a claim records as its owner."""
+    return f"{socket.gethostname()}:{os.getpid() if pid is None else pid}"
+
+
+def _owner_is_dead_locally(owner: str) -> bool:
+    """True iff ``owner`` names a process on *this* host that is gone.
+
+    Owners on other hosts (or unparseable ids) return False — only
+    the age-based policy may reclaim what we cannot probe.
+    """
+    host, _, pid_text = owner.rpartition(":")
+    if host != socket.gethostname():
+        return False
+    try:
+        pid = int(pid_text)
+    except ValueError:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return True
+    except (PermissionError, OverflowError):
+        return False
+    return False
+
+
+@dataclass(frozen=True)
+class Claim:
+    """A successfully claimed job: hand it back via ``complete``/``release``."""
+
+    job: SweepJob
+    attempts: int  # completed prior attempts (0 on the first try)
+
+
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    """No reader ever observes a partial file (write tmp, then rename)."""
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, path)
+
+
+class JobQueue:
+    """A spool-directory job queue (see module docstring).
+
+    Every operation is safe to call concurrently from any number of
+    worker processes on any number of hosts sharing the directory.
+    """
+
+    def __init__(self, root: str | Path, max_retries: int = 2):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.root = Path(root)
+        self.max_retries = max_retries
+        for state in _STATES:
+            (self.root / state).mkdir(parents=True, exist_ok=True)
+
+    def _dir(self, state: str) -> Path:
+        return self.root / state
+
+    def _ids(self, state: str) -> list[str]:
+        return sorted(
+            p.stem
+            for p in self._dir(state).glob("*.json")
+            if not p.name.startswith(".")
+        )
+
+    # -- introspection -----------------------------------------------------------
+
+    def pending_ids(self) -> list[str]:
+        return self._ids("pending")
+
+    def claimed_ids(self) -> list[str]:
+        return self._ids("claimed")
+
+    def result_ids(self) -> list[str]:
+        return self._ids("results")
+
+    def failed_ids(self) -> list[str]:
+        return self._ids("failed")
+
+    def counts(self) -> dict[str, int]:
+        """``{state: file count}`` snapshot (the ``status`` CLI line)."""
+        return {state: len(self._ids(state)) for state in _STATES}
+
+    # -- producer side -----------------------------------------------------------
+
+    def submit(self, job: SweepJob) -> bool:
+        """Enqueue ``job`` unless it already exists in any state.
+
+        Returns whether a new pending entry was created — re-submitting
+        an in-flight or finished sweep is a no-op, which is what makes
+        ``--spool`` sweeps resumable: a restarted coordinator submits
+        the same deterministic job list and only the missing work runs.
+        """
+        name = f"{job.job_id}.json"
+        for state in _STATES:
+            if (self._dir(state) / name).exists():
+                return False
+        _write_json_atomic(
+            self._dir("pending") / name, {"job": job.to_dict(), "attempts": 0}
+        )
+        return True
+
+    # -- worker side -------------------------------------------------------------
+
+    def claim(self, owner: str | None = None) -> Claim | None:
+        """Atomically take ownership of one pending job, or ``None``.
+
+        The pending→claimed rename is the lock: when several workers
+        race for the same file, exactly one rename succeeds and the
+        losers move on to the next candidate.  The winner then
+        rewrites its claim file with the owner's ``host:pid`` identity
+        — which also refreshes the file's mtime, so
+        :meth:`requeue_stale` measures age *since the claim*, not
+        since submission (rename alone preserves the submit-time
+        mtime).
+        """
+        if owner is None:
+            owner = worker_identity()
+        # scandir, unsorted, stop at the first win: claim() runs once
+        # per job per worker, and a sorted full listing here would make
+        # draining a deep queue quadratic in directory scans.  Claim
+        # order carries no contract — collect reassembles sweep order.
+        with os.scandir(self._dir("pending")) as entries:
+            for entry in entries:
+                if not entry.name.endswith(".json") or entry.name.startswith("."):
+                    continue
+                src = self._dir("pending") / entry.name
+                dst = self._dir("claimed") / entry.name
+                try:
+                    # Stamp the claim time *before* the rename makes
+                    # the claim visible: the file must never sit in
+                    # claimed/ with its submit-time mtime, or a
+                    # concurrent requeue_stale scan could steal the
+                    # just-claimed job.  (If we lose the rename race
+                    # after our utime, we only refreshed the winner's
+                    # claim stamp — harmless.)
+                    os.utime(src)
+                    os.rename(src, dst)
+                except FileNotFoundError:
+                    continue  # lost the race for this one
+                payload = json.loads(dst.read_text())
+                payload["claimed_by"] = owner
+                _write_json_atomic(dst, payload)
+                return Claim(
+                    job=SweepJob.from_dict(payload["job"]),
+                    attempts=int(payload.get("attempts", 0)),
+                )
+        return None
+
+    def complete(
+        self, claim: Claim, records: list[RunRecord], elapsed_seconds: float = 0.0
+    ) -> None:
+        """Publish a claimed job's records and retire the claim."""
+        job = claim.job
+        _write_json_atomic(
+            self._dir("results") / f"{job.job_id}.json",
+            {
+                "job": job.to_dict(),
+                "attempts": claim.attempts,
+                "elapsed_seconds": float(elapsed_seconds),
+                "records": [record.to_dict() for record in records],
+            },
+        )
+        (self._dir("claimed") / f"{job.job_id}.json").unlink(missing_ok=True)
+
+    def release(self, claim: Claim, error: str) -> bool:
+        """Give a claimed job back after a failure.
+
+        Requeues with the attempt counter bumped, or dead-letters the
+        job once ``max_retries`` re-runs are exhausted.  Returns
+        whether the job went back to ``pending``.
+        """
+        job = claim.job
+        attempts = claim.attempts + 1
+        claimed = self._dir("claimed") / f"{job.job_id}.json"
+        if attempts > self.max_retries:
+            _write_json_atomic(
+                self._dir("failed") / f"{job.job_id}.json",
+                {"job": job.to_dict(), "attempts": attempts, "error": error},
+            )
+            claimed.unlink(missing_ok=True)
+            return False
+        _write_json_atomic(
+            self._dir("pending") / f"{job.job_id}.json",
+            {"job": job.to_dict(), "attempts": attempts, "last_error": error},
+        )
+        claimed.unlink(missing_ok=True)
+        return True
+
+    # -- coordinator side --------------------------------------------------------
+
+    def _requeue_claim_file(self, job_id: str, error: str) -> bool:
+        path = self._dir("claimed") / f"{job_id}.json"
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return False  # completed/released meanwhile, or half-written
+        claim = Claim(
+            job=SweepJob.from_dict(payload["job"]),
+            attempts=int(payload.get("attempts", 0)),
+        )
+        return self.release(claim, error=error)
+
+    def requeue_stale(
+        self, max_age_seconds: float, job_ids: set[str] | None = None
+    ) -> list[str]:
+        """Recover jobs whose worker died mid-run — by claim age.
+
+        Any ``claimed/`` entry older than ``max_age_seconds`` goes
+        back to ``pending`` (attempt counter bumped; dead-lettered
+        past ``max_retries``).  ``job_ids`` restricts the scan to one
+        sweep's jobs — on a shared spool, never touch claims that
+        belong to somebody else's sweep.  Returns the requeued ids.
+
+        Age is measured from the *claim* (see :meth:`claim`), and a
+        live worker gets no heartbeat while executing — so pick a
+        ``max_age_seconds`` comfortably above the longest single job,
+        or a healthy in-flight job will be requeued (and, duplicated
+        enough times, dead-lettered).
+        """
+        now = time.time()
+        requeued: list[str] = []
+        for job_id in self.claimed_ids():
+            if job_ids is not None and job_id not in job_ids:
+                continue
+            path = self._dir("claimed") / f"{job_id}.json"
+            try:
+                age = now - path.stat().st_mtime
+            except FileNotFoundError:
+                continue  # completed or released meanwhile
+            if age < max_age_seconds:
+                continue
+            if self._requeue_claim_file(
+                job_id, error="worker lost (stale claim requeued)"
+            ):
+                requeued.append(job_id)
+        return requeued
+
+    def requeue_abandoned(
+        self,
+        owners: set[str] | None = None,
+        job_ids: set[str] | None = None,
+    ) -> list[str]:
+        """Recover claims whose recorded owner is *known* to be dead.
+
+        A claim is abandoned when its ``host:pid`` owner is in
+        ``owners`` (processes the caller knows have exited), or names
+        a process on this host that no longer exists.  Claims held by
+        live or unprobeable owners (other hosts) are left alone —
+        :meth:`requeue_stale`'s age policy covers those.  ``job_ids``
+        optionally restricts the scan to one sweep's jobs.  Returns
+        the requeued job ids.
+        """
+        requeued: list[str] = []
+        for job_id in self.claimed_ids():
+            if job_ids is not None and job_id not in job_ids:
+                continue
+            path = self._dir("claimed") / f"{job_id}.json"
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            owner = payload.get("claimed_by")
+            if owner is None:
+                continue
+            dead = (owners is not None and owner in owners) or (
+                _owner_is_dead_locally(owner)
+            )
+            if dead and self._requeue_claim_file(
+                job_id, error=f"worker {owner} died (claim abandoned)"
+            ):
+                requeued.append(job_id)
+        return requeued
+
+    def retry_failed(self) -> list[str]:
+        """Give every dead-lettered job a fresh start (attempts reset).
+
+        Dead letters otherwise block a resumed sweep forever:
+        :meth:`submit` skips ids present in ``failed/`` and collect
+        keeps raising.  This is deliberately an explicit operator
+        action (``python -m repro.distributed requeue
+        --retry-failed``) — a job that failed ``max_retries`` times
+        usually needs a fixed environment first.  Returns the retried
+        job ids.
+        """
+        retried: list[str] = []
+        for job_id in self.failed_ids():
+            path = self._dir("failed") / f"{job_id}.json"
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if (self._dir("results") / f"{job_id}.json").exists():
+                path.unlink(missing_ok=True)  # a late complete() won
+                continue
+            _write_json_atomic(
+                self._dir("pending") / f"{job_id}.json",
+                {
+                    "job": payload["job"],
+                    "attempts": 0,
+                    "last_error": payload.get("error"),
+                },
+            )
+            path.unlink(missing_ok=True)
+            retried.append(job_id)
+        return retried
+
+    def load_result(self, job_id: str) -> dict:
+        """One completed job's payload (job dict, records, elapsed)."""
+        return json.loads(
+            (self._dir("results") / f"{job_id}.json").read_text()
+        )
+
+    def load_failed(self, job_id: str) -> dict:
+        """A dead-lettered job's payload (job dict, attempts, error)."""
+        return json.loads(
+            (self._dir("failed") / f"{job_id}.json").read_text()
+        )
+
+    def load_records(self, job_id: str) -> list[RunRecord]:
+        """The completed job's records, in the job's repetition order."""
+        return [
+            RunRecord.from_dict(record)
+            for record in self.load_result(job_id)["records"]
+        ]

@@ -1,0 +1,91 @@
+"""The worker loop: claim → execute → publish, until the spool drains.
+
+A worker is stateless — everything it needs is inside the claimed
+job's scenario dict — so adding capacity to a running sweep is just
+starting more processes (on any host that mounts the spool), and
+losing one costs nothing but a requeue.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.distributed.jobs import execute_job
+from repro.distributed.spool import JobQueue
+
+__all__ = ["run_worker"]
+
+
+def run_worker(
+    spool: str | Path | JobQueue,
+    poll_interval: float = 0.2,
+    idle_timeout: float | None = None,
+    max_jobs: int | None = None,
+    log: Callable[[str], None] | None = None,
+) -> int:
+    """Execute spool jobs until there is no more work; returns jobs done.
+
+    Parameters
+    ----------
+    spool:
+        The spool directory (or an already-open :class:`JobQueue`).
+    poll_interval:
+        Seconds between queue polls while waiting for claimable work.
+    idle_timeout:
+        ``None`` (default) drains: the worker exits as soon as nothing
+        is pending.  A number keeps the worker polling that many
+        seconds past the last claim — the multi-host mode, where work
+        may still be submitted or requeued after a lull.
+    max_jobs:
+        Optional cap on jobs to execute (testing/chaos knob).
+
+    A job that raises is released back to the queue (retried by
+    whoever claims it next, dead-lettered after the queue's
+    ``max_retries``); the worker itself keeps going.  While idle, the
+    worker periodically probes for claims abandoned by *dead* local
+    processes (``requeue_abandoned``), so a killed worker on this host
+    never strands a job as long as any sibling keeps polling.
+    """
+    queue = spool if isinstance(spool, JobQueue) else JobQueue(spool)
+    executed = 0
+    last_work = time.monotonic()
+    next_recovery = 0.0
+    while max_jobs is None or executed < max_jobs:
+        claim = queue.claim()
+        if claim is None:
+            now = time.monotonic()
+            if now >= next_recovery:
+                # Safe by construction: only reclaims jobs whose
+                # recorded owner provably no longer exists.
+                if queue.requeue_abandoned():
+                    continue
+                next_recovery = now + max(5.0, poll_interval)
+            idle = now - last_work
+            if idle_timeout is None:
+                if not queue.pending_ids():
+                    break
+            elif idle >= idle_timeout:
+                break
+            time.sleep(poll_interval)
+            continue
+        job = claim.job
+        if log is not None:
+            log(f"claimed {job.job_id} (attempt {claim.attempts + 1})")
+        t0 = time.perf_counter()
+        try:
+            records = execute_job(job)
+        except Exception as exc:  # noqa: BLE001 - job errors must not kill the loop
+            queue.release(claim, error=f"{type(exc).__name__}: {exc}")
+            if log is not None:
+                log(f"failed  {job.job_id}: {exc}")
+        else:
+            queue.complete(
+                claim, records, elapsed_seconds=time.perf_counter() - t0
+            )
+            executed += 1
+            if log is not None:
+                log(f"done    {job.job_id} ({len(records)} repetition(s))")
+        last_work = time.monotonic()
+    return executed

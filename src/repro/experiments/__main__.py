@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.experiments exp1 [--scale smoke|reduced|full]
                                      [--seed N] [--csv PATH] [--quiet]
+                                     [--workers N] [--spool DIR]
     python -m repro.experiments all --scale smoke
 
 Prints the paper-style report (tables + ASCII figures) to stdout;
@@ -47,6 +48,31 @@ def main(argv: list[str] | None = None) -> int:
         "stack, 'fast' = vectorized SoA network kernel (statistically "
         "equivalent, order of magnitude faster at scale)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-parallel sweep execution: every (point, repetition) "
+        "pair is an independent job scheduled over this many worker "
+        "processes; results are identical to the sequential run",
+    )
+    parser.add_argument(
+        "--spool",
+        default=None,
+        help="spool directory for resumable/multi-host sweeps: jobs go "
+        "through a file-backed queue that workers on other hosts "
+        "('python -m repro.distributed worker --spool DIR') can share; "
+        "already-completed jobs are not re-run",
+    )
+    parser.add_argument(
+        "--stale-after",
+        type=float,
+        default=None,
+        help="spool mode: also reclaim this sweep's claims older than this "
+        "many seconds (recovery from vanished remote hosts; must exceed "
+        "the longest single job). Default: recover only provably dead "
+        "local workers",
+    )
     parser.add_argument("--csv", default=None, help="also dump raw runs to CSV")
     parser.add_argument(
         "--dump-scenarios",
@@ -58,6 +84,8 @@ def main(argv: list[str] | None = None) -> int:
         "--quiet", action="store_true", help="suppress per-config progress on stderr"
     )
     args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     progress = None if args.quiet else stderr_progress
@@ -80,7 +108,9 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         module = EXPERIMENTS[name]
         data = module.run(
-            scale=args.scale, seed=args.seed, progress=progress, engine=args.engine
+            scale=args.scale, seed=args.seed, progress=progress,
+            engine=args.engine, workers=args.workers, spool=args.spool,
+            stale_after=args.stale_after,
         )
         print(module.report(data))
         all_results.extend(res for _, res in data.entries)

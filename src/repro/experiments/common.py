@@ -15,6 +15,7 @@ JSON.
 
 from __future__ import annotations
 
+import math
 import sys
 import time
 from dataclasses import dataclass, field
@@ -63,11 +64,23 @@ class SweepData:
 
         This is how the paper's "best results" tables are built: the
         table row is the best configuration of the sweep.
+
+        NaN means (e.g. from repetitions whose quality overflowed to
+        inf) never win: any entry with a comparable mean beats a
+        NaN-mean incumbent, and a NaN-mean candidate only stands in
+        while no better entry exists — so a NaN-first sweep still
+        reports the true best row.
         """
         best: dict[str, Result] = {}
         for cfg, res in self.entries:
+            mean = res.quality_stats.mean
             cur = best.get(cfg.function)
-            if cur is None or res.quality_stats.mean < cur.quality_stats.mean:
+            if cur is None:
+                best[cfg.function] = res
+                continue
+            if math.isnan(mean):
+                continue
+            if math.isnan(cur.quality_stats.mean) or mean < cur.quality_stats.mean:
                 best[cfg.function] = res
         return best
 
@@ -99,6 +112,9 @@ def run_sweep(
     configs: Sequence[ExperimentConfig],
     progress: Callable[[str], None] | None = None,
     engine: str = "reference",
+    workers: int = 1,
+    spool: str | None = None,
+    stale_after: float | None = None,
 ) -> SweepData:
     """Execute every config in order; returns the collected data.
 
@@ -106,9 +122,40 @@ def run_sweep(
     selects the scenario engine — ``"fast"`` runs the vectorized SoA
     path, which makes the large-``n`` corners of the paper sweeps
     (exp2's ``n = 2^16``) tractable.
+
+    ``workers > 1`` (or a ``spool`` directory) routes the sweep
+    through the distributed job service: every (point, repetition)
+    pair is an independently scheduled job, executed by local worker
+    processes — plus any ``python -m repro.distributed worker``
+    processes sharing the spool — and reassembled in deterministic
+    sweep order, with per-point results identical to the sequential
+    run.
     """
     data = SweepData(name=name, scale=scale)
     t0 = time.perf_counter()
+    if workers > 1 or spool is not None:
+        from repro.distributed.service import run_sweep_jobs
+
+        configs = list(configs)
+        points = scenario_points(configs, engine=engine)
+        completed = [0]
+
+        def point_progress(index: int, scenario: Scenario, res: Result) -> None:
+            completed[0] += 1
+            if progress is not None:
+                progress(
+                    f"[{name}:{scale}] {completed[0]}/{len(configs)} "
+                    f"{configs[index].describe()} "
+                    f"-> mean quality {res.quality_stats.mean:.3e}"
+                )
+
+        results = run_sweep_jobs(
+            points, workers=workers, spool=spool, progress=point_progress,
+            stale_after=stale_after,
+        )
+        data.entries = list(zip(configs, results))
+        data.elapsed_seconds = time.perf_counter() - t0
+        return data
     for i, cfg in enumerate(configs):
         res = Session(Scenario.from_experiment_config(cfg, engine=engine)).run()
         data.entries.append((cfg, res))

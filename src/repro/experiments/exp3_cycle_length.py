@@ -105,9 +105,14 @@ def run(
     seed: int = 42,
     progress: Callable[[str], None] | None = None,
     engine: str = "reference",
+    workers: int = 1,
+    spool: str | None = None,
+    stale_after: float | None = None,
 ) -> SweepData:
     """Execute the sweep; see module docstring for the setup."""
-    return run_sweep(NAME, scale, configs(scale, seed), progress, engine=engine)
+    return run_sweep(NAME, scale, configs(scale, seed), progress,
+                     engine=engine, workers=workers, spool=spool,
+                     stale_after=stale_after)
 
 
 def report(data: SweepData) -> str:

@@ -18,7 +18,7 @@ from typing import Callable
 
 from repro.analysis.tables import format_paper_table, format_value
 from repro.core.metrics import estimate_overhead_bytes
-from repro.experiments.common import SweepData
+from repro.experiments.common import SweepData, run_sweep
 from repro.scenario import Scenario, Session
 from repro.utils.config import ExperimentConfig
 from repro.utils.exceptions import ConfigurationError
@@ -83,6 +83,9 @@ def run(
     seed: int = 42,
     progress: Callable[[str], None] | None = None,
     engine: str = "reference",
+    workers: int = 1,
+    spool: str | None = None,
+    stale_after: float | None = None,
 ) -> SweepData:
     """Execute the (single-point) sweep; measured counts go in meta.
 
@@ -91,17 +94,11 @@ def run(
     sampling as an oracle and therefore carries no NEWSCAST traffic
     to count.
     """
-    import time
-
-    data = SweepData(name=NAME, scale=scale)
-    t0 = time.perf_counter()
-    for cfg in configs(scale, seed):
-        res = Session(Scenario.from_experiment_config(cfg, engine=engine)).run()
-        data.entries.append((cfg, res))
-        if progress is not None:
-            progress(f"[{NAME}:{scale}] {cfg.describe()}")
-    data.elapsed_seconds = time.perf_counter() - t0
-    return data
+    return run_sweep(
+        NAME, scale, configs(scale, seed), progress,
+        engine=engine, workers=workers, spool=spool,
+        stale_after=stale_after,
+    )
 
 
 def report(data: SweepData) -> str:

@@ -12,10 +12,11 @@ same statistics surface the paper tables are built from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
-from typing import TYPE_CHECKING
+import math
+from dataclasses import asdict, dataclass, fields
+from typing import TYPE_CHECKING, Any, Mapping
 
-from repro.core.metrics import MessageTally
+from repro.core.metrics import MessageTally, QualitySample
 from repro.core.runner import RunResult
 from repro.utils.numerics import RunningStats
 
@@ -25,6 +26,32 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.utils.config import ExperimentConfig
 
 __all__ = ["RunRecord", "Result"]
+
+
+def _float_out(value: float | None) -> float | str | None:
+    """JSON-safe float: non-finite values travel as their repr string.
+
+    ``json.dumps`` would otherwise emit bare ``NaN``/``Infinity``
+    tokens, which are not JSON and which strict parsers (other hosts,
+    other languages) reject.
+    """
+    if value is None:
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else repr(value)
+
+
+def _float_in(value: float | str | None) -> float | None:
+    if value is None:
+        return None
+    return float(value)
+
+
+def _required(data: Mapping[str, Any], key: str, what: str) -> Any:
+    try:
+        return data[key]
+    except KeyError:
+        raise ValueError(f"{what}: missing field {key!r}") from None
 
 
 @dataclass
@@ -86,6 +113,97 @@ class RunRecord(RunResult):
         return (
             self.threshold_local_time is not None
             or self.threshold_time is not None
+        )
+
+    # -- JSON round-trip ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict: what the distributed workers ship back.
+
+        Strict JSON — non-finite floats (an ``inf`` quality from a
+        zero-evaluation event run, the event engine's NaN spread)
+        travel as strings, so the payload survives any parser.
+        :meth:`from_dict` restores an equal record, bit-for-bit: JSON
+        floats round-trip exactly through ``repr``.
+        """
+        history: list = []
+        for sample in self.history:
+            if isinstance(sample, QualitySample):
+                history.append({
+                    "cycle": sample.cycle,
+                    "evaluations": sample.evaluations,
+                    "best_value": _float_out(sample.best_value),
+                })
+            else:  # event-engine (time, evaluations, best) tuples
+                history.append([_float_out(x) for x in sample])
+        return {
+            "best_value": _float_out(self.best_value),
+            "quality": _float_out(self.quality),
+            "total_evaluations": int(self.total_evaluations),
+            "cycles": int(self.cycles),
+            "stop_reason": self.stop_reason,
+            "threshold_local_time": self.threshold_local_time,
+            "threshold_total_evaluations": self.threshold_total_evaluations,
+            "messages": asdict(self.messages),
+            "node_best_spread": _float_out(self.node_best_spread),
+            "history": history,
+            "crashes": int(self.crashes),
+            "joins": int(self.joins),
+            "sim_time": _float_out(self.sim_time),
+            "threshold_time": _float_out(self.threshold_time),
+            "node_qualities": (
+                None
+                if self.node_qualities is None
+                else [_float_out(q) for q in self.node_qualities]
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        history: list = []
+        for sample in data.get("history", ()):
+            if isinstance(sample, Mapping):
+                history.append(
+                    QualitySample(
+                        cycle=int(sample["cycle"]),
+                        evaluations=int(sample["evaluations"]),
+                        best_value=_float_in(sample["best_value"]),
+                    )
+                )
+            else:
+                history.append(tuple(_float_in(x) for x in sample))
+        threshold_local = data.get("threshold_local_time")
+        threshold_total = data.get("threshold_total_evaluations")
+        node_qualities = data.get("node_qualities")
+        return cls(
+            best_value=_float_in(_required(data, "best_value", "RunRecord")),
+            quality=_float_in(_required(data, "quality", "RunRecord")),
+            total_evaluations=int(
+                _required(data, "total_evaluations", "RunRecord")
+            ),
+            cycles=int(_required(data, "cycles", "RunRecord")),
+            stop_reason=str(_required(data, "stop_reason", "RunRecord")),
+            threshold_local_time=(
+                None if threshold_local is None else int(threshold_local)
+            ),
+            threshold_total_evaluations=(
+                None if threshold_total is None else int(threshold_total)
+            ),
+            messages=MessageTally(**_required(data, "messages", "RunRecord")),
+            node_best_spread=_float_in(
+                _required(data, "node_best_spread", "RunRecord")
+            ),
+            history=history,
+            crashes=int(data.get("crashes", 0)),
+            joins=int(data.get("joins", 0)),
+            sim_time=_float_in(data.get("sim_time")),
+            threshold_time=_float_in(data.get("threshold_time")),
+            node_qualities=(
+                None
+                if node_qualities is None
+                else [_float_in(q) for q in node_qualities]
+            ),
         )
 
 
@@ -181,3 +299,27 @@ class Result:
     def qualities(self) -> list[float]:
         """Per-run final qualities, in repetition order (figure dots)."""
         return [r.quality for r in self.records]
+
+    # -- JSON round-trip ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict (scenario spec + per-repetition records)."""
+        return {
+            "scenario": self.scenario.to_dict(),
+            "records": [record.to_dict() for record in self.records],
+            "elapsed_seconds": float(self.elapsed_seconds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Result":
+        """Rebuild an aggregate result from :meth:`to_dict` output."""
+        from repro.scenario.spec import Scenario
+
+        return cls(
+            scenario=Scenario.from_dict(_required(data, "scenario", "Result")),
+            records=[
+                RunRecord.from_dict(record)
+                for record in _required(data, "records", "Result")
+            ],
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        )

@@ -335,7 +335,11 @@ class Session:
             jobs = [(scenario, rep) for rep in range(scenario.repetitions)]
             ctx = multiprocessing.get_context("spawn")
             with ctx.Pool(processes=min(workers, scenario.repetitions)) as pool:
-                for rep, record in enumerate(pool.map(_star_args, jobs)):
+                # imap, not map: map blocks until the *last* repetition,
+                # firing every progress callback at once at the end —
+                # long parallel runs looked hung.  imap streams records
+                # back (order-preserving) as repetitions finish.
+                for rep, record in enumerate(pool.imap(_star_args, jobs)):
                     records.append(record)
                     if progress is not None:
                         progress(rep, record)
@@ -375,9 +379,53 @@ class Session:
         self,
         workers: int = 1,
         progress: Callable[[Scenario, Result], None] | None = None,
+        spool: str | None = None,
+        stale_after: float | None = None,
         **axes: Sequence,
     ) -> list[Result]:
-        """Run the cartesian sweep over ``axes``; one Result per point."""
+        """Run the cartesian sweep over ``axes``; one Result per point.
+
+        Parameters
+        ----------
+        workers:
+            With ``workers > 1`` the *whole sweep* is one work pool:
+            every (point, repetition) pair is an independent job, so
+            repetitions of different points fill the pool instead of
+            idling when ``repetitions < workers``.  Results are
+            identical to the sequential sweep — same records, same
+            deterministic point order — because each repetition keeps
+            its own seed-tree branch.
+        spool:
+            Optional spool directory: jobs go through the file-backed
+            :class:`~repro.distributed.spool.JobQueue`, so workers on
+            other hosts (``python -m repro.distributed worker --spool
+            DIR``) can join, and an interrupted sweep resumes.
+        stale_after:
+            Spool mode only: reclaim claims of this sweep older than
+            this many seconds (recovery from workers on *other hosts*
+            that vanished; must exceed the longest single job).
+            ``None`` recovers only provably dead local workers.
+        progress:
+            ``(scenario, result) -> None``, fired once per point.
+            Sequential sweeps fire in sweep order; parallel sweeps
+            fire as points complete (possibly out of order) — the
+            returned list is ordered either way.
+        """
+        if workers > 1 or spool is not None:
+            from repro.distributed.service import run_sweep_jobs
+
+            point_progress = None
+            if progress is not None:
+                point_progress = lambda i, scenario, result: progress(  # noqa: E731
+                    scenario, result
+                )
+            return run_sweep_jobs(
+                list(self.scenarios(**axes)),
+                workers=workers,
+                spool=spool,
+                progress=point_progress,
+                stale_after=stale_after,
+            )
         results = []
         for scenario in self.scenarios(**axes):
             result = Session(scenario).run(workers=workers)

@@ -118,3 +118,74 @@ class TestCorruptionHandling:
         path.write_bytes(b"garbage")
         with pytest.raises(SimulationError):
             peek_metadata(path)
+
+
+class TestTruncationBoundaries:
+    """A file cut at *any* header boundary must fail as truncated.
+
+    Regression: a cut inside the 8-byte payload-length field used to
+    decode the partial read as a garbage length and report a
+    misleading "N bytes, expected <garbage>" size mismatch.
+    """
+
+    @pytest.fixture()
+    def checkpoint_bytes(self, tmp_path) -> bytes:
+        engine = build_engine()
+        engine.run(3)
+        path = tmp_path / "full.ckpt"
+        save_checkpoint(engine, path)
+        return path.read_bytes()
+
+    @staticmethod
+    def _length_field_offset(data: bytes) -> int:
+        """Offset of the 8-byte payload-length field."""
+        import io
+        import pickle
+
+        from repro.core.checkpoint import _MAGIC
+
+        buf = io.BytesIO(data)
+        buf.read(len(_MAGIC))
+        pickle.load(buf)  # the metadata header
+        return buf.tell()
+
+    def _expect_truncated(self, tmp_path, data: bytes, cut: int, match: str):
+        path = tmp_path / "cut.ckpt"
+        path.write_bytes(data[:cut])
+        with pytest.raises(SimulationError, match=match):
+            load_checkpoint(path)
+
+    def test_cut_inside_magic(self, tmp_path, checkpoint_bytes):
+        self._expect_truncated(
+            tmp_path, checkpoint_bytes, cut=4, match="not a repro checkpoint"
+        )
+
+    def test_cut_inside_metadata(self, tmp_path, checkpoint_bytes):
+        from repro.core.checkpoint import _MAGIC
+
+        self._expect_truncated(
+            tmp_path, checkpoint_bytes, cut=len(_MAGIC) + 5,
+            match="truncated or corrupt checkpoint metadata",
+        )
+
+    def test_cut_inside_length_field(self, tmp_path, checkpoint_bytes):
+        offset = self._length_field_offset(checkpoint_bytes)
+        self._expect_truncated(
+            tmp_path, checkpoint_bytes, cut=offset + 4,
+            match="truncated checkpoint header",
+        )
+
+    def test_cut_inside_payload(self, tmp_path, checkpoint_bytes):
+        offset = self._length_field_offset(checkpoint_bytes)
+        self._expect_truncated(
+            tmp_path, checkpoint_bytes, cut=offset + 8 + 10,
+            match="truncated checkpoint",
+        )
+
+    def test_peek_metadata_cut_inside_metadata(self, tmp_path, checkpoint_bytes):
+        from repro.core.checkpoint import _MAGIC
+
+        path = tmp_path / "cut.ckpt"
+        path.write_bytes(checkpoint_bytes[: len(_MAGIC) + 5])
+        with pytest.raises(SimulationError, match="metadata"):
+            peek_metadata(path)

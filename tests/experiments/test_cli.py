@@ -37,3 +37,31 @@ class TestCli:
         main(["exp5", "--scale", "smoke"])
         err = capsys.readouterr().err
         assert "exp5:smoke" in err
+
+    def test_workers_flag_runs_distributed(self, capsys):
+        code = main(
+            ["exp5", "--scale", "smoke", "--quiet", "--workers", "2",
+             "--seed", "7"]
+        )
+        assert code == 0
+        assert "Experiment 5" in capsys.readouterr().out
+
+    def test_spool_flag_runs_and_resumes(self, tmp_path, capsys):
+        from repro.distributed.spool import JobQueue
+
+        spool = str(tmp_path / "spool")
+        args = ["exp5", "--scale", "smoke", "--quiet", "--seed", "7",
+                "--spool", spool]
+        assert main(args) == 0
+        assert "Experiment 5" in capsys.readouterr().out
+        counts = JobQueue(spool).counts()
+        assert counts["results"] == 1 and counts["pending"] == 0
+        # Second run resumes from the spool: nothing is re-executed,
+        # the report is rebuilt from the stored records.
+        assert main(args) == 0
+        assert "Experiment 5" in capsys.readouterr().out
+        assert JobQueue(spool).counts()["results"] == 1
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["exp5", "--workers", "0"])

@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
+from repro.core.metrics import MessageTally
 from repro.experiments import exp3_cycle_length
 from repro.experiments.common import SweepData, run_sweep
+from repro.scenario import Result, RunRecord, Scenario
 from repro.utils.config import ExperimentConfig
 
 
@@ -19,6 +23,25 @@ def tiny_configs():
         base.with_(gossip_cycle=2),
         base.with_(function="f2"),
     ]
+
+
+def _fake_result(qualities: list[float]) -> Result:
+    """A Result with hand-set per-repetition qualities."""
+    scenario = Scenario(
+        function="sphere", nodes=4, particles_per_node=4,
+        total_evaluations=400, gossip_cycle=4,
+        repetitions=len(qualities), seed=0,
+    )
+    records = [
+        RunRecord(
+            best_value=q, quality=q, total_evaluations=100, cycles=1,
+            stop_reason="budget", threshold_local_time=None,
+            threshold_total_evaluations=None, messages=MessageTally(),
+            node_best_spread=0.0,
+        )
+        for q in qualities
+    ]
+    return Result(scenario=scenario, records=records)
 
 
 @pytest.fixture(scope="module")
@@ -46,6 +69,35 @@ class TestSweepData:
         ]
         assert best["sphere"].quality_stats.mean == min(sphere_means)
 
+    def test_best_per_function_ignores_nan_mean_seen_first(self):
+        """Regression: a NaN mean quality used to be unbeatable.
+
+        ``NaN < x`` and ``x < NaN`` are both False, so once a
+        NaN-mean entry was stored first, every later candidate lost
+        the ``mean < cur.mean`` comparison and the paper-style "best
+        results" table printed the NaN row instead of the true best.
+        """
+        cfg = tiny_configs()[0]
+        inf = float("inf")
+        entries = [
+            (cfg, _fake_result([inf, inf])),        # NaN mean, seen first
+            (cfg.with_(gossip_cycle=2), _fake_result([1.0, 3.0])),
+            (cfg.with_(gossip_cycle=1), _fake_result([4.0, 6.0])),
+        ]
+        assert math.isnan(entries[0][1].quality_stats.mean)  # the trap
+        data = SweepData(name="t", scale="s", entries=entries)
+        best = data.best_per_function()
+        assert best["sphere"].quality_stats.mean == 2.0
+
+    def test_best_per_function_nan_only_entries_still_report(self):
+        """With nothing finite to prefer, the row still appears."""
+        cfg = tiny_configs()[0]
+        inf = float("inf")
+        data = SweepData(
+            name="t", scale="s", entries=[(cfg, _fake_result([inf, inf]))]
+        )
+        assert math.isnan(data.best_per_function()["sphere"].quality_stats.mean)
+
     def test_series_grouping(self, sweep_data):
         series = sweep_data.series(
             "sphere",
@@ -65,6 +117,32 @@ class TestSweepData:
         run_sweep("t", "s", tiny_configs()[:1], progress=messages.append)
         assert len(messages) == 1
         assert "t:s" in messages[0]
+
+
+class TestDistributedSweep:
+    def test_workers_match_sequential_entries(self, sweep_data):
+        """Cross-point scheduling returns the sequential sweep verbatim."""
+        parallel = run_sweep("tiny", "test", tiny_configs(), workers=2)
+        assert [cfg for cfg, _ in parallel.entries] == [
+            cfg for cfg, _ in sweep_data.entries
+        ]
+        assert [res.records for _, res in parallel.entries] == [
+            res.records for _, res in sweep_data.entries
+        ]
+
+    def test_spool_matches_sequential_entries(self, sweep_data, tmp_path):
+        spooled = run_sweep(
+            "tiny", "test", tiny_configs(), workers=2, spool=str(tmp_path)
+        )
+        assert [res.records for _, res in spooled.entries] == [
+            res.records for _, res in sweep_data.entries
+        ]
+
+    def test_workers_progress_counts_completions(self):
+        messages = []
+        run_sweep("t", "s", tiny_configs(), progress=messages.append, workers=2)
+        assert len(messages) == 3
+        assert any("3/3" in m for m in messages)
 
 
 class TestEndToEndSmoke:

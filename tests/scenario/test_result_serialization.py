@@ -1,0 +1,97 @@
+"""JSON round-trip of the unified result shapes (distributed transport)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.metrics import MessageTally, QualitySample
+from repro.scenario import Result, RunRecord, Scenario, Session
+
+
+def make(**overrides) -> Scenario:
+    base = dict(
+        function="sphere", nodes=4, particles_per_node=4,
+        total_evaluations=400, gossip_cycle=4, repetitions=2, seed=17,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def roundtrip(record: RunRecord) -> RunRecord:
+    """Through *strict* JSON text, exactly as the spool ships it."""
+    text = json.dumps(record.to_dict(), allow_nan=False)
+    return RunRecord.from_dict(json.loads(text))
+
+
+class TestRunRecordRoundTrip:
+    def test_cycle_engine_record_equal(self):
+        record = Session(make()).run_one(0)
+        assert roundtrip(record) == record
+
+    def test_history_samples_survive(self):
+        record = Session(make(record_history=True)).run_one(0)
+        restored = roundtrip(record)
+        assert restored == record
+        assert all(isinstance(s, QualitySample) for s in restored.history)
+
+    def test_event_engine_record_equal(self):
+        record = Session(
+            make(engine="event", horizon=300.0, record_history=True)
+        ).run_one(0)
+        restored = roundtrip(record)
+        # The event engine's record holds a NaN spread and tuple
+        # history samples; NaN != NaN, so compare field-wise.
+        assert math.isnan(restored.node_best_spread)
+        assert restored.best_value == record.best_value
+        assert restored.sim_time == record.sim_time
+        assert restored.messages == record.messages
+        assert restored.history == record.history
+        assert all(isinstance(s, tuple) for s in restored.history)
+
+    def test_non_finite_floats_travel_as_strict_json(self):
+        record = RunRecord(
+            best_value=float("inf"), quality=float("inf"),
+            total_evaluations=0, cycles=0, stop_reason="budget",
+            threshold_local_time=None, threshold_total_evaluations=None,
+            messages=MessageTally(), node_best_spread=float("nan"),
+            node_qualities=[1.0, float("inf")],
+            history=[
+                QualitySample(cycle=0, evaluations=0,
+                              best_value=float("inf")),
+                (0.0, 0, float("inf")),
+            ],
+        )
+        text = json.dumps(record.to_dict(), allow_nan=False)  # must not raise
+        restored = RunRecord.from_dict(json.loads(text))
+        assert restored.best_value == float("inf")
+        assert math.isnan(restored.node_best_spread)
+        assert restored.node_qualities == [1.0, float("inf")]
+        assert restored.history[0].best_value == float("inf")
+        assert restored.history[1] == (0.0, 0.0, float("inf"))
+
+    def test_baseline_record_with_node_qualities(self):
+        record = Session(
+            make(baseline="independent", repetitions=1)
+        ).run_one(0)
+        assert record.node_qualities is not None
+        assert roundtrip(record) == record
+
+    def test_missing_field_fails_loudly(self):
+        payload = Session(make()).run_one(0).to_dict()
+        del payload["best_value"]
+        with pytest.raises(ValueError, match="best_value"):
+            RunRecord.from_dict(payload)
+
+
+class TestResultRoundTrip:
+    def test_result_round_trip_equal(self):
+        result = Session(make()).run()
+        text = json.dumps(result.to_dict(), allow_nan=False)
+        restored = Result.from_dict(json.loads(text))
+        assert restored.scenario == result.scenario
+        assert restored.records == result.records
+        assert restored.elapsed_seconds == result.elapsed_seconds
+        assert restored.quality_stats.mean == result.quality_stats.mean

@@ -66,6 +66,53 @@ class TestRunReference:
         with pytest.raises(ValueError):
             Session(make()).run(workers=0)
 
+    def test_parallel_progress_streams_incrementally(self, monkeypatch):
+        """Regression: ``pool.map`` blocked until the *last* repetition,
+        then fired every progress callback at once — long parallel runs
+        looked hung.  The pool must be consumed lazily (``imap``), so
+        each record's callback fires before the next one is pulled.
+
+        The instrumented pool runs repetitions inline and logs the
+        interleaving; a blocking ``map`` (or an eagerly materialized
+        ``list(imap(...))``) computes every record before the first
+        ``progress:`` event and fails the exact-order assertion.
+        """
+        events: list[str] = []
+
+        class InlinePool:
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def imap(self, fn, jobs):
+                for i, job in enumerate(jobs):
+                    events.append(f"compute:{i}")
+                    yield fn(job)
+
+            def map(self, fn, jobs):  # the old, blocking path
+                events.append("blocking-map")
+                return [fn(job) for job in jobs]
+
+        class InlineCtx:
+            def Pool(self, processes):
+                return InlinePool()
+
+        import multiprocessing
+
+        monkeypatch.setattr(
+            multiprocessing, "get_context", lambda method: InlineCtx()
+        )
+        Session(make(repetitions=3)).run(
+            workers=2, progress=lambda i, r: events.append(f"progress:{i}")
+        )
+        assert events == [
+            "compute:0", "progress:0",
+            "compute:1", "progress:1",
+            "compute:2", "progress:2",
+        ]
+
     def test_workers_reject_callable_topology(self):
         scenario = make(topology=lambda nid: None)
         with pytest.raises(ValueError):
