@@ -34,8 +34,12 @@ def main() -> int:
     ]
     sequential = [Session(scenario).run() for scenario in scenarios]
     with tempfile.TemporaryDirectory() as spool:
+        # stale_after of a few heartbeat periods — far below any safe
+        # pre-heartbeat setting — exercises the heartbeat-age reclaim
+        # policy end-to-end: live claims must never be stolen.
         distributed = run_sweep_jobs(
-            scenarios, workers=2, spool=spool, stale_after=60.0
+            scenarios, workers=2, spool=spool, stale_after=2.0,
+            heartbeat_interval=0.5, job_timeout=300.0,
         )
     same_order = [r.scenario for r in distributed] == scenarios
     same_records = [r.records for r in distributed] == [

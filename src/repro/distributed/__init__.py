@@ -17,7 +17,15 @@ embarrassingly parallel work pool.  This package is that pool:
 ``worker``
     :func:`run_worker` — the claim → ``Scenario.from_dict`` →
     ``Session.run_one`` → publish loop
-    (``python -m repro.distributed worker --spool DIR``).
+    (``python -m repro.distributed worker --spool DIR``), hardened
+    with claim heartbeats, transient-IO retry with backoff, per-job
+    wall-clock timeouts and graceful ``SIGTERM``/``SIGINT`` shutdown.
+``chaos``
+    :class:`ChaosJobQueue` / :class:`FaultInjector` — seeded fault
+    injection (transient ``OSError``\\ s, torn result writes, claim
+    races, delays) over the real queue, used to prove a sweep
+    completes bit-identical to sequential under infrastructure
+    failure.
 ``service``
     :func:`run_sweep_jobs` / :func:`collect_from_spool` — the
     coordinator that executes a sweep through the job machinery and
@@ -30,14 +38,22 @@ Most callers never import this package directly:
 through it.
 """
 
+from repro.distributed.chaos import ChaosJobQueue, FaultInjector, FaultRates
 from repro.distributed.jobs import SweepJob, execute_job, jobs_for_sweep
 from repro.distributed.service import (
     collect_from_spool,
     collect_results,
     run_sweep_jobs,
 )
-from repro.distributed.spool import Claim, JobQueue, worker_identity
-from repro.distributed.worker import run_worker
+from repro.distributed.spool import (
+    Claim,
+    ClaimHeartbeat,
+    JobQueue,
+    SpoolCorruptionError,
+    with_retries,
+    worker_identity,
+)
+from repro.distributed.worker import JobTimeoutError, classify_failure, run_worker
 
 __all__ = [
     "SweepJob",
@@ -45,9 +61,17 @@ __all__ = [
     "execute_job",
     "JobQueue",
     "Claim",
+    "ClaimHeartbeat",
+    "SpoolCorruptionError",
+    "with_retries",
     "worker_identity",
     "run_worker",
+    "JobTimeoutError",
+    "classify_failure",
     "run_sweep_jobs",
     "collect_results",
     "collect_from_spool",
+    "ChaosJobQueue",
+    "FaultInjector",
+    "FaultRates",
 ]

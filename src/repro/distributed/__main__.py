@@ -84,10 +84,24 @@ def main(argv: list[str] | None = None) -> int:
         help="stop after executing this many jobs",
     )
     p_worker.add_argument(
+        "--heartbeat", type=float, default=15.0,
+        help="seconds between claim heartbeat stamps while executing "
+        "(default 15; stale_after thresholds should be a few of these)",
+    )
+    p_worker.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="per-job wall-clock budget in seconds, checked between "
+        "repetitions (default: none)",
+    )
+    p_worker.add_argument(
         "--quiet", action="store_true", help="suppress per-job progress"
     )
 
-    p_status = sub.add_parser("status", help="one-line spool state summary")
+    p_status = sub.add_parser(
+        "status",
+        help="spool state summary: per-state counts, per-claim heartbeat "
+        "ages, per-worker jobs done and retry counts",
+    )
     p_status.add_argument("--spool", required=True, help="spool directory")
 
     p_requeue = sub.add_parser(
@@ -98,8 +112,9 @@ def main(argv: list[str] | None = None) -> int:
     p_requeue.add_argument("--spool", required=True, help="spool directory")
     p_requeue.add_argument(
         "--stale-after", type=float, default=300.0,
-        help="also requeue any claim older than this many seconds "
-        "(default 300; must exceed the longest single job)",
+        help="also requeue any claim whose last heartbeat stamp is older "
+        "than this many seconds (default 300; live workers stamp every "
+        "--heartbeat seconds, so a few heartbeat periods is safe)",
     )
     p_requeue.add_argument(
         "--retry-failed", action="store_true",
@@ -146,15 +161,33 @@ def main(argv: list[str] | None = None) -> int:
             idle_timeout=args.idle_timeout,
             max_jobs=args.max_jobs,
             log=log,
+            heartbeat_interval=args.heartbeat,
+            job_timeout=args.job_timeout,
         )
         print(f"executed {executed} job(s)")
         return 0
 
     if args.command == "status":
-        counts = JobQueue(args.spool).counts()
+        queue = JobQueue(args.spool)
+        counts = queue.counts()
         print(
             " ".join(f"{state}={count}" for state, count in counts.items())
         )
+        for claim in queue.claim_info():
+            print(
+                f"claim {claim['job_id']} owner={claim['owner']} "
+                f"heartbeat={claim['heartbeat_age']:.1f}s "
+                f"attempt={claim['attempts'] + 1}"
+            )
+        for status in queue.worker_statuses():
+            current = status.get("current_job") or "idle"
+            print(
+                f"worker {status['worker']} "
+                f"heartbeat={status['heartbeat_age']:.1f}s "
+                f"jobs={status.get('jobs_done', 0)} "
+                f"retries={status.get('retries', 0)} "
+                f"current={current}"
+            )
         return 0
 
     if args.command == "requeue":

@@ -19,7 +19,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.scenario.result import RunRecord
 from repro.scenario.session import Session
@@ -136,12 +136,27 @@ def jobs_for_sweep(
     return jobs
 
 
-def execute_job(job: SweepJob) -> list[RunRecord]:
+def execute_job(
+    job: SweepJob,
+    on_repetition: Callable[[int], None] | None = None,
+) -> list[RunRecord]:
     """Run one job locally: ``Scenario.from_dict`` → ``Session.run_one``.
 
     Returns the records in the job's repetition order.  This is the
     whole worker-side execution path — everything else in the
     subsystem is scheduling and transport.
+
+    ``on_repetition`` is called with the in-job repetition index
+    (0-based) *before* each repetition executes.  It is the worker's
+    liveness hook: heartbeat the claim, check the wall-clock deadline,
+    honor a shutdown signal — and it may raise to abort the job
+    between repetitions (the exception propagates to the caller, which
+    owns releasing the claim).
     """
     session = Session(Scenario.from_dict(job.scenario))
-    return [session.run_one(repetition) for repetition in job.repetitions]
+    records = []
+    for index, repetition in enumerate(job.repetitions):
+        if on_repetition is not None:
+            on_repetition(index)
+        records.append(session.run_one(repetition))
+    return records

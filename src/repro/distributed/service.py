@@ -230,6 +230,8 @@ def _run_jobs_spool(
     offer: Callable[[str, list[RunRecord], float], None],
     poll_interval: float,
     stale_after: float | None,
+    heartbeat_interval: float,
+    job_timeout: float | None,
 ) -> tuple[JobQueue, dict[str, list[RunRecord]], dict[str, float]]:
     """Execute jobs through a spool queue plus local worker processes.
 
@@ -237,13 +239,15 @@ def _run_jobs_spool(
     workers drain and exit.  Recovery never steals live work: claims
     owned by a worker process that *provably died* are requeued
     (owner-identity probe, scoped to this sweep's jobs) and finished
-    inline.  Age-based reclaim of claims on unreachable hosts only
-    runs when ``stale_after`` is set — there is no claim heartbeat,
-    so an age threshold below the longest single job would requeue
-    healthy in-flight work.  With ``stale_after=None`` a claim lost
-    on a *remote* host parks the coordinator (visibly waiting) until
-    ``python -m repro.distributed requeue`` clears it.  The call
-    returns with the sweep complete or raises naming the
+    inline.  Heartbeat-age reclaim (claims on unreachable hosts, or
+    local claims whose recorded pid was recycled) runs when
+    ``stale_after`` is set — workers stamp their claims every
+    ``heartbeat_interval`` seconds while executing, so a threshold of
+    a few heartbeat periods reclaims only claims whose worker stopped
+    stamping, regardless of job length.  With ``stale_after=None`` a
+    claim lost on a *remote* host parks the coordinator (visibly
+    waiting) until ``python -m repro.distributed requeue`` clears it.
+    The call returns with the sweep complete or raises naming the
     dead-lettered jobs.
     """
     import multiprocessing
@@ -253,8 +257,17 @@ def _run_jobs_spool(
         queue.submit(job)
     expected = {job.job_id for job in jobs}
     ctx = multiprocessing.get_context("spawn")
+    worker_kwargs = {
+        "heartbeat_interval": heartbeat_interval,
+        "job_timeout": job_timeout,
+    }
     procs = [
-        ctx.Process(target=run_worker, args=(str(spool),), daemon=True)
+        ctx.Process(
+            target=run_worker,
+            args=(str(spool),),
+            kwargs=worker_kwargs,
+            daemon=True,
+        )
         for _ in range(workers)
     ]
     for proc in procs:
@@ -303,7 +316,11 @@ def _run_jobs_spool(
             # finish requeued work inline.
             queue.requeue_abandoned(owners=local_owners, job_ids=expected)
             if queue.pending_ids():
-                run_worker(queue)
+                run_worker(
+                    queue,
+                    heartbeat_interval=heartbeat_interval,
+                    job_timeout=job_timeout,
+                )
                 continue
             if expected & set(queue.claimed_ids()):
                 # External workers still own jobs: wait for them.
@@ -331,6 +348,8 @@ def run_sweep_jobs(
     reps_per_job: int = 1,
     poll_interval: float = 0.25,
     stale_after: float | None = None,
+    heartbeat_interval: float = 15.0,
+    job_timeout: float | None = None,
 ) -> list[Result]:
     """Execute a sweep through the job machinery; Results in sweep order.
 
@@ -339,12 +358,18 @@ def run_sweep_jobs(
     combination (see module docstring).  ``progress`` fires once per
     *point* as its last repetition lands, possibly out of sweep order.
 
-    ``stale_after`` (spool mode) opts into age-based reclaim of
-    claims held by workers on *other hosts* that vanished: claims of
-    this sweep older than that many seconds are requeued.  It must
-    exceed the longest single job — claims carry no heartbeat while
-    executing.  ``None`` (default) recovers only provably dead
-    workers (owner probe), which can never steal live work.
+    ``stale_after`` (spool mode) opts into heartbeat-age reclaim:
+    claims of this sweep whose last heartbeat stamp is older than
+    that many seconds are requeued.  Workers stamp their claims every
+    ``heartbeat_interval`` seconds while executing (between
+    repetitions plus a fallback timer thread), so a ``stale_after``
+    of a few heartbeat periods is safe regardless of job length —
+    only a worker that stopped stamping ever looks stale.  ``None``
+    (default) recovers only provably dead workers (owner probe),
+    which can never steal live work.  ``job_timeout`` gives each job
+    a wall-clock budget, enforced by the workers between repetitions
+    (released with a ``"timeout"`` error past it).  Both knobs apply
+    to spool mode; the in-process pool ignores them.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -367,7 +392,8 @@ def run_sweep_jobs(
 
     if spool is not None:
         queue, records_by_job, elapsed_by_job = _run_jobs_spool(
-            jobs, workers, spool, offer, poll_interval, stale_after
+            jobs, workers, spool, offer, poll_interval, stale_after,
+            heartbeat_interval, job_timeout,
         )
         _raise_if_dead_lettered(queue, jobs, set(records_by_job))
         return collect_results(

@@ -11,8 +11,10 @@ and a reader never sees a half-written file:
     A submitted job nobody owns: ``{"job": <SweepJob dict>,
     "attempts": N}``.
 ``claimed/<job_id>.json``
-    A job some worker owns.  If the worker dies, the file simply
-    stays here; :meth:`JobQueue.requeue_stale` moves it back to
+    A job some worker owns.  The owner stamps the file's mtime on a
+    fixed heartbeat interval while executing (see
+    :class:`ClaimHeartbeat`); if the worker dies, the stamps stop and
+    :meth:`JobQueue.requeue_stale` moves the claim back to
     ``pending/`` with the attempt counter bumped.
 ``results/<job_id>.json``
     A completed job's payload: the executed repetitions as
@@ -21,23 +23,57 @@ and a reader never sees a half-written file:
 ``failed/<job_id>.json``
     Dead letters: jobs that exhausted ``max_retries`` or raised a
     non-transient error.  ``collect`` reports these loudly.
+``workers/<host>-<pid>.json``
+    Per-worker status sidecars (jobs done, retries, current job);
+    purely informational — the ``status`` CLI reads them, nothing
+    else does.
+
+Writes are crash-safe: the temp file is fsynced before the atomic
+rename and the directory is fsynced after it, so a host crash cannot
+leave a truncated JSON behind a rename.  A truncated file that got
+there anyway (torn write from a pre-fsync era, a broken NFS client)
+surfaces as :class:`SpoolCorruptionError` naming the job, never as a
+raw ``JSONDecodeError``.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
 import socket
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable, TypeVar
 
 from repro.distributed.jobs import SweepJob
 from repro.scenario.result import RunRecord
+from repro.utils.exceptions import SimulationError
 
-__all__ = ["Claim", "JobQueue", "worker_identity"]
+__all__ = [
+    "Claim",
+    "ClaimHeartbeat",
+    "JobQueue",
+    "SpoolCorruptionError",
+    "with_retries",
+    "worker_identity",
+]
 
 _STATES = ("pending", "claimed", "results", "failed")
+_WORKERS = "workers"
+
+T = TypeVar("T")
+
+
+class SpoolCorruptionError(SimulationError):
+    """A spool JSON file is truncated or unparseable.
+
+    Carries the offending path and (when derivable) the job id, so the
+    operator can delete or quarantine the file and requeue — instead
+    of digging a raw ``JSONDecodeError`` out of a worker traceback.
+    """
 
 
 def worker_identity(pid: int | None = None) -> str:
@@ -49,7 +85,11 @@ def _owner_is_dead_locally(owner: str) -> bool:
     """True iff ``owner`` names a process on *this* host that is gone.
 
     Owners on other hosts (or unparseable ids) return False — only
-    the age-based policy may reclaim what we cannot probe.
+    the heartbeat-age policy may reclaim what we cannot probe.  Note
+    the probe can also be fooled the other way: a recycled pid makes a
+    dead owner look alive.  That is deliberate — the probe must never
+    steal live work, and :meth:`JobQueue.requeue_stale` (no heartbeat
+    stamps from the impostor) recovers the claim anyway.
     """
     host, _, pid_text = owner.rpartition(":")
     if host != socket.gethostname():
@@ -75,11 +115,140 @@ class Claim:
     attempts: int  # completed prior attempts (0 on the first try)
 
 
+def _fsync_dir(directory: Path) -> None:
+    """Make a completed rename durable (no-op where dirs can't be opened)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX directory semantics
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def _write_json_atomic(path: Path, payload: dict) -> None:
-    """No reader ever observes a partial file (write tmp, then rename)."""
+    """No reader ever observes a partial file, even across a host crash.
+
+    The temp file is flushed and fsynced *before* the atomic rename
+    and the directory entry is fsynced after it — otherwise a crash
+    can reorder the metadata ahead of the data and leave a truncated
+    JSON sitting behind a perfectly atomic rename.
+    """
     tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-    tmp.write_text(json.dumps(payload))
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload))
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+def _read_json(path: Path, job_id: str | None = None) -> dict:
+    """Parse a spool JSON file; truncation surfaces cleanly, not raw."""
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        subject = f"job {job_id!r}" if job_id else "spool entry"
+        raise SpoolCorruptionError(
+            f"spool file for {subject} is truncated or corrupt "
+            f"({path}): {exc.msg} at position {exc.pos}"
+        ) from None
+
+
+def with_retries(
+    operation: Callable[[], T],
+    attempts: int = 5,
+    base_delay: float = 0.05,
+    max_delay: float = 2.0,
+    retry_on: tuple[type[BaseException], ...] = (OSError,),
+    rng: random.Random | None = None,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Run ``operation`` with capped exponential backoff plus full jitter.
+
+    The retry loop exists for *transient* spool IO — an NFS server
+    rebooting, an ``EIO`` blip, chaos-injected ``OSError``\\ s — so a
+    worker rides out infrastructure weather instead of crashing and
+    stranding its claim.  Deterministic failures (``ValueError``,
+    corrupt-JSON :class:`SpoolCorruptionError`, ...) are not in
+    ``retry_on`` and propagate immediately.  The delay before retry
+    ``k`` is drawn uniformly from ``[0, min(max_delay, base_delay *
+    2**k)]`` (full jitter, so a fleet hitting the same fault does not
+    retry in lockstep).  The final attempt's exception propagates.
+    """
+    if attempts < 1:
+        raise ValueError("with_retries needs attempts >= 1")
+    rng = rng if rng is not None else random.Random()
+    for attempt in range(attempts):
+        try:
+            return operation()
+        except retry_on as exc:
+            if attempt == attempts - 1:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            cap = min(max_delay, base_delay * (2.0 ** attempt))
+            time.sleep(rng.uniform(0.0, cap))
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+class ClaimHeartbeat:
+    """Background mtime-stamper for a held claim (the fallback timer).
+
+    The worker's primary heartbeat is the hook
+    :func:`~repro.distributed.jobs.execute_job` calls between
+    repetitions — but a single long repetition would go silent for its
+    whole duration, so this daemon thread stamps the claim file every
+    ``interval`` seconds regardless of where execution is.  Stamps are
+    plain ``utime`` touches: :meth:`JobQueue.requeue_stale` measures
+    staleness as *age since the last stamp*, which is what lets
+    ``stale_after`` drop to a few heartbeat periods no matter how long
+    jobs run.
+
+    Transient ``OSError``\\ s while stamping are swallowed (the next
+    beat retries); a *missing* claim file sets :attr:`lost` — the
+    claim was requeued or completed by someone else — and the thread
+    stops stamping.
+    """
+
+    def __init__(self, queue: "JobQueue", claim: Claim, interval: float):
+        if interval <= 0:
+            raise ValueError("heartbeat interval must be > 0")
+        self._queue = queue
+        self._claim = claim
+        self.interval = float(interval)
+        self.beats = 0
+        self.lost = False
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"heartbeat-{claim.job.job_id}", daemon=True
+        )
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            if not self.beat():
+                return
+
+    def beat(self) -> bool:
+        """Stamp once; returns False (and sets ``lost``) if the claim is gone."""
+        try:
+            alive = self._queue.heartbeat(self._claim)
+        except OSError:
+            return True  # transient stamp failure: try again next beat
+        if alive:
+            self.beats += 1
+            return True
+        self.lost = True
+        return False
+
+    def __enter__(self) -> "ClaimHeartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=max(5.0, 2 * self.interval))
 
 
 class JobQueue:
@@ -94,7 +263,7 @@ class JobQueue:
             raise ValueError("max_retries must be >= 0")
         self.root = Path(root)
         self.max_retries = max_retries
-        for state in _STATES:
+        for state in (*_STATES, _WORKERS):
             (self.root / state).mkdir(parents=True, exist_ok=True)
 
     def _dir(self, state: str) -> Path:
@@ -124,6 +293,65 @@ class JobQueue:
     def counts(self) -> dict[str, int]:
         """``{state: file count}`` snapshot (the ``status`` CLI line)."""
         return {state: len(self._ids(state)) for state in _STATES}
+
+    def claim_info(self) -> list[dict]:
+        """Per-claim snapshot: owner, attempts, seconds since heartbeat.
+
+        ``heartbeat_age`` is the seconds since the claim file's last
+        stamp — the number ``requeue_stale`` compares against
+        ``stale_after``.  Claims that vanish mid-scan (completed or
+        released) are skipped.
+        """
+        now = time.time()
+        info = []
+        for job_id in self.claimed_ids():
+            path = self._dir("claimed") / f"{job_id}.json"
+            try:
+                age = now - path.stat().st_mtime
+                payload = _read_json(path, job_id)
+            except (OSError, SpoolCorruptionError):
+                continue
+            info.append(
+                {
+                    "job_id": job_id,
+                    "owner": payload.get("claimed_by"),
+                    "attempts": int(payload.get("attempts", 0)),
+                    "heartbeat_age": age,
+                }
+            )
+        return info
+
+    # -- worker status sidecars --------------------------------------------------
+
+    def _worker_path(self, identity: str) -> Path:
+        return self._dir(_WORKERS) / f"{identity.replace(':', '-')}.json"
+
+    def record_worker_status(self, identity: str, **fields) -> None:
+        """Publish a worker's status sidecar (informational only).
+
+        Writing it also refreshes the file's mtime, which is what
+        ``status`` reports as the worker's heartbeat age.
+        """
+        payload = {"worker": identity, **fields}
+        try:
+            _write_json_atomic(self._worker_path(identity), payload)
+        except OSError:  # status is best-effort: never kill a worker for it
+            pass
+
+    def worker_statuses(self) -> list[dict]:
+        """Every worker sidecar, oldest heartbeat last, ages attached."""
+        now = time.time()
+        statuses = []
+        for path in sorted(self._dir(_WORKERS).glob("*.json")):
+            if path.name.startswith("."):
+                continue
+            try:
+                payload = _read_json(path)
+                payload["heartbeat_age"] = now - path.stat().st_mtime
+            except (OSError, SpoolCorruptionError):
+                continue
+            statuses.append(payload)
+        return sorted(statuses, key=lambda s: s["heartbeat_age"])
 
     # -- producer side -----------------------------------------------------------
 
@@ -156,7 +384,9 @@ class JobQueue:
         — which also refreshes the file's mtime, so
         :meth:`requeue_stale` measures age *since the claim*, not
         since submission (rename alone preserves the submit-time
-        mtime).
+        mtime).  A pending file that turns out to be unparseable is
+        quarantined to ``failed/`` (a dead letter naming the
+        corruption) and the scan continues.
         """
         if owner is None:
             owner = worker_identity()
@@ -182,7 +412,17 @@ class JobQueue:
                     os.rename(src, dst)
                 except FileNotFoundError:
                     continue  # lost the race for this one
-                payload = json.loads(dst.read_text())
+                try:
+                    payload = _read_json(dst, Path(entry.name).stem)
+                except SpoolCorruptionError as exc:
+                    # Truncated pending entry (torn write on a broken
+                    # filesystem): dead-letter it loudly, keep claiming.
+                    _write_json_atomic(
+                        self._dir("failed") / entry.name,
+                        {"job": None, "attempts": 0, "error": str(exc)},
+                    )
+                    dst.unlink(missing_ok=True)
+                    continue
                 payload["claimed_by"] = owner
                 _write_json_atomic(dst, payload)
                 return Claim(
@@ -191,10 +431,34 @@ class JobQueue:
                 )
         return None
 
+    def heartbeat(self, claim: Claim | str) -> bool:
+        """Stamp a held claim's file as fresh; False if the claim is gone.
+
+        Workers call this between repetitions (through the
+        ``execute_job`` hook) and from the :class:`ClaimHeartbeat`
+        fallback thread.  A ``False`` return means the claim file no
+        longer exists — the job was requeued by someone's staleness
+        policy or completed elsewhere.  The worker may keep executing
+        anyway: jobs are deterministic, ``complete`` is idempotent,
+        and a duplicate result is bit-identical by construction.
+        """
+        job_id = claim if isinstance(claim, str) else claim.job.job_id
+        try:
+            os.utime(self._dir("claimed") / f"{job_id}.json")
+        except FileNotFoundError:
+            return False
+        return True
+
     def complete(
         self, claim: Claim, records: list[RunRecord], elapsed_seconds: float = 0.0
     ) -> None:
-        """Publish a claimed job's records and retire the claim."""
+        """Publish a claimed job's records and retire the claim.
+
+        Idempotent: completing the same claim twice (a worker retrying
+        after a transient publish error, or a duplicated execution
+        after a staleness requeue) overwrites the result with the
+        bit-identical payload and the second unlink is a no-op.
+        """
         job = claim.job
         _write_json_atomic(
             self._dir("results") / f"{job.job_id}.json",
@@ -207,17 +471,30 @@ class JobQueue:
         )
         (self._dir("claimed") / f"{job.job_id}.json").unlink(missing_ok=True)
 
-    def release(self, claim: Claim, error: str) -> bool:
+    def release(
+        self,
+        claim: Claim,
+        error: str,
+        permanent: bool = False,
+        count_attempt: bool = True,
+    ) -> bool:
         """Give a claimed job back after a failure.
 
         Requeues with the attempt counter bumped, or dead-letters the
         job once ``max_retries`` re-runs are exhausted.  Returns
         whether the job went back to ``pending``.
+
+        ``permanent=True`` dead-letters immediately: the failure is
+        deterministic (scenario validation, a reproducible exception)
+        and re-running the same job can only fail the same way.
+        ``count_attempt=False`` requeues without consuming a retry —
+        the graceful-shutdown path, where the job did not fail at all,
+        its worker was just asked to exit.
         """
         job = claim.job
-        attempts = claim.attempts + 1
+        attempts = claim.attempts + (1 if count_attempt else 0)
         claimed = self._dir("claimed") / f"{job.job_id}.json"
-        if attempts > self.max_retries:
+        if permanent or (count_attempt and attempts > self.max_retries):
             _write_json_atomic(
                 self._dir("failed") / f"{job.job_id}.json",
                 {"job": job.to_dict(), "attempts": attempts, "error": error},
@@ -236,8 +513,8 @@ class JobQueue:
     def _requeue_claim_file(self, job_id: str, error: str) -> bool:
         path = self._dir("claimed") / f"{job_id}.json"
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            payload = _read_json(path, job_id)
+        except (OSError, SpoolCorruptionError):
             return False  # completed/released meanwhile, or half-written
         claim = Claim(
             job=SweepJob.from_dict(payload["job"]),
@@ -248,19 +525,22 @@ class JobQueue:
     def requeue_stale(
         self, max_age_seconds: float, job_ids: set[str] | None = None
     ) -> list[str]:
-        """Recover jobs whose worker died mid-run — by claim age.
+        """Recover jobs whose worker died mid-run — by *heartbeat* age.
 
-        Any ``claimed/`` entry older than ``max_age_seconds`` goes
-        back to ``pending`` (attempt counter bumped; dead-lettered
-        past ``max_retries``).  ``job_ids`` restricts the scan to one
-        sweep's jobs — on a shared spool, never touch claims that
-        belong to somebody else's sweep.  Returns the requeued ids.
+        Any ``claimed/`` entry whose last heartbeat stamp is older
+        than ``max_age_seconds`` goes back to ``pending`` (attempt
+        counter bumped; dead-lettered past ``max_retries``).
+        ``job_ids`` restricts the scan to one sweep's jobs — on a
+        shared spool, never touch claims that belong to somebody
+        else's sweep.  Returns the requeued ids.
 
-        Age is measured from the *claim* (see :meth:`claim`), and a
-        live worker gets no heartbeat while executing — so pick a
-        ``max_age_seconds`` comfortably above the longest single job,
-        or a healthy in-flight job will be requeued (and, duplicated
-        enough times, dead-lettered).
+        Live workers stamp their claims every ``heartbeat_interval``
+        seconds (between repetitions and from a fallback timer
+        thread), so a threshold of a few heartbeat periods is safe
+        *regardless of job length* — only a worker that stopped
+        stamping (killed, wedged, host gone) ever looks stale.  Pick
+        ``max_age_seconds`` of at least 3–4 heartbeat intervals to
+        ride out scheduler hiccups and NFS attribute-cache lag.
         """
         now = time.time()
         requeued: list[str] = []
@@ -290,10 +570,10 @@ class JobQueue:
         A claim is abandoned when its ``host:pid`` owner is in
         ``owners`` (processes the caller knows have exited), or names
         a process on this host that no longer exists.  Claims held by
-        live or unprobeable owners (other hosts) are left alone —
-        :meth:`requeue_stale`'s age policy covers those.  ``job_ids``
-        optionally restricts the scan to one sweep's jobs.  Returns
-        the requeued job ids.
+        live or unprobeable owners (other hosts, recycled pids) are
+        left alone — :meth:`requeue_stale`'s heartbeat-age policy
+        covers those.  ``job_ids`` optionally restricts the scan to
+        one sweep's jobs.  Returns the requeued job ids.
         """
         requeued: list[str] = []
         for job_id in self.claimed_ids():
@@ -301,8 +581,8 @@ class JobQueue:
                 continue
             path = self._dir("claimed") / f"{job_id}.json"
             try:
-                payload = json.loads(path.read_text())
-            except (OSError, json.JSONDecodeError):
+                payload = _read_json(path, job_id)
+            except (OSError, SpoolCorruptionError):
                 continue
             owner = payload.get("claimed_by")
             if owner is None:
@@ -331,9 +611,11 @@ class JobQueue:
         for job_id in self.failed_ids():
             path = self._dir("failed") / f"{job_id}.json"
             try:
-                payload = json.loads(path.read_text())
-            except (OSError, json.JSONDecodeError):
+                payload = _read_json(path, job_id)
+            except (OSError, SpoolCorruptionError):
                 continue
+            if payload.get("job") is None:
+                continue  # quarantined corruption: no job payload to retry
             if (self._dir("results") / f"{job_id}.json").exists():
                 path.unlink(missing_ok=True)  # a late complete() won
                 continue
@@ -351,15 +633,11 @@ class JobQueue:
 
     def load_result(self, job_id: str) -> dict:
         """One completed job's payload (job dict, records, elapsed)."""
-        return json.loads(
-            (self._dir("results") / f"{job_id}.json").read_text()
-        )
+        return _read_json(self._dir("results") / f"{job_id}.json", job_id)
 
     def load_failed(self, job_id: str) -> dict:
         """A dead-lettered job's payload (job dict, attempts, error)."""
-        return json.loads(
-            (self._dir("failed") / f"{job_id}.json").read_text()
-        )
+        return _read_json(self._dir("failed") / f"{job_id}.json", job_id)
 
     def load_records(self, job_id: str) -> list[RunRecord]:
         """The completed job's records, in the job's repetition order."""

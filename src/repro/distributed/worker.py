@@ -4,18 +4,88 @@ A worker is stateless — everything it needs is inside the claimed
 job's scenario dict — so adding capacity to a running sweep is just
 starting more processes (on any host that mounts the spool), and
 losing one costs nothing but a requeue.
+
+The loop is built to be killed.  Every failure is sorted into one of
+three buckets and handled without crashing:
+
+* **Transient spool IO** (``OSError`` on claim/complete/release — an
+  NFS blip, a chaos-injected fault): retried in place with capped
+  exponential backoff plus jitter (:func:`~repro.distributed.spool.with_retries`).
+* **Permanent job failures** (scenario validation, deterministic
+  exceptions): dead-lettered immediately — re-running a deterministic
+  failure ``max_retries`` times would only waste the retry budget.
+* **Everything else** (including the optional per-job wall-clock
+  timeout): released back to the queue with the attempt counter
+  bumped, retried by whoever claims it next.
+
+While executing, the worker stamps its claim file on a fixed
+heartbeat interval — between repetitions via the ``execute_job`` hook
+and from a fallback timer thread (:class:`~repro.distributed.spool.ClaimHeartbeat`)
+— so the coordinator's ``stale_after`` can sit at a few heartbeat
+periods regardless of job length.  ``SIGTERM``/``SIGINT`` trigger a
+graceful shutdown: the current claim is released *without* consuming
+a retry, then the loop exits.
 """
 
 from __future__ import annotations
 
+import os
+import random
+import signal
+import threading
 import time
 from pathlib import Path
 from typing import Callable
 
 from repro.distributed.jobs import execute_job
-from repro.distributed.spool import JobQueue
+from repro.distributed.spool import (
+    ClaimHeartbeat,
+    JobQueue,
+    with_retries,
+    worker_identity,
+)
+from repro.utils.exceptions import ConfigurationError
 
-__all__ = ["run_worker"]
+__all__ = ["run_worker", "JobTimeoutError", "classify_failure"]
+
+#: Default seconds between claim-file heartbeat stamps.
+DEFAULT_HEARTBEAT = 15.0
+
+#: Exception types whose job failures are deterministic: the same job
+#: re-run on any worker fails identically, so retrying wastes the
+#: budget and the job is dead-lettered on the first occurrence.
+#: (``ConfigurationError`` already subclasses ``ValueError``; listed
+#: for documentation.)  Everything else — ``OSError``, ``MemoryError``,
+#: engine-state errors that may depend on host condition — keeps the
+#: retry path.
+_PERMANENT_FAILURES = (
+    ConfigurationError,
+    ValueError,
+    TypeError,
+    KeyError,
+    AttributeError,
+    AssertionError,
+    ZeroDivisionError,
+)
+
+
+class JobTimeoutError(Exception):
+    """A job exceeded its wall-clock budget (checked between repetitions)."""
+
+
+class _ShutdownRequested(Exception):
+    """Internal: a termination signal arrived mid-job."""
+
+    def __init__(self, signum: int):
+        super().__init__(signum)
+        self.signum = signum
+
+
+def classify_failure(exc: BaseException) -> str:
+    """``"permanent"`` for deterministic failures, ``"transient"`` otherwise."""
+    return (
+        "permanent" if isinstance(exc, _PERMANENT_FAILURES) else "transient"
+    )
 
 
 def run_worker(
@@ -24,6 +94,8 @@ def run_worker(
     idle_timeout: float | None = None,
     max_jobs: int | None = None,
     log: Callable[[str], None] | None = None,
+    heartbeat_interval: float = DEFAULT_HEARTBEAT,
+    job_timeout: float | None = None,
 ) -> int:
     """Execute spool jobs until there is no more work; returns jobs done.
 
@@ -33,6 +105,9 @@ def run_worker(
         The spool directory (or an already-open :class:`JobQueue`).
     poll_interval:
         Seconds between queue polls while waiting for claimable work.
+        The actual sleep is jittered in ``[0.5, 1.5) * poll_interval``
+        so a fleet of workers sharing one spool does not scandir in
+        lockstep (a thundering herd on NFS-mounted spools).
     idle_timeout:
         ``None`` (default) drains: the worker exits as soon as nothing
         is pending.  A number keeps the worker polling that many
@@ -40,52 +115,168 @@ def run_worker(
         may still be submitted or requeued after a lull.
     max_jobs:
         Optional cap on jobs to execute (testing/chaos knob).
+    heartbeat_interval:
+        Seconds between claim-file heartbeat stamps while executing.
+        Stamps happen between repetitions *and* from a fallback timer
+        thread, so the claim never goes silent longer than this while
+        its worker lives — which is what lets ``stale_after`` drop to
+        a few heartbeat periods.
+    job_timeout:
+        Optional wall-clock budget per job.  Checked cooperatively
+        between repetitions: a job past its deadline is released with
+        a ``"timeout"`` error (counts as an attempt; dead-lettered
+        past ``max_retries``).  A single repetition is never
+        interrupted mid-flight.
 
-    A job that raises is released back to the queue (retried by
-    whoever claims it next, dead-lettered after the queue's
-    ``max_retries``); the worker itself keeps going.  While idle, the
-    worker periodically probes for claims abandoned by *dead* local
-    processes (``requeue_abandoned``), so a killed worker on this host
-    never strands a job as long as any sibling keeps polling.
+    A job that raises is released back to the queue — immediately
+    dead-lettered when the failure is deterministic (see
+    :func:`classify_failure`), otherwise retried by whoever claims it
+    next and dead-lettered after the queue's ``max_retries``.
+    Transient spool IO errors (``OSError`` on claim/complete/release)
+    are retried in place with capped exponential backoff plus jitter
+    instead of crashing the worker.  While idle, the worker
+    periodically probes for claims abandoned by *dead* local processes
+    (``requeue_abandoned``), so a killed worker on this host never
+    strands a job as long as any sibling keeps polling.
+
+    ``SIGTERM``/``SIGINT`` (installed only when running in the main
+    thread) shut the worker down gracefully: the current claim is
+    released *without* consuming a retry, the status sidecar is
+    finalized, and the call returns normally.
     """
     queue = spool if isinstance(spool, JobQueue) else JobQueue(spool)
+    identity = worker_identity()
+    rng = random.Random()  # per-process jitter stream (OS-seeded)
     executed = 0
+    retries = 0
+    stop: dict[str, int] = {}
+
+    def handle_signal(signum, frame):  # pragma: no cover - timing dependent
+        stop["signum"] = signum
+
+    installed: dict[int, object] = {}
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                installed[signum] = signal.signal(signum, handle_signal)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                pass
+
+    def publish_status(current_job: str | None) -> None:
+        queue.record_worker_status(
+            identity,
+            pid=os.getpid(),
+            jobs_done=executed,
+            retries=retries,
+            current_job=current_job,
+            shutdown="signum" in stop,
+        )
+
+    def spool_op(operation: Callable[[], object]):
+        """Transient-IO shield around every queue touch."""
+
+        def note_retry(attempt: int, exc: BaseException) -> None:
+            if log is not None:
+                log(
+                    f"spool IO retry {attempt + 1}: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+
+        return with_retries(operation, rng=rng, on_retry=note_retry)
+
+    publish_status(None)
     last_work = time.monotonic()
     next_recovery = 0.0
-    while max_jobs is None or executed < max_jobs:
-        claim = queue.claim()
-        if claim is None:
-            now = time.monotonic()
-            if now >= next_recovery:
-                # Safe by construction: only reclaims jobs whose
-                # recorded owner provably no longer exists.
-                if queue.requeue_abandoned():
-                    continue
-                next_recovery = now + max(5.0, poll_interval)
-            idle = now - last_work
-            if idle_timeout is None:
-                if not queue.pending_ids():
-                    break
-            elif idle >= idle_timeout:
+    try:
+        while max_jobs is None or executed < max_jobs:
+            if "signum" in stop:
                 break
-            time.sleep(poll_interval)
-            continue
-        job = claim.job
-        if log is not None:
-            log(f"claimed {job.job_id} (attempt {claim.attempts + 1})")
-        t0 = time.perf_counter()
-        try:
-            records = execute_job(job)
-        except Exception as exc:  # noqa: BLE001 - job errors must not kill the loop
-            queue.release(claim, error=f"{type(exc).__name__}: {exc}")
+            claim = spool_op(queue.claim)
+            if claim is None:
+                now = time.monotonic()
+                if now >= next_recovery:
+                    # Safe by construction: only reclaims jobs whose
+                    # recorded owner provably no longer exists.
+                    if spool_op(queue.requeue_abandoned):
+                        continue
+                    next_recovery = now + max(5.0, poll_interval)
+                idle = now - last_work
+                if idle_timeout is None:
+                    if not queue.pending_ids():
+                        # Final sweep before draining out: a sibling
+                        # killed mid-claim must not strand its job
+                        # just because we were between recovery ticks.
+                        if spool_op(queue.requeue_abandoned):
+                            continue
+                        break
+                elif idle >= idle_timeout:
+                    break
+                time.sleep(poll_interval * (0.5 + rng.random()))
+                continue
+            job = claim.job
+            publish_status(job.job_id)
             if log is not None:
-                log(f"failed  {job.job_id}: {exc}")
-        else:
-            queue.complete(
-                claim, records, elapsed_seconds=time.perf_counter() - t0
-            )
-            executed += 1
-            if log is not None:
-                log(f"done    {job.job_id} ({len(records)} repetition(s))")
-        last_work = time.monotonic()
+                log(f"claimed {job.job_id} (attempt {claim.attempts + 1})")
+            t0 = time.perf_counter()
+            deadline = None if job_timeout is None else t0 + job_timeout
+
+            def on_repetition(index: int, claim=claim, deadline=deadline):
+                if "signum" in stop:
+                    raise _ShutdownRequested(stop["signum"])
+                if deadline is not None and time.perf_counter() > deadline:
+                    raise JobTimeoutError(
+                        f"exceeded {job_timeout}s wall clock before "
+                        f"repetition {index}"
+                    )
+                queue.heartbeat(claim)
+
+            try:
+                with ClaimHeartbeat(queue, claim, heartbeat_interval):
+                    records = execute_job(job, on_repetition=on_repetition)
+            except _ShutdownRequested as exc:
+                spool_op(
+                    lambda: queue.release(
+                        claim,
+                        error=f"worker shutdown (signal {exc.signum})",
+                        count_attempt=False,
+                    )
+                )
+                if log is not None:
+                    log(f"released {job.job_id} (shutdown signal)")
+                break
+            except JobTimeoutError as exc:
+                retries += 1
+                spool_op(
+                    lambda: queue.release(claim, error=f"timeout: {exc}")
+                )
+                if log is not None:
+                    log(f"timeout {job.job_id}: {exc}")
+            except Exception as exc:  # noqa: BLE001 - job errors must not kill the loop
+                permanent = classify_failure(exc) == "permanent"
+                retries += 0 if permanent else 1
+                spool_op(
+                    lambda: queue.release(
+                        claim,
+                        error=f"{type(exc).__name__}: {exc}",
+                        permanent=permanent,
+                    )
+                )
+                if log is not None:
+                    kind = "permanent" if permanent else "transient"
+                    log(f"failed  {job.job_id} ({kind}): {exc}")
+            else:
+                spool_op(
+                    lambda: queue.complete(
+                        claim, records, elapsed_seconds=time.perf_counter() - t0
+                    )
+                )
+                executed += 1
+                if log is not None:
+                    log(f"done    {job.job_id} ({len(records)} repetition(s))")
+            publish_status(None)
+            last_work = time.monotonic()
+    finally:
+        for signum, previous in installed.items():
+            signal.signal(signum, previous)
+        publish_status(None)
     return executed

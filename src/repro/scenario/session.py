@@ -381,6 +381,8 @@ class Session:
         progress: Callable[[Scenario, Result], None] | None = None,
         spool: str | None = None,
         stale_after: float | None = None,
+        heartbeat_interval: float = 15.0,
+        job_timeout: float | None = None,
         **axes: Sequence,
     ) -> list[Result]:
         """Run the cartesian sweep over ``axes``; one Result per point.
@@ -401,10 +403,19 @@ class Session:
             other hosts (``python -m repro.distributed worker --spool
             DIR``) can join, and an interrupted sweep resumes.
         stale_after:
-            Spool mode only: reclaim claims of this sweep older than
-            this many seconds (recovery from workers on *other hosts*
-            that vanished; must exceed the longest single job).
-            ``None`` recovers only provably dead local workers.
+            Spool mode only: reclaim claims of this sweep whose last
+            *heartbeat* is older than this many seconds.  Workers
+            stamp their claims every ``heartbeat_interval`` seconds
+            while executing, so a few heartbeat periods is a safe
+            threshold regardless of job length.  ``None`` recovers
+            only provably dead local workers (owner probe).
+        heartbeat_interval:
+            Spool mode only: seconds between the local workers'
+            claim heartbeat stamps.
+        job_timeout:
+            Spool mode only: per-job wall-clock budget, enforced by
+            workers between repetitions (the job is released with a
+            ``"timeout"`` error past it, retried, then dead-lettered).
         progress:
             ``(scenario, result) -> None``, fired once per point.
             Sequential sweeps fire in sweep order; parallel sweeps
@@ -425,6 +436,8 @@ class Session:
                 spool=spool,
                 progress=point_progress,
                 stale_after=stale_after,
+                heartbeat_interval=heartbeat_interval,
+                job_timeout=job_timeout,
             )
         results = []
         for scenario in self.scenarios(**axes):

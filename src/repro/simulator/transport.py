@@ -23,7 +23,7 @@ dead nodes vanish silently, as on a real network.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -168,6 +168,40 @@ class UniformLatencyTransport(Transport):
         return True
 
 
+class _DecoratorStats:
+    """Stats view for decorator transports (duck-types ``TransportStats``).
+
+    Sender-side counters (``sent``, ``dropped``) belong to the
+    decorator; terminal counters (``delivered``, ``to_dead``) are read
+    through from the carrying transport, because delivery is only ever
+    counted at the terminal :meth:`Transport._deliver_now` — counting
+    it at sender-side acceptance over-counts whenever the inner
+    transport defers delivery (latency) or the destination is dead.
+    """
+
+    def __init__(self, inner: TransportStats):
+        self.sent = 0
+        self.dropped = 0
+        self._inner = inner
+
+    @property
+    def delivered(self) -> int:
+        return self._inner.delivered
+
+    @property
+    def to_dead(self) -> int:
+        return self._inner.to_dead
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict snapshot for reports."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "to_dead": self.to_dead,
+        }
+
+
 class LossyTransport(Transport):
     """Decorator transport dropping each message with fixed probability.
 
@@ -179,6 +213,12 @@ class LossyTransport(Transport):
         Independent drop probability per message, in ``[0, 1)``.
     rng:
         Stream for drop decisions.
+
+    The decorator's ``stats.delivered`` / ``stats.to_dead`` mirror the
+    inner transport's terminal counters — a message is "delivered"
+    when (and only when) ``_deliver_now`` hands it to a live node's
+    protocol, never at send acceptance, which may precede an in-flight
+    loss (latency delivery to a node that dies meanwhile).
     """
 
     def __init__(self, inner: Transport, loss_rate: float, rng: np.random.Generator):
@@ -188,13 +228,11 @@ class LossyTransport(Transport):
         self.inner = inner
         self.loss_rate = loss_rate
         self._rng = rng
+        self.stats = _DecoratorStats(inner.stats)
 
     def send(self, engine, src, dst, protocol, payload) -> bool:
         self.stats.sent += 1
         if self._rng.random() < self.loss_rate:
             self.stats.dropped += 1
             return False
-        accepted = self.inner.send(engine, src, dst, protocol, payload)
-        if accepted:
-            self.stats.delivered += 1
-        return accepted
+        return self.inner.send(engine, src, dst, protocol, payload)

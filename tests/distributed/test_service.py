@@ -174,6 +174,18 @@ class TestSessionSweepIntegration:
         )
         assert_pinned_equal(spooled, seq)
 
+    def test_sweep_fault_tolerance_knobs_pass_through(self, tmp_path):
+        session = Session(make())
+        seq = session.sweep(gossip_cycle=[4, 2])
+        par = session.sweep(
+            workers=2,
+            spool=str(tmp_path),
+            heartbeat_interval=0.1,
+            job_timeout=120.0,
+            gossip_cycle=[4, 2],
+        )
+        assert_pinned_equal(par, seq)
+
     def test_sweep_progress_covers_every_point(self):
         seen = []
         Session(make()).sweep(
@@ -211,7 +223,11 @@ class TestCli:
         assert "executed 6 job(s)" in capsys.readouterr().out
 
         assert main(["status", "--spool", spool]) == 0
-        assert "results=6" in capsys.readouterr().out
+        status_out = capsys.readouterr().out
+        assert "results=6" in status_out
+        # The worker published a status sidecar; status surfaces it.
+        assert "worker " in status_out
+        assert "jobs=6" in status_out
 
         csv_path = tmp_path / "runs.csv"
         assert main(["collect", "--spool", spool,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import os
 import subprocess
 import sys
@@ -12,7 +13,12 @@ import pytest
 
 import repro
 from repro.distributed.jobs import SweepJob, execute_job, jobs_for_sweep
-from repro.distributed.spool import JobQueue, worker_identity
+from repro.distributed.spool import (
+    JobQueue,
+    SpoolCorruptionError,
+    with_retries,
+    worker_identity,
+)
 from repro.distributed.worker import run_worker
 from repro.scenario import Scenario
 
@@ -251,6 +257,217 @@ class TestWorkerLoop:
         assert run_worker(queue) == 0
         assert queue.failed_ids() == [job.job_id]
         assert "ConfigurationError" in queue.load_failed(job.job_id)["error"]
+
+
+class TestCrashWindowEdges:
+    """The windows a host crash or pid churn can leave behind."""
+
+    def test_truncated_result_surfaces_clean_error(self, tmp_path):
+        """Satellite pin: a torn result JSON names the job, never a
+        raw JSONDecodeError."""
+        queue = JobQueue(tmp_path)
+        job = submit_one(queue)
+        queue.complete(queue.claim(), execute_job(job))
+        path = tmp_path / "results" / f"{job.job_id}.json"
+        path.write_text(path.read_text()[:40])  # torn mid-payload
+        with pytest.raises(SpoolCorruptionError, match=job.job_id):
+            queue.load_result(job.job_id)
+        with pytest.raises(SpoolCorruptionError, match="truncated or corrupt"):
+            queue.load_records(job.job_id)
+
+    def test_corrupt_pending_entry_quarantined_on_claim(self, tmp_path):
+        """A truncated pending file cannot wedge the claim scan: it is
+        dead-lettered loudly and claiming moves on to real work."""
+        queue = JobQueue(tmp_path)
+        (tmp_path / "pending" / "p99999-deadbeef-r00000.json").write_text(
+            '{"job": {"point_index"'
+        )
+        assert queue.claim() is None  # quarantined, not claimable, no crash
+        failed = queue.failed_ids()
+        assert failed == ["p99999-deadbeef-r00000"]
+        assert "truncated or corrupt" in queue.load_failed(failed[0])["error"]
+        # retry_failed cannot resurrect it (no job payload survived) …
+        assert queue.retry_failed() == []
+        # … and it never shadows real work.
+        job = submit_one(queue)
+        claim = queue.claim()
+        assert claim is not None and claim.job == job
+
+    def test_double_complete_is_idempotent(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = submit_one(queue)
+        claim = queue.claim()
+        records = execute_job(job)
+        queue.complete(claim, records, elapsed_seconds=1.0)
+        queue.complete(claim, records, elapsed_seconds=2.0)  # duplicate wins race
+        assert queue.result_ids() == [job.job_id]
+        assert len(queue.load_records(job.job_id)) == 2
+        assert queue.claimed_ids() == []
+
+    def test_requeue_abandoned_spares_recycled_pid(self, tmp_path):
+        """Satellite pin: a recorded owner whose pid was reused by an
+        unrelated process looks alive to the probe — the claim must be
+        left alone (never steal what might be live) and recovered by
+        the heartbeat-age policy instead (no stamps from an impostor).
+        """
+        queue = JobQueue(tmp_path)
+        job = submit_one(queue)
+        # pid 1 exists on every host but is certainly not our worker:
+        # the worst-case pid-reuse impostor.
+        queue.claim(owner=worker_identity(1))
+        assert queue.requeue_abandoned() == []
+        assert queue.claimed_ids() == [job.job_id]
+
+        # The impostor never heartbeats, so staleness recovers the job.
+        path = tmp_path / "claimed" / f"{job.job_id}.json"
+        long_ago = time.time() - 3600.0
+        os.utime(path, (long_ago, long_ago))
+        assert queue.requeue_stale(60.0) == [job.job_id]
+
+    def test_retry_failed_resets_attempt_counters(self, tmp_path):
+        """Satellite pin: an operator retry is a genuinely fresh start
+        — the pending payload, not just the next claim, shows zero
+        attempts."""
+        queue = JobQueue(tmp_path, max_retries=0)
+        job = submit_one(queue)
+        queue.release(queue.claim(), error="boom")
+        assert queue.retry_failed() == [job.job_id]
+        payload = json.loads(
+            (tmp_path / "pending" / f"{job.job_id}.json").read_text()
+        )
+        assert payload["attempts"] == 0
+        assert payload["last_error"] == "boom"
+
+
+class TestReleaseModes:
+    def test_permanent_release_dead_letters_immediately(self, tmp_path):
+        queue = JobQueue(tmp_path, max_retries=5)
+        job = submit_one(queue)
+        assert queue.release(
+            queue.claim(), error="ConfigurationError: bad", permanent=True
+        ) is False
+        assert queue.failed_ids() == [job.job_id]
+        assert queue.pending_ids() == []
+
+    def test_uncounted_release_preserves_attempts(self, tmp_path):
+        """Graceful shutdown must not consume the retry budget — even
+        at max_retries=0 the job goes back to pending, not failed."""
+        queue = JobQueue(tmp_path, max_retries=0)
+        job = submit_one(queue)
+        assert queue.release(
+            queue.claim(), error="worker shutdown (signal 15)",
+            count_attempt=False,
+        ) is True
+        assert queue.pending_ids() == [job.job_id]
+        assert queue.claim().attempts == 0
+
+
+class TestHeartbeatStamp:
+    def test_heartbeat_refreshes_claim_mtime(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = submit_one(queue)
+        claim = queue.claim()
+        path = tmp_path / "claimed" / f"{job.job_id}.json"
+        long_ago = time.time() - 3600.0
+        os.utime(path, (long_ago, long_ago))
+        assert queue.heartbeat(claim) is True
+        assert time.time() - path.stat().st_mtime < 60.0
+        assert queue.requeue_stale(60.0) == []
+
+    def test_heartbeat_on_lost_claim_returns_false(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        submit_one(queue)
+        claim = queue.claim()
+        queue.complete(claim, execute_job(claim.job))
+        assert queue.heartbeat(claim) is False
+
+    def test_claim_info_reports_owner_age_attempts(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = submit_one(queue)
+        queue.claim(owner="somehost:42")
+        (info,) = queue.claim_info()
+        assert info["job_id"] == job.job_id
+        assert info["owner"] == "somehost:42"
+        assert info["attempts"] == 0
+        assert 0.0 <= info["heartbeat_age"] < 60.0
+
+
+class TestWorkerStatusSidecars:
+    def test_record_and_read_back(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.record_worker_status(
+            "hostA:1", jobs_done=3, retries=1, current_job=None
+        )
+        (status,) = queue.worker_statuses()
+        assert status["worker"] == "hostA:1"
+        assert status["jobs_done"] == 3
+        assert status["retries"] == 1
+        assert status["heartbeat_age"] < 60.0
+
+    def test_run_worker_publishes_status(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        submit_one(queue)
+        run_worker(queue, heartbeat_interval=0.05)
+        (status,) = queue.worker_statuses()
+        assert status["worker"] == worker_identity()
+        assert status["jobs_done"] == 1
+        assert status["current_job"] is None
+
+
+class TestDurableWrites:
+    def test_atomic_write_fsyncs_file_and_directory(self, tmp_path, monkeypatch):
+        """Satellite pin: the temp file is fsynced before the rename
+        and the directory after it — the crash window the seed left
+        open."""
+        from repro.distributed import spool as spool_mod
+
+        synced = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            synced.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(spool_mod.os, "fsync", recording_fsync)
+        spool_mod._write_json_atomic(tmp_path / "x.json", {"ok": 1})
+        assert len(synced) >= 2  # temp file + containing directory
+        assert json.loads((tmp_path / "x.json").read_text()) == {"ok": 1}
+
+
+class TestWithRetries:
+    def test_returns_after_transient_failures(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("blip")
+            return "ok"
+
+        assert with_retries(flaky, base_delay=0.001) == "ok"
+        assert len(calls) == 3
+
+    def test_exhausted_attempts_raise_last_error(self):
+        def always():
+            raise OSError("dead filesystem")
+
+        with pytest.raises(OSError, match="dead filesystem"):
+            with_retries(always, attempts=3, base_delay=0.001)
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("deterministic")
+
+        with pytest.raises(ValueError):
+            with_retries(broken, base_delay=0.001)
+        assert len(calls) == 1
+
+    def test_invalid_attempts(self):
+        with pytest.raises(ValueError):
+            with_retries(lambda: None, attempts=0)
 
 
 class TestInvalidQueueArgs:

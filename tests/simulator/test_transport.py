@@ -99,6 +99,55 @@ class TestLossyTransport:
         with pytest.raises(ValueError):
             LossyTransport(ReliableTransport(), -0.1, np.random.default_rng(0))
 
+    def test_delivered_counted_at_terminal_delivery_not_send(self):
+        """Regression: the decorator used to bump its own ``delivered``
+        at sender-side acceptance — over-counting every message the
+        inner transport had merely scheduled (latency) and every one
+        bound for a dead node.  Delivery is only counted when
+        ``_deliver_now`` actually hands the message to a protocol."""
+        factory = lambda: LossyTransport(
+            UniformLatencyTransport(
+                np.random.default_rng(5), min_delay=2.0, max_delay=4.0
+            ),
+            0.0,
+            np.random.default_rng(6),
+        )
+        net, engine, inboxes = build_pair(factory, engine_cls=EventDrivenEngine)
+        for i in range(5):
+            assert engine.transport.send(engine, 0, 1, "inbox", i)
+        assert engine.transport.stats.sent == 5
+        assert engine.transport.stats.delivered == 0  # all still in flight
+        engine.run()
+        assert engine.transport.stats.delivered == 5
+
+    def test_dead_destination_never_counts_as_delivered(self):
+        """The satellite pin: LossyTransport(UniformLatencyTransport)
+        with a dead destination reports zero deliveries and the dead
+        send on the wrapper's own stats."""
+        factory = lambda: LossyTransport(
+            UniformLatencyTransport(
+                np.random.default_rng(5), min_delay=5.0, max_delay=5.0
+            ),
+            0.0,
+            np.random.default_rng(6),
+        )
+        net, engine, inboxes = build_pair(factory, engine_cls=EventDrivenEngine)
+        assert engine.transport.send(engine, 0, 1, "inbox", "x")  # accepted
+        net.crash(1)  # dies while the message is in flight
+        engine.run()
+        assert inboxes[1].received == []
+        assert engine.transport.stats.delivered == 0
+        assert engine.transport.stats.to_dead == 1
+
+    def test_wrapper_stats_as_dict_merges_terminal_counters(self):
+        inner = ReliableTransport()
+        transport = LossyTransport(inner, 0.0, np.random.default_rng(2))
+        net, engine, inboxes = build_pair(lambda: transport)
+        engine.transport.send(engine, 0, 1, "inbox", "hello")
+        assert engine.transport.stats.as_dict() == {
+            "sent": 1, "delivered": 1, "dropped": 0, "to_dead": 0,
+        }
+
 
 class TestUniformLatencyTransport:
     def test_delivery_after_delay(self):
