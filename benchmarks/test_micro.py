@@ -8,8 +8,11 @@ when optimizing the simulator or solver internals.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.core.dpso import DistributedPSOService
+from repro.core.kernels import available_backends, get_backend
+from repro.core.kernels.workspace import Workspace
 from repro.functions.base import get_function
 from repro.pso.swarm import Swarm
 from repro.simulator.engine import CycleDrivenEngine
@@ -80,6 +83,77 @@ class TestNewscastCycle:
     def test_newscast_cycle_n1000(self, benchmark):
         engine = self._build(1000)
         benchmark(engine.run, 1)
+
+
+#: Every backend the registry knows about; unavailable ones (numba on
+#: a box without it) show up as explicit skips, not silent absences.
+KERNEL_BACKENDS_PARAMS = [
+    pytest.param(
+        name,
+        marks=[]
+        if name in available_backends()
+        else [pytest.mark.skip(reason=f"kernel backend {name!r} unavailable")],
+    )
+    for name in ("numpy", "numba")
+]
+
+
+class TestKernelBackendMicro:
+    """Per-backend kernel cost on the paper-default hot-path shapes
+    (n=1000 nodes, k=8 particles, d=10 dimensions; NEWSCAST view
+    capacity c=20).  Compare rows across backends with
+    ``--benchmark-group-by=func``; each call runs through a warmed
+    workspace so numba JIT compilation and first-touch allocation stay
+    out of the timed region."""
+
+    @pytest.mark.parametrize("backend_name", KERNEL_BACKENDS_PARAMS)
+    def test_fused_update_n1000_k8(self, benchmark, backend_name):
+        backend = get_backend(backend_name, fallback=False)
+        rng = np.random.default_rng(0)
+        m, w, d = 1000, 8, 10
+        pos = rng.uniform(-100.0, 100.0, (m, w, d))
+        vel = rng.uniform(-1.0, 1.0, (m, w, d))
+        pb = rng.uniform(-100.0, 100.0, (m, w, d))
+        gbest = rng.uniform(-100.0, 100.0, (m, 1, d))
+        r1 = rng.random((m, w, d))
+        r2 = rng.random((m, w, d))
+        vmax = np.full(d, 50.0)
+        lower = np.full(d, -100.0)
+        upper = np.full(d, 100.0)
+        out_vel = np.empty_like(vel)
+        out_pos = np.empty_like(pos)
+        ws = Workspace()
+
+        def run():
+            return backend.fused_pso_update(
+                pos, vel, pb, gbest, r1, r2, 0.729, 1.494, 1.494,
+                vmax=vmax, lower=lower, upper=upper,
+                out_vel=out_vel, out_pos=out_pos, ws=ws,
+            )
+
+        run()  # warm: JIT compile (numba) and size the scratch buffers
+        benchmark(run)
+
+    @pytest.mark.parametrize("backend_name", KERNEL_BACKENDS_PARAMS)
+    def test_newscast_merge_n1000_c20(self, benchmark, backend_name):
+        backend = get_backend(backend_name, fallback=False)
+        rng = np.random.default_rng(1)
+        m, c = 1000, 20
+        width = 2 * c + 1
+        cand_ids = rng.integers(0, 4 * m, (m, width)).astype(np.int64)
+        cand_ts = rng.integers(0, 1 << 20, (m, width)).astype(np.int64)
+        # Sprinkle empty slots the way a warming overlay produces them.
+        empty = rng.random((m, width)) < 0.25
+        cand_ids[empty] = -1
+        cand_ts[empty] = -1
+        self_ids = np.arange(m, dtype=np.int64)
+        ws = Workspace()
+
+        def run():
+            return backend.merge_candidates(cand_ids, cand_ts, self_ids, c, ws=ws)
+
+        run()  # warm as above
+        benchmark(run)
 
 
 class TestNetworkEngineCycle:

@@ -1,11 +1,37 @@
-"""Legacy setup shim.
+"""Package metadata and installation entry point.
 
-The canonical metadata lives in ``pyproject.toml``; this file exists
-so ``pip install -e . --no-use-pep517`` works on environments without
-the ``wheel`` package (offline boxes where PEP 660 editable builds
-cannot fetch build dependencies).
+Plain ``setup.py`` (no ``pyproject.toml``) so ``pip install -e .``
+works on offline boxes without fetching PEP 517 build dependencies.
+
+Extras:
+
+* ``repro[numba]`` — installs the optional JIT kernel backend
+  (``Scenario(kernel_backend="numba")``).  Without it the registry
+  falls back to the NumPy backend with a one-time warning.
+* ``repro[dev]`` — the test/lint toolchain CI runs.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="0.8.0",
+    description=(
+        "Gossip-based distributed particle swarm optimization "
+        "(reproduction of Biazzini, Brunato & Montresor, IPDPS 2008)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    install_requires=["numpy>=1.26"],
+    extras_require={
+        "numba": ["numba>=0.59"],
+        "dev": [
+            "pytest",
+            "pytest-benchmark",
+            "pytest-cov",
+            "hypothesis",
+            "ruff",
+        ],
+    },
+)

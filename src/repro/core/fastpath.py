@@ -89,6 +89,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.kernels import KernelBackend, Workspace, get_backend
+from repro.core.kernels.numpy_backend import scatter_min_fold
 from repro.core.metrics import GlobalQualityObserver, MessageTally
 from repro.core.runner import RunResult
 from repro.functions.base import Function, get_function
@@ -101,7 +103,7 @@ from repro.utils.config import ExperimentConfig
 from repro.utils.exceptions import ConfigurationError
 from repro.utils.rng import SeedSequenceTree
 
-__all__ = ["FastEngine", "run_single_fast", "RNG_MODES"]
+__all__ = ["FastEngine", "run_single_fast", "RNG_MODES", "scatter_min_fold"]
 
 #: Supported per-particle draw regimes (see module docstring).
 RNG_MODES = ("strict", "batched")
@@ -120,43 +122,6 @@ def _grow_1d(arr: np.ndarray, size: int, fill) -> np.ndarray:
     grown = np.full(max(size, 2 * arr.shape[0]), fill, dtype=arr.dtype)
     grown[: arr.shape[0]] = arr
     return grown
-
-
-def scatter_min_fold(
-    senders: np.ndarray,
-    targets: np.ndarray,
-    src_val: np.ndarray,
-    src_pos: np.ndarray,
-    cmp_val: np.ndarray,
-    out_val: np.ndarray,
-    out_pos: np.ndarray,
-) -> int:
-    """Fold concurrent anti-entropy offers onto their receivers.
-
-    For every distinct entry of ``targets[senders]`` the single best
-    (lowest ``src_val``) offer is selected and adopted iff strictly
-    better than ``cmp_val`` at the receiver — the phased semantics both
-    SoA gossip phases share: at most one adoption per receiver per
-    call, where the reference engine's sequential delivery may count
-    several.  Writes adopted values/positions into ``out_val`` /
-    ``out_pos`` (which may alias ``cmp_val``) and returns the number of
-    receivers that adopted.
-    """
-    if senders.size == 0:
-        return 0
-    tgt = targets[senders]
-    order = np.lexsort((src_val[senders], tgt))
-    tgt_sorted = tgt[order]
-    src_sorted = senders[order]
-    uniq_tgt, first = np.unique(tgt_sorted, return_index=True)
-    best_src = src_sorted[first]
-    adopt = src_val[best_src] < cmp_val[uniq_tgt]
-    if not np.any(adopt):
-        return 0
-    receivers = uniq_tgt[adopt]
-    out_val[receivers] = src_val[best_src[adopt]]
-    out_pos[receivers] = src_pos[best_src[adopt]]
-    return int(adopt.sum())
 
 
 class FastEngine:
@@ -198,6 +163,15 @@ class FastEngine:
     rng_mode:
         ``"strict"`` or ``"batched"`` per-particle draws (see module
         docstring).
+    kernel_backend:
+        Name of a registered kernel backend (``"numpy"`` — the default
+        and the pinned oracle — or ``"numba"``), or a ready
+        :class:`~repro.core.kernels.KernelBackend` instance.  All hot
+        kernels (fused update, batched eval, gossip reduction,
+        NEWSCAST merge) dispatch through it; backends whose runtime
+        dependency is missing fall back to NumPy with a one-time
+        warning.  Results are bit-identical across backends (the
+        kernel contract; see :mod:`repro.core.kernels`).
     """
 
     def __init__(
@@ -208,6 +182,7 @@ class FastEngine:
         objective_map=None,
         topology: str | ViewProvider = "newscast",
         rng_mode: str = "strict",
+        kernel_backend: str | KernelBackend = "numpy",
     ):
         self.config = config
         self.gossip = gossip
@@ -216,6 +191,8 @@ class FastEngine:
                 f"rng_mode must be one of {RNG_MODES}, got {rng_mode!r}"
             )
         self.rng_mode = rng_mode
+        self.backend = get_backend(kernel_backend)
+        self.workspace = Workspace()
         tree = SeedSequenceTree(config.seed).subtree("rep", repetition)
         self._tree = tree
         self._init_objectives(config, objective_map)
@@ -257,6 +234,9 @@ class FastEngine:
             self.provider.ensure_capacity(n)
         else:
             self.provider = make_array_provider(topology, config, tree)
+        # Providers that implement the kernel seam route their merge
+        # and gather hot paths through the engine's backend/workspace.
+        self.provider.attach_kernels(self.backend, self.workspace)
 
         self.budget = config.evaluations_per_node
         self.cycle: int = 0
@@ -329,20 +309,13 @@ class FastEngine:
         fstar = min(f.optimum_value for f in self._functions)
         return max(0.0, float(value) - fstar)
 
-    def _batch_eval(self, live: np.ndarray, pos: np.ndarray) -> np.ndarray:
+    def _batch_eval(
+        self, live: np.ndarray, pos: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Evaluate ``(nl, width, d)`` positions: one batch per function group."""
-        nl, width, d = pos.shape
-        if self._node_group is None:
-            return self.function.batch(pos.reshape(-1, d)).reshape(nl, width)
-        out = np.empty((nl, width))
-        groups = self._node_group[live]
-        for gi, fn in enumerate(self._functions):
-            rows = np.nonzero(groups == gi)[0]
-            if rows.size:
-                out[rows] = fn.batch(
-                    pos[rows].reshape(-1, d)
-                ).reshape(rows.size, width)
-        return out
+        return self.backend.batch_eval(
+            self._functions, self._node_group, live, pos, out=out
+        )
 
     def _draw_buffer(self, shape: tuple[int, ...]) -> np.ndarray:
         """Reusable uniform-draw buffer (steady state: one shape per run)."""
@@ -633,7 +606,7 @@ class FastEngine:
             sub_pb = soa.pbest_positions[rows, cols]
             sub_pbv = soa.pbest_values[rows, cols]
 
-        all_in = bool(remaining.min(initial=0) >= width)
+        all_in = bool(remaining.size) and bool(remaining.min() >= width)
         participating = (
             None if all_in else np.arange(width)[None, :] < remaining[:, None]
         )
@@ -645,6 +618,14 @@ class FastEngine:
             move = finite if all_in else (participating & finite)
             moving_nodes = np.nonzero(move.any(axis=1))[0]
 
+        # Workspace buffers carry the steady-state full-sweep chunk:
+        # every large intermediate lands in a preallocated arena and
+        # the particle arrays double-buffer with the SoA state, so a
+        # settled cycle performs no new large-array allocations
+        # (pinned by tests/core/test_fastpath_alloc.py).
+        ws = self.workspace if full_sweep and moving_nodes.size else None
+        backend = self.backend
+
         if moving_nodes.size:
             # Per-node draws in the same (r1 block, r2 block) order as
             # Swarm.step_cycle; see _chunk_draws for the two regimes.
@@ -654,32 +635,30 @@ class FastEngine:
             gbest = (
                 soa.best_positions if full_sweep else soa.best_positions[live]
             )[:, None, :]
-            vel = (
-                cfg.inertia * sub_vel
-                + cfg.c1 * r1 * (sub_pb - sub_pos)
-                + cfg.c2 * r2 * (gbest - sub_pos)
-            )
             if self._vmax is not None:
-                np.clip(vel, -self._vmax, self._vmax, out=vel)
+                vmax = self._vmax
             elif self._group_vmax is not None:
-                groups = self._node_group[live]
-                bound = self._group_vmax[groups][:, None, :]
-                np.clip(vel, -bound, bound, out=vel)
-            new_pos = sub_pos + vel
+                vmax = self._group_vmax[self._node_group[live]][:, None, :]
+            else:
+                vmax = None
+            lower = upper = None
             if cfg.clamp_positions:
                 if self._node_group is None:
-                    np.clip(
-                        new_pos, self.function.lower, self.function.upper,
-                        out=new_pos,
-                    )
+                    lower, upper = self.function.lower, self.function.upper
                 else:
                     groups = self._node_group[live]
-                    np.clip(
-                        new_pos,
-                        self._group_lower[groups][:, None, :],
-                        self._group_upper[groups][:, None, :],
-                        out=new_pos,
-                    )
+                    lower = self._group_lower[groups][:, None, :]
+                    upper = self._group_upper[groups][:, None, :]
+            out_vel = out_pos = None
+            if ws is not None:
+                out_vel = ws.take("sweep_vel", (nl, width, d))
+                out_pos = ws.take("sweep_pos", (nl, width, d))
+            vel, new_pos = backend.fused_pso_update(
+                sub_pos, sub_vel, sub_pb, gbest, r1, r2,
+                cfg.inertia, cfg.c1, cfg.c2,
+                vmax=vmax, lower=lower, upper=upper,
+                out_vel=out_vel, out_pos=out_pos, ws=ws,
+            )
             if move is not None:
                 mask3 = move[:, :, None]
                 vel = np.where(mask3, vel, sub_vel)
@@ -688,17 +667,34 @@ class FastEngine:
             vel = sub_vel
             new_pos = sub_pos
 
-        values = self._batch_eval(live, new_pos)
+        values = self._batch_eval(
+            live, new_pos,
+            out=None if ws is None else ws.take("sweep_val", (nl, width)),
+        )
 
-        improved = values < sub_pbv
-        if participating is not None:
-            improved &= participating
-        new_pbv = np.where(improved, values, sub_pbv)
-        new_pb = np.where(improved[:, :, None], new_pos, sub_pb)
+        out_pbv = out_pb = None
+        if ws is not None:
+            out_pbv = ws.take("sweep_pbv", (nl, width))
+            out_pb = ws.take("sweep_pb", (nl, width, d))
+        new_pbv, new_pb = backend.pbest_fold(
+            values, sub_pbv, sub_pb, new_pos, participating,
+            out_pbv=out_pbv, out_pb=out_pb, ws=ws,
+        )
 
         if full_sweep:
-            # Zero-copy handoff; these arrays are not touched again.
-            soa.adopt_arrays(new_pos, vel, new_pb, new_pbv)
+            if ws is not None:
+                # Double-buffer handoff: the SoA adopts the freshly
+                # written buffers and the displaced backing arrays
+                # become next cycle's workspace scratch.
+                old = soa.exchange_arrays(new_pos, vel, new_pb, new_pbv)
+                if old is not None:
+                    ws.replace("sweep_pos", old[0])
+                    ws.replace("sweep_vel", old[1])
+                    ws.replace("sweep_pb", old[2])
+                    ws.replace("sweep_pbv", old[3])
+            else:
+                # Zero-copy handoff; these arrays are not touched again.
+                soa.adopt_arrays(new_pos, vel, new_pb, new_pbv)
         else:
             soa.positions[rows, cols] = new_pos
             soa.velocities[rows, cols] = vel
@@ -741,6 +737,7 @@ class FastEngine:
         if nl < 2:
             return
         soa = self.soa
+        ws = self.workspace
         mode = self.config.coordination.mode
 
         peers = self.provider.gossip_targets(live_ids, self._gossip_rng)
@@ -750,15 +747,22 @@ class FastEngine:
         peers_safe = np.maximum(peers, 0)
         peer_alive = known & self._alive[peers_safe]
         # Peer position in the live list (only meaningful where alive).
-        pos_of = np.full(self._next_id, 0, dtype=np.int64)
+        pos_of = ws.take("gp_pos_of", (self._next_id,), np.int64)
+        pos_of[:] = 0
         pos_of[live_ids] = np.arange(nl)
         peer_pos = pos_of[peers_safe]
 
-        val = soa.best_values[live].copy()  # cycle-start snapshot
-        posm = soa.best_positions[live].copy()
+        # Cycle-start snapshots, in workspace buffers (np.take with an
+        # out= target gathers without a temporary).
+        val = ws.take("gp_val", (nl,))
+        np.take(soa.best_values, live, axis=0, out=val, mode="clip")
+        posm = ws.take("gp_posm", (nl, soa.d))
+        np.take(soa.best_positions, live, axis=0, out=posm, mode="clip")
         has = np.isfinite(val)
-        new_val = val.copy()
-        new_pos = posm.copy()
+        new_val = ws.take("gp_new_val", (nl,))
+        np.copyto(new_val, val)
+        new_pos = ws.take("gp_new_pos", (nl, soa.d))
+        np.copyto(new_pos, posm)
 
         if mode in ("push", "push-pull"):
             attempted = has & known
@@ -766,7 +770,7 @@ class FastEngine:
             lost = attempted & ~peer_alive
             self.transport_to_dead += int(lost.sum())
             senders = np.nonzero(attempted & peer_alive)[0]
-            self.adoptions += scatter_min_fold(
+            self.adoptions += self.backend.scatter_min_fold(
                 senders, peer_pos, val, posm, val, new_val, new_pos
             )
             if mode == "push-pull":
@@ -846,6 +850,7 @@ def run_single_fast(
     max_cycles: int | None = None,
     topology: str | ViewProvider = "newscast",
     rng_mode: str = "strict",
+    kernel_backend: str | KernelBackend = "numpy",
 ) -> RunResult:
     """Fast-path counterpart of the reference single-repetition runner.
 
@@ -854,8 +859,9 @@ def run_single_fast(
     ``Scenario(engine="fast")`` through the session facade in normal
     use; ``objective_map`` routes heterogeneous networks through
     grouped batch evaluation, ``topology`` selects the array-backed
-    overlay, and ``rng_mode`` the draw regime (see
-    :class:`FastEngine`).
+    overlay, ``rng_mode`` the draw regime, and ``kernel_backend`` the
+    kernel implementation the hot paths dispatch through (see
+    :class:`FastEngine`; every backend returns bit-identical results).
     """
     if config.evaluations_per_node < 1:
         raise ConfigurationError(
@@ -869,6 +875,7 @@ def run_single_fast(
         objective_map=objective_map,
         topology=topology,
         rng_mode=rng_mode,
+        kernel_backend=kernel_backend,
     )
     quality_obs = GlobalQualityObserver(
         threshold=config.quality_threshold, record_history=record_history

@@ -1,0 +1,135 @@
+"""Pluggable kernel backends for the SoA hot paths.
+
+The fast engine's cycle cost is concentrated in four whole-network
+kernels — the fused PSO velocity/position update, the batched
+objective-evaluation dispatch, the anti-entropy gossip reduction, and
+the NEWSCAST packed-int64 merge.  This package puts them behind one
+narrow :class:`KernelBackend` interface so the *same* engine code runs
+under plain NumPy (the default, and the pinned correctness oracle) or
+a compiled backend (Numba today; the seam CuPy/JAX GPU backends will
+plug into), selected per run via ``Scenario(kernel_backend=...)``.
+
+Two contracts keep backends honest (``tests/core/test_kernels.py``):
+
+* **bit-identity** on the strict-RNG path — every backend's float
+  kernels must reproduce the NumPy backend's exact IEEE-754 bit
+  stream (no reassociation, no FMA contraction), and the integer
+  merge kernel must match exactly;
+* **workspace discipline** — kernels write into caller-provided
+  (:class:`Workspace`-owned) buffers so a steady-state engine cycle
+  performs no new large-array allocations
+  (``tests/core/test_fastpath_alloc.py``).
+
+Backend selection is *graceful*: asking for a backend whose runtime
+dependency is missing falls back to NumPy with a one-time warning, so
+a scenario file written on a machine with numba still runs (more
+slowly) anywhere.  Pass ``fallback=False`` to make the absence an
+error instead.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Callable
+
+from repro.core.kernels.interface import BackendUnavailable, KernelBackend
+from repro.core.kernels.workspace import Workspace
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "KernelBackend",
+    "BackendUnavailable",
+    "Workspace",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]
+
+#: Names the registry knows how to build (availability not implied:
+#: "numba" is registered but needs the optional numba dependency).
+KERNEL_BACKENDS = ("numpy", "numba")
+
+_FACTORIES: dict[str, Callable[[], KernelBackend]] = {}
+_INSTANCES: dict[str, KernelBackend] = {}
+_WARNED: set[str] = set()
+
+
+def register_backend(name: str, factory: Callable[[], KernelBackend]) -> None:
+    """Register a backend factory under ``name``.
+
+    The factory runs at first :func:`get_backend` lookup and may raise
+    :class:`BackendUnavailable` when a runtime dependency is missing;
+    instances are cached (backends hold no per-run state — per-run
+    scratch lives in each engine's :class:`Workspace`).
+    """
+    _FACTORIES[name] = factory
+
+
+def _build(name: str) -> KernelBackend:
+    if name not in _INSTANCES:
+        _INSTANCES[name] = _FACTORIES[name]()
+    return _INSTANCES[name]
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backends whose runtime dependencies are importable."""
+    out = []
+    for name in _FACTORIES:
+        try:
+            _build(name)
+        except BackendUnavailable:
+            continue
+        out.append(name)
+    return tuple(out)
+
+
+def get_backend(
+    name: str | KernelBackend = "numpy", fallback: bool = True
+) -> KernelBackend:
+    """Resolve a backend by name (a ready instance passes through).
+
+    Unknown names raise :class:`ConfigurationError`; known-but-
+    unavailable backends (numba not installed) fall back to the NumPy
+    backend with a one-time warning, or raise
+    :class:`BackendUnavailable` under ``fallback=False``.
+    """
+    if isinstance(name, KernelBackend):
+        return name
+    if name not in _FACTORIES:
+        raise ConfigurationError(
+            f"unknown kernel backend {name!r}; registered backends: "
+            f"{tuple(_FACTORIES)}"
+        )
+    try:
+        return _build(name)
+    except BackendUnavailable as exc:
+        if not fallback:
+            raise
+        if name not in _WARNED:
+            _WARNED.add(name)
+            warnings.warn(
+                f"kernel backend {name!r} is unavailable ({exc}); "
+                "falling back to the NumPy backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return _build("numpy")
+
+
+def _register_builtins() -> None:
+    def numpy_factory() -> KernelBackend:
+        from repro.core.kernels.numpy_backend import NumpyKernelBackend
+
+        return NumpyKernelBackend()
+
+    def numba_factory() -> KernelBackend:
+        from repro.core.kernels.numba_backend import NumbaKernelBackend
+
+        return NumbaKernelBackend()
+
+    register_backend("numpy", numpy_factory)
+    register_backend("numba", numba_factory)
+
+
+_register_builtins()

@@ -1,0 +1,88 @@
+"""Preallocated scratch arenas for the SoA hot paths.
+
+Every cycle of the fast engine used to allocate its large temporaries
+fresh — the fused update's ``(n, k, d)`` intermediates, the NEWSCAST
+merge's ``(m, 2c+1)`` candidate/key matrices, the gossip phase's
+snapshot vectors — roughly 1 ms/cycle of allocator traffic at
+``n = 1000`` (``BENCH_4.json``).  A :class:`Workspace` replaces that
+with named, capacity-sized buffers reused across cycles: ``take``
+returns a leading-axis view of a persistent buffer, growing it
+geometrically when a request outgrows it, so a steady-state cycle
+(fixed population, fixed chunk width) performs **zero** new
+large-array allocations — the contract pinned by
+``tests/core/test_fastpath_alloc.py``.
+
+Ownership discipline
+--------------------
+
+A buffer named ``x`` is valid from one ``take("x", ...)`` to the next:
+callers must not hold a view across takes of the same name.  The one
+sanctioned exception is the engine's full-sweep double buffering:
+:meth:`~repro.pso.state.SwarmStateSoA.exchange_arrays` adopts the
+workspace's freshly computed particle buffers *by reference* and hands
+back the previous backing arrays, which the engine re-seeds into the
+workspace via :meth:`Workspace.replace` — two buffer sets ping-pong
+between the SoA state and the workspace forever after.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """A named-buffer arena with geometric leading-axis growth.
+
+    Buffers are keyed by name and fixed trailing shape: requesting the
+    same name with a different trailing shape or dtype reallocates
+    (steady-state callers keep those fixed), while a smaller leading
+    dimension returns a view of the existing buffer and a larger one
+    grows it geometrically.  Contents are **uninitialized** — callers
+    fully overwrite what they take.
+    """
+
+    def __init__(self):
+        self._buffers: dict[str, np.ndarray] = {}
+        #: Buffers (re)allocated since construction — watched by the
+        #: allocation-regression tests.
+        self.allocations = 0
+
+    def take(self, name: str, shape: tuple, dtype=np.float64) -> np.ndarray:
+        """A ``shape``-sized view of the buffer named ``name``."""
+        lead = int(shape[0])
+        trail = tuple(int(s) for s in shape[1:])
+        dtype = np.dtype(dtype)
+        buf = self._buffers.get(name)
+        if (
+            buf is None
+            or buf.dtype != dtype
+            or buf.shape[1:] != trail
+            or buf.shape[0] < lead
+        ):
+            grown = lead if buf is None or buf.shape[1:] != trail else max(
+                lead, 2 * buf.shape[0]
+            )
+            buf = np.empty((grown, *trail), dtype=dtype)
+            self._buffers[name] = buf
+            self.allocations += 1
+        return buf[:lead]
+
+    def replace(self, name: str, array: np.ndarray) -> None:
+        """Re-seed ``name`` with ``array`` (the double-buffer handoff).
+
+        The previous buffer of that name is released to the caller's
+        ownership implicitly — it is whatever the caller just handed
+        off elsewhere (the SoA adopt path).  Not counted as an
+        allocation: no new memory exists.
+        """
+        self._buffers[name] = array
+
+    def nbytes(self) -> int:
+        """Total bytes currently held (diagnostics)."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def names(self) -> tuple[str, ...]:
+        """Currently held buffer names (diagnostics/tests)."""
+        return tuple(self._buffers)

@@ -247,6 +247,39 @@ class SwarmStateSoA:
             for name, arr in zip(names, new):
                 getattr(self, "_" + name)[: self._n] = arr
 
+    def exchange_arrays(
+        self,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+        pbest_positions: np.ndarray,
+        pbest_values: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
+        """:meth:`adopt_arrays`, returning the displaced buffers.
+
+        The fast engine's workspace double-buffering: while the
+        backing arrays carry no spare capacity, the new arrays are
+        adopted by reference and the *previous* backing arrays are
+        returned for the caller to reuse as next cycle's scratch — two
+        buffer sets ping-pong between the SoA state and the engine's
+        :class:`~repro.core.kernels.workspace.Workspace` with no
+        allocation ever after.  With spare capacity (churn headroom)
+        the values are copied into the slots instead and ``None`` is
+        returned: the caller keeps its buffers.
+        """
+        if self.capacity != self._n:
+            self.adopt_arrays(
+                positions, velocities, pbest_positions, pbest_values
+            )
+            return None
+        old = (
+            self._positions,
+            self._velocities,
+            self._pbest_positions,
+            self._pbest_values,
+        )
+        self.adopt_arrays(positions, velocities, pbest_positions, pbest_values)
+        return old
+
     def reserve(self, slots: int) -> None:
         """Ensure physical capacity for ``slots`` rows (geometric growth)."""
         cap = self.capacity

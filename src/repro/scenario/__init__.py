@@ -37,6 +37,7 @@ from repro.scenario.spec import (
     BASELINES,
     ENGINES,
     EVENT_BACKENDS,
+    KERNEL_BACKENDS,
     SOLVERS,
     TOPOLOGIES,
     Scenario,
@@ -54,6 +55,7 @@ __all__ = [
     "ENGINES",
     "EVENT_BACKENDS",
     "TOPOLOGIES",
+    "KERNEL_BACKENDS",
     "SOLVERS",
     "BASELINES",
 ]

@@ -232,6 +232,7 @@ class Session:
             max_cycles=scenario.max_cycles,
             topology=scenario.topology,
             rng_mode=scenario.rng_mode,
+            kernel_backend=scenario.kernel_backend,
         )
         return RunRecord.from_run_result(run)
 

@@ -31,6 +31,7 @@ import math
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Callable, Mapping
 
+from repro.core.kernels import KERNEL_BACKENDS
 from repro.utils.config import (
     ChurnConfig,
     CoordinationConfig,
@@ -45,6 +46,7 @@ __all__ = [
     "EVENT_BACKENDS",
     "TOPOLOGIES",
     "RNG_MODES",
+    "KERNEL_BACKENDS",
     "SOLVERS",
     "BASELINES",
     "Scenario",
@@ -175,6 +177,12 @@ class Scenario:
         the cycle engines) or ``"batched"`` (one seed-branched
         ``(n, 2, k, d)`` fill per chunk, statistically equivalent and
         faster).
+    kernel_backend:
+        Which :mod:`repro.core.kernels` implementation executes the
+        fast engine's hot kernels: ``"numpy"`` (default — the pinned
+        oracle) or ``"numba"`` (compiled loops; falls back to NumPy
+        with a one-time warning when numba is not installed).
+        Backends other than ``"numpy"`` require ``engine="fast"``.
     solver:
         ``"pso"`` (the paper), ``"de"``, ``"random"``, or a tuple of
         those cycled over node ids — the heterogeneous-solver
@@ -220,6 +228,7 @@ class Scenario:
     engine: str = "reference"
     topology: str | Callable = "newscast"
     rng_mode: str = "strict"
+    kernel_backend: str = "numpy"
     solver: str | tuple = "pso"
     partitioned: bool = False
     baseline: str | None = None
@@ -353,6 +362,12 @@ class Scenario:
                          and self.event_backend == "fast"),
                      "batched draws are a SoA-kernel regime (the fast "
                      "engine or the fast event backend)")
+        _require("kernel_backend", self.kernel_backend in KERNEL_BACKENDS,
+                 f"must be one of {KERNEL_BACKENDS}, "
+                 f"got {self.kernel_backend!r}")
+        if self.kernel_backend != "numpy":
+            _require("kernel_backend", self.engine == "fast",
+                     "alternative kernel backends run on the fast engine")
         if callable(self.topology):
             _require("topology", self.engine == "reference",
                      "custom topology factories need the reference engine")

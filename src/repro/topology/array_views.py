@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.kernels import numpy_backend as _np_kernels
 from repro.topology.provider import ViewProvider
 from repro.utils.exceptions import ConfigurationError
 
@@ -67,18 +68,22 @@ __all__ = [
     "OracleViews",
 ]
 
-_EMPTY_ID = -1
-_EMPTY_TS = -1
+#: Packed-key layout — canonical definitions live with the kernel
+#: implementations in :mod:`repro.core.kernels.numpy_backend`; the
+#: aliases keep this module's historical namespace for tests and
+#: downstream imports.
+_EMPTY_ID = _np_kernels.EMPTY_ID
+_EMPTY_TS = _np_kernels.EMPTY_TS
 
 #: Sub-cycle timestamp resolution: logical time = cycle * TS_SCALE + frac.
 TS_SCALE = 1 << 12
 
 #: Bit layout of the packed sort keys: ids below 2**30, timestamps
 #: below 2**32 (~2**20 cycles at TS_SCALE sub-steps).
-_ID_BITS = 30
-_ID_MASK = (1 << _ID_BITS) - 1
-_TS_MASK = (1 << 32) - 1
-_DEAD_KEY = np.iinfo(np.int64).max
+_ID_BITS = _np_kernels.ID_BITS
+_ID_MASK = _np_kernels.ID_MASK
+_TS_MASK = _np_kernels.TS_MASK
+_DEAD_KEY = _np_kernels.DEAD_KEY
 
 
 def _grow(matrix: np.ndarray, rows: int, fill) -> np.ndarray:
@@ -117,25 +122,10 @@ def merge_candidates(
     ``(m, capacity)`` id and timestamp matrices, freshest-first,
     ``-1`` padded.
     """
-    m = cand_ids.shape[0]
-    invalid = (cand_ids < 0) | (cand_ids == self_ids[:, None])
-    # Key 1: (id asc, ts desc).  Equal keys are identical descriptors.
-    ts_comp = _TS_MASK - cand_ts
-    key = np.where(invalid, _DEAD_KEY, (cand_ids << 32) | ts_comp)
-    key = np.sort(key, axis=1)
-    # Dedup: first of each id group is its freshest copy.
-    ids_sorted = key >> 32
-    dup = np.empty(key.shape, dtype=bool)
-    dup[:, 0] = False
-    dup[:, 1:] = ids_sorted[:, 1:] == ids_sorted[:, :-1]
-    # Key 2: (ts desc, id desc) over survivors — truncation order.
-    key2 = ((key & _TS_MASK) << _ID_BITS) | (_ID_MASK - (ids_sorted & _ID_MASK))
-    key2[dup | (key == _DEAD_KEY)] = _DEAD_KEY
-    key2 = np.sort(key2, axis=1)[:, :capacity]
-    dead = key2 == _DEAD_KEY
-    out_ids = np.where(dead, _EMPTY_ID, _ID_MASK - (key2 & _ID_MASK))
-    out_ts = np.where(dead, _EMPTY_TS, _TS_MASK - (key2 >> _ID_BITS))
-    return out_ids, out_ts
+    # The implementation moved to the kernel backend layer (PR 8) so
+    # alternative backends can supply compiled merges; this wrapper is
+    # the stable public entry point.
+    return _np_kernels.merge_candidates(cand_ids, cand_ts, self_ids, capacity)
 
 
 def merge_views(
@@ -174,8 +164,16 @@ class _ArrayViewBase(ViewProvider):
         self._ts = np.full((n, capacity), _EMPTY_TS, dtype=np.int64)
         self.exchanges = 0
         self.failed_exchanges = 0
+        #: Kernel seam (set by attach_kernels): without it the view
+        #: kernels run the plain allocating NumPy paths.
+        self._backend = None
+        self._workspace = None
 
     # -- ViewProvider ----------------------------------------------------------
+
+    def attach_kernels(self, backend, workspace) -> None:
+        self._backend = backend
+        self._workspace = workspace
 
     def ensure_capacity(self, n_ids: int) -> None:
         self._ids = _grow(self._ids, n_ids, _EMPTY_ID)
@@ -212,7 +210,14 @@ class _ArrayViewBase(ViewProvider):
         so a uniform draw over the first ``count`` columns is a
         uniform draw over the view.
         """
-        own = self._ids[live_ids]
+        ws = self._workspace
+        if ws is None:
+            own = self._ids[live_ids]
+        else:
+            own = ws.take(
+                "gt_own", (live_ids.shape[0], self._ids.shape[1]), np.int64
+            )
+            np.take(self._ids, live_ids, axis=0, out=own, mode="clip")
         counts = (own >= 0).sum(axis=1)
         pick = np.minimum(
             (rng.random(live_ids.shape[0]) * counts).astype(np.int64),
@@ -387,14 +392,41 @@ class NewscastArrayViews(_ArrayViewBase):
             a, b = e_init[accept], e_tgt[accept]
             rows = np.concatenate([a, b])
             srcs = np.concatenate([b, a])
-            cand_ids = np.concatenate(
-                [self._ids[rows], self._ids[srcs], srcs[:, None]], axis=1
-            )
-            cand_ts = np.concatenate(
-                [self._ts[rows], self._ts[srcs], self_ts[srcs][:, None]],
-                axis=1,
-            )
-            ids, ts = merge_candidates(cand_ids, cand_ts, rows, self.capacity)
+            ws = self._workspace
+            if ws is None or self._backend is None:
+                cand_ids = np.concatenate(
+                    [self._ids[rows], self._ids[srcs], srcs[:, None]], axis=1
+                )
+                cand_ts = np.concatenate(
+                    [self._ts[rows], self._ts[srcs], self_ts[srcs][:, None]],
+                    axis=1,
+                )
+                ids, ts = merge_candidates(
+                    cand_ids, cand_ts, rows, self.capacity
+                )
+            else:
+                # Workspace path: assemble the candidate matrix column
+                # block by column block through one reusable gather
+                # buffer (np.take with out= cannot write strided
+                # blocks), then merge through the kernel backend.
+                m2 = rows.shape[0]
+                c = self._ids.shape[1]
+                cand_ids = ws.take("nc_cand_ids", (m2, 2 * c + 1), np.int64)
+                cand_ts = ws.take("nc_cand_ts", (m2, 2 * c + 1), np.int64)
+                gather = ws.take("nc_gather", (m2, c), np.int64)
+                np.take(self._ids, rows, axis=0, out=gather, mode="clip")
+                np.copyto(cand_ids[:, :c], gather)
+                np.take(self._ids, srcs, axis=0, out=gather, mode="clip")
+                np.copyto(cand_ids[:, c : 2 * c], gather)
+                cand_ids[:, 2 * c] = srcs
+                np.take(self._ts, rows, axis=0, out=gather, mode="clip")
+                np.copyto(cand_ts[:, :c], gather)
+                np.take(self._ts, srcs, axis=0, out=gather, mode="clip")
+                np.copyto(cand_ts[:, c : 2 * c], gather)
+                cand_ts[:, 2 * c] = self_ts[srcs]
+                ids, ts = self._backend.merge_candidates(
+                    cand_ids, cand_ts, rows, self.capacity, ws=ws
+                )
             self._ids[rows] = ids
             self._ts[rows] = ts
             pending = e_init[~accept]

@@ -62,6 +62,18 @@ class ViewProvider(abc.ABC):
     #: Human-readable overlay name ("newscast", "ring", ...).
     name: str = "provider"
 
+    def attach_kernels(self, backend, workspace) -> None:
+        """Adopt the engine's kernel backend and scratch workspace.
+
+        The fast engine calls this once at construction so providers
+        with array hot paths (the NEWSCAST/CYCLON view kernels) route
+        their merges and gathers through the same
+        :class:`~repro.core.kernels.KernelBackend` and reuse the
+        engine's :class:`~repro.core.kernels.Workspace` buffers
+        instead of allocating per cycle.  Default: ignore — object
+        adapters and trivial providers have no array hot path.
+        """
+
     @abc.abstractmethod
     def begin_cycle(
         self, live_ids: np.ndarray, alive: np.ndarray, now: float

@@ -1,0 +1,421 @@
+"""Kernel backend registry, workspace, and per-backend contracts.
+
+The contract classes parametrize over every *importable* backend and
+compare it against the NumPy oracle: float kernels must be
+bit-identical (the strict-RNG reproducibility guarantee), the integer
+merge must match exactly, and every kernel's workspace path must equal
+its allocating path.  On machines without numba only the NumPy backend
+runs; the CI ``kernel-backends`` job installs numba and runs the same
+suite against both.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.core.kernels as kernels
+from repro.core.kernels import (
+    BackendUnavailable,
+    KernelBackend,
+    Workspace,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.core.kernels.numpy_backend import NumpyKernelBackend
+from repro.topology.array_views import merge_candidates as oracle_merge
+from repro.utils.exceptions import ConfigurationError
+
+BACKENDS = available_backends()
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return get_backend(request.param)
+
+
+# -- registry ------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_default_is_numpy(self):
+        b = get_backend()
+        assert isinstance(b, NumpyKernelBackend)
+        assert b.name == "numpy"
+
+    def test_instances_are_cached(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_ready_instance_passes_through(self):
+        b = NumpyKernelBackend()
+        assert get_backend(b) is b
+
+    def test_unknown_name_raises_naming_registered(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+            get_backend("cuda")
+
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+
+    def test_unavailable_backend_warns_once_then_falls_back(self):
+        class Broken(KernelBackend):  # pragma: no cover - never built
+            pass
+
+        def factory():
+            raise BackendUnavailable("dependency missing")
+
+        register_backend("_test_broken", factory)
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                first = get_backend("_test_broken")
+                second = get_backend("_test_broken")
+            assert isinstance(first, NumpyKernelBackend)
+            assert second is first
+            runtime = [w for w in caught
+                       if issubclass(w.category, RuntimeWarning)]
+            assert len(runtime) == 1, "fallback must warn exactly once"
+            assert "dependency missing" in str(runtime[0].message)
+        finally:
+            kernels._FACTORIES.pop("_test_broken", None)
+            kernels._WARNED.discard("_test_broken")
+
+    def test_unavailable_backend_raises_without_fallback(self):
+        def factory():
+            raise BackendUnavailable("nope")
+
+        register_backend("_test_strict", factory)
+        try:
+            with pytest.raises(BackendUnavailable, match="nope"):
+                get_backend("_test_strict", fallback=False)
+        finally:
+            kernels._FACTORIES.pop("_test_strict", None)
+            kernels._WARNED.discard("_test_strict")
+
+
+# -- workspace -----------------------------------------------------------------
+
+
+class TestWorkspace:
+    def test_take_reuses_buffer(self):
+        ws = Workspace()
+        a = ws.take("x", (8, 3))
+        assert a.shape == (8, 3) and ws.allocations == 1
+        b = ws.take("x", (8, 3))
+        assert b.base is a.base or b is a
+        assert ws.allocations == 1
+
+    def test_smaller_lead_is_a_view(self):
+        ws = Workspace()
+        ws.take("x", (10, 4))
+        small = ws.take("x", (6, 4))
+        assert small.shape == (6, 4)
+        assert ws.allocations == 1
+
+    def test_lead_growth_is_geometric(self):
+        ws = Workspace()
+        ws.take("x", (10,))
+        grown = ws.take("x", (11,))
+        assert grown.shape == (11,)
+        assert ws.allocations == 2
+        assert ws.take("x", (20,)).shape == (20,)  # within 2*10 capacity
+        assert ws.allocations == 2
+
+    def test_trailing_or_dtype_change_reallocates(self):
+        ws = Workspace()
+        ws.take("x", (4, 2))
+        ws.take("x", (4, 3))
+        assert ws.allocations == 2
+        ws.take("x", (4, 3), np.int64)
+        assert ws.allocations == 3
+
+    def test_replace_reseeds_named_buffer(self):
+        ws = Workspace()
+        ws.take("x", (4,))
+        mine = np.arange(4, dtype=np.float64)
+        ws.replace("x", mine)
+        out = ws.take("x", (4,))
+        assert out.base is mine or out is mine
+        assert ws.allocations == 1  # replace is not an allocation
+
+    def test_diagnostics(self):
+        ws = Workspace()
+        ws.take("a", (2, 2))
+        ws.take("b", (3,), np.int64)
+        assert set(ws.names()) == {"a", "b"}
+        assert ws.nbytes() == 4 * 8 + 3 * 8
+
+
+# -- per-backend contracts vs the NumPy oracle ---------------------------------
+
+
+def _update_inputs(seed, m=7, k=5, d=4):
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(size=(m, k, d))
+    vel = rng.normal(size=(m, k, d))
+    pb = rng.normal(size=(m, k, d))
+    gbest = rng.normal(size=(m, 1, d))
+    r1 = rng.random((m, k, d))
+    r2 = rng.random((m, k, d))
+    return pos, vel, pb, gbest, r1, r2
+
+
+def _expression_oracle(pos, vel, pb, gbest, r1, r2, inertia, c1, c2,
+                       vmax=None, lower=None, upper=None):
+    """The documented update, as the pre-PR engine expressed it."""
+    new_vel = (inertia * vel + (c1 * r1) * (pb - pos)
+               + (c2 * r2) * (gbest - pos))
+    if vmax is not None:
+        new_vel = np.clip(new_vel, -vmax, vmax)
+    new_pos = pos + new_vel
+    if lower is not None:
+        new_pos = np.clip(new_pos, lower, upper)
+    return new_vel, new_pos
+
+
+class TestFusedUpdateContract:
+    @pytest.mark.parametrize("bounds", ["none", "vmax", "vmax+box"])
+    def test_bitwise_equal_to_expression_oracle(self, backend, bounds):
+        pos, vel, pb, gbest, r1, r2 = _update_inputs(3)
+        kw = {}
+        if bounds != "none":
+            kw["vmax"] = np.full((1, 1, pos.shape[2]), 0.7)
+        if bounds == "vmax+box":
+            kw["lower"], kw["upper"] = -1.5, 1.5
+        want_vel, want_pos = _expression_oracle(
+            pos, vel, pb, gbest, r1, r2, 0.72, 1.49, 1.51, **kw
+        )
+        got_vel, got_pos = backend.fused_pso_update(
+            pos, vel, pb, gbest, r1, r2, 0.72, 1.49, 1.51, **kw
+        )
+        # Bit identity, not closeness: the strict-RNG contract.
+        np.testing.assert_array_equal(got_vel, want_vel, strict=True)
+        np.testing.assert_array_equal(got_pos, want_pos, strict=True)
+
+    def test_workspace_path_bitwise_equals_allocating_path(self, backend):
+        pos, vel, pb, gbest, r1, r2 = _update_inputs(4)
+        args = (pos, vel, pb, gbest, r1, r2, 0.9, 2.0, 2.0)
+        plain_vel, plain_pos = backend.fused_pso_update(*args, vmax=0.5)
+        ws = Workspace()
+        out_vel = ws.take("v", pos.shape)
+        out_pos = ws.take("p", pos.shape)
+        ws_vel, ws_pos = backend.fused_pso_update(
+            *args, vmax=0.5, out_vel=out_vel, out_pos=out_pos, ws=ws
+        )
+        np.testing.assert_array_equal(ws_vel, plain_vel, strict=True)
+        np.testing.assert_array_equal(ws_pos, plain_pos, strict=True)
+        assert ws_vel is out_vel and ws_pos is out_pos
+
+    def test_inputs_not_mutated(self, backend):
+        pos, vel, pb, gbest, r1, r2 = _update_inputs(5)
+        copies = [a.copy() for a in (pos, vel, pb, gbest, r1, r2)]
+        backend.fused_pso_update(pos, vel, pb, gbest, r1, r2, 0.7, 1.5, 1.5,
+                                 vmax=1.0, lower=-2.0, upper=2.0)
+        for arr, ref in zip((pos, vel, pb, gbest, r1, r2), copies):
+            np.testing.assert_array_equal(arr, ref)
+
+
+class TestPbestFoldContract:
+    def test_matches_where_semantics(self, backend):
+        rng = np.random.default_rng(6)
+        m, k, d = 6, 4, 3
+        values = rng.random((m, k))
+        pbv = rng.random((m, k))
+        pb = rng.normal(size=(m, k, d))
+        pos = rng.normal(size=(m, k, d))
+        participating = rng.random((m, k)) < 0.6
+        improved = (values < pbv) & participating
+        want_pbv = np.where(improved, values, pbv)
+        want_pb = np.where(improved[:, :, None], pos, pb)
+        got_pbv, got_pb = backend.pbest_fold(
+            values, pbv, pb, pos, participating
+        )
+        np.testing.assert_array_equal(got_pbv, want_pbv, strict=True)
+        np.testing.assert_array_equal(got_pb, want_pb, strict=True)
+
+    def test_workspace_path_equals_plain(self, backend):
+        rng = np.random.default_rng(7)
+        m, k, d = 5, 3, 2
+        values, pbv = rng.random((m, k)), rng.random((m, k))
+        pb, pos = rng.normal(size=(m, k, d)), rng.normal(size=(m, k, d))
+        plain = backend.pbest_fold(values, pbv, pb, pos)
+        ws = Workspace()
+        out = backend.pbest_fold(
+            values, pbv, pb, pos,
+            out_pbv=ws.take("pbv", (m, k)), out_pb=ws.take("pb", (m, k, d)),
+            ws=ws,
+        )
+        np.testing.assert_array_equal(out[0], plain[0], strict=True)
+        np.testing.assert_array_equal(out[1], plain[1], strict=True)
+
+
+class TestMergeContract:
+    def _candidates(self, seed, m=40, w=17, id_pool=25):
+        rng = np.random.default_rng(seed)
+        ids = rng.integers(-1, id_pool, size=(m, w)).astype(np.int64)
+        ts = rng.integers(0, 1 << 20, size=(m, w)).astype(np.int64)
+        self_ids = rng.integers(0, id_pool, size=m).astype(np.int64)
+        return ids, ts, self_ids
+
+    @pytest.mark.parametrize("capacity", [1, 5, 17, 30])
+    def test_matches_oracle_merge(self, backend, capacity):
+        ids, ts, self_ids = self._candidates(11)
+        want_ids, want_ts = oracle_merge(ids, ts, self_ids, capacity)
+        got_ids, got_ts = backend.merge_candidates(ids, ts, self_ids, capacity)
+        np.testing.assert_array_equal(got_ids, want_ids)
+        np.testing.assert_array_equal(got_ts, want_ts)
+
+    def test_workspace_path_equals_plain(self, backend):
+        ids, ts, self_ids = self._candidates(12)
+        plain = backend.merge_candidates(ids, ts, self_ids, 8)
+        ws = Workspace()
+        wsed = backend.merge_candidates(ids, ts, self_ids, 8, ws=ws)
+        np.testing.assert_array_equal(wsed[0], plain[0])
+        np.testing.assert_array_equal(wsed[1], plain[1])
+        # Steady state: a second call with the same shapes allocates
+        # nothing new.
+        before = ws.allocations
+        backend.merge_candidates(ids, ts, self_ids, 8, ws=ws)
+        assert ws.allocations == before
+
+    def test_duplicate_ids_keep_freshest(self, backend):
+        ids = np.array([[3, 3, 5, -1, 3]], dtype=np.int64)
+        ts = np.array([[10, 40, 7, 99, 20]], dtype=np.int64)
+        self_ids = np.array([9], dtype=np.int64)
+        out_ids, out_ts = backend.merge_candidates(ids, ts, self_ids, 4)
+        assert out_ids[0, 0] == 3 and out_ts[0, 0] == 40
+        assert out_ids[0, 1] == 5 and out_ts[0, 1] == 7
+        assert (out_ids[0, 2:] == -1).all()
+
+    def test_self_is_dropped(self, backend):
+        ids = np.array([[9, 2]], dtype=np.int64)
+        ts = np.array([[100, 1]], dtype=np.int64)
+        out_ids, _ = backend.merge_candidates(
+            ids, ts, np.array([9], dtype=np.int64), 2
+        )
+        assert 9 not in out_ids
+
+
+class TestScatterMinFoldContract:
+    def test_matches_sequential_fold(self, backend):
+        rng = np.random.default_rng(21)
+        n, d = 30, 4
+        senders = np.flatnonzero(rng.random(n) < 0.7)
+        targets = rng.integers(0, n, size=n)
+        # Distinct values: ties would make "best sender" ambiguous.
+        src_val = rng.permutation(n).astype(float)
+        src_pos = rng.normal(size=(n, d))
+        cmp_val = rng.permutation(n).astype(float) + 0.5
+        out_val = cmp_val.copy()
+        out_pos = np.zeros((n, d))
+
+        want_val = cmp_val.copy()
+        want_pos = out_pos.copy()
+        want_adoptions = 0
+        for t in np.unique(targets[senders]):
+            offers = senders[targets[senders] == t]
+            best = offers[np.argmin(src_val[offers])]
+            if src_val[best] < cmp_val[t]:
+                want_val[t] = src_val[best]
+                want_pos[t] = src_pos[best]
+                want_adoptions += 1
+
+        adopted = backend.scatter_min_fold(
+            senders, targets, src_val, src_pos, cmp_val, out_val, out_pos
+        )
+        assert adopted == want_adoptions
+        np.testing.assert_array_equal(out_val, want_val)
+        np.testing.assert_array_equal(out_pos, want_pos)
+
+    def test_empty_senders_is_noop(self, backend):
+        out_val = np.array([1.0, 2.0])
+        out_pos = np.zeros((2, 3))
+        adopted = backend.scatter_min_fold(
+            np.empty(0, dtype=np.int64), np.array([0, 1]),
+            np.array([0.0, 0.0]), np.zeros((2, 3)),
+            out_val.copy(), out_val, out_pos,
+        )
+        assert adopted == 0
+        np.testing.assert_array_equal(out_val, [1.0, 2.0])
+
+
+class TestBatchEvalContract:
+    def test_homogeneous_matches_function_batch(self, backend):
+        from repro.functions.base import get_function
+
+        fn = get_function("sphere")
+        rng = np.random.default_rng(30)
+        pos = rng.normal(size=(6, 4, fn.dimension))
+        want = fn.batch(pos.reshape(-1, fn.dimension)).reshape(6, 4)
+        got = backend.batch_eval(
+            [fn], None, np.arange(6), pos
+        )
+        np.testing.assert_array_equal(got, want, strict=True)
+
+    def test_grouped_dispatch_routes_by_node_group(self, backend):
+        from repro.functions.base import get_function
+
+        sphere = get_function("sphere")
+        rastrigin = get_function("rastrigin")
+        node_group = np.array([0, 1, 0, 1], dtype=np.int64)
+        live = np.arange(4)
+        rng = np.random.default_rng(31)
+        pos = rng.normal(size=(4, 3, sphere.dimension))
+        got = backend.batch_eval([sphere, rastrigin], node_group, live, pos)
+        for row, fn in zip(range(4), (sphere, rastrigin, sphere, rastrigin)):
+            want = fn.batch(pos[row])
+            np.testing.assert_array_equal(got[row], want)
+
+    def test_out_buffer_is_used(self, backend):
+        from repro.functions.base import get_function
+
+        fn = get_function("sphere")
+        pos = np.random.default_rng(32).normal(size=(3, 2, fn.dimension))
+        out = np.empty((3, 2))
+        got = backend.batch_eval([fn], None, np.arange(3), pos, out=out)
+        assert got is out
+
+
+# -- double-buffer handoff -----------------------------------------------------
+
+
+class TestExchangeArrays:
+    def _soa(self, n, k, d, spare=0):
+        from repro.pso.state import SwarmState, stack_states
+
+        rng = np.random.default_rng(40)
+        states = [
+            SwarmState(
+                positions=rng.normal(size=(k, d)),
+                velocities=rng.normal(size=(k, d)),
+                pbest_positions=rng.normal(size=(k, d)),
+                pbest_values=rng.random(k),
+                best_position=rng.normal(size=d),
+                best_value=0.0,
+            )
+            for _ in range(n + spare)
+        ]
+        soa = stack_states(states)
+        return soa
+
+    def test_full_capacity_adopts_by_reference_and_returns_old(self):
+        soa = self._soa(3, 2, 4)
+        old_pos = soa._positions
+        new = [np.zeros((3, 2, 4)), np.ones((3, 2, 4)),
+               np.zeros((3, 2, 4)), np.zeros((3, 2))]
+        displaced = soa.exchange_arrays(*new)
+        assert displaced is not None
+        assert displaced[0] is old_pos
+        assert soa._positions is new[0]
+
+    def test_spare_capacity_copies_and_returns_none(self):
+        soa = self._soa(3, 2, 4)
+        soa.reserve(8)  # churn headroom
+        new = [np.full((3, 2, 4), 5.0), np.zeros((3, 2, 4)),
+               np.zeros((3, 2, 4)), np.zeros((3, 2))]
+        assert soa.exchange_arrays(*new) is None
+        np.testing.assert_array_equal(soa.positions, new[0])
+        assert soa._positions is not new[0]

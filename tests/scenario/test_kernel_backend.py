@@ -1,0 +1,80 @@
+"""Scenario/Session wiring of the pluggable kernel backend."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core import kernels
+from repro.scenario import KERNEL_BACKENDS, Scenario, ScenarioValidationError, Session
+
+
+def make(**overrides) -> Scenario:
+    base = dict(
+        function="sphere", nodes=8, particles_per_node=4,
+        total_evaluations=640, gossip_cycle=4, repetitions=2, seed=7,
+        engine="fast",
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestScenarioField:
+    def test_default_is_numpy(self):
+        assert make().kernel_backend == "numpy"
+        assert "numpy" in KERNEL_BACKENDS
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ScenarioValidationError, match="kernel_backend"):
+            make(kernel_backend="tpu")
+
+    def test_non_numpy_requires_fast_engine(self):
+        with pytest.raises(ScenarioValidationError,
+                           match="fast engine"):
+            make(kernel_backend="numba", engine="reference")
+
+    def test_round_trip_preserves_backend(self):
+        s = make(kernel_backend="numba")
+        assert Scenario.from_dict(s.to_dict()) == s
+
+    def test_old_json_without_field_loads(self):
+        """Scenario dicts serialized before PR 8 carry no
+        kernel_backend key and must keep loading with the default."""
+        d = make().to_dict()
+        del d["kernel_backend"]
+        s = Scenario.from_dict(d)
+        assert s.kernel_backend == "numpy"
+
+
+class TestSessionDispatch:
+    def test_numpy_backend_explicit_equals_default(self):
+        base = Session(make()).run()
+        explicit = Session(make(kernel_backend="numpy")).run()
+        assert [r.best_value for r in explicit.records] == [
+            r.best_value for r in base.records
+        ]
+
+    def test_unavailable_backend_falls_back_with_one_warning(self):
+        """Without numba installed the session still runs — identical
+        results, one RuntimeWarning.  (With numba installed the run
+        exercises the real backend and the contract suite guarantees
+        identical results, so the equality check holds either way.)"""
+        kernels._WARNED.discard("numba")
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                result = Session(make(kernel_backend="numba")).run()
+            base = Session(make()).run()
+            assert [r.best_value for r in result.records] == [
+                r.best_value for r in base.records
+            ]
+            fallbacks = [w for w in caught
+                         if issubclass(w.category, RuntimeWarning)
+                         and "kernel backend" in str(w.message)]
+            if "numba" not in kernels.available_backends():
+                assert len(fallbacks) == 1
+            else:
+                assert not fallbacks
+        finally:
+            kernels._WARNED.discard("numba")

@@ -14,6 +14,7 @@ import pkgutil
 import pytest
 
 import repro
+from repro.core.kernels import BackendUnavailable
 
 #: Modules whose doctests are too expensive or environment-dependent.
 _SKIP = {
@@ -32,7 +33,13 @@ def _all_modules():
 def test_module_doctests(module_name):
     if module_name in _SKIP:
         pytest.skip("expensive example, covered separately")
-    module = importlib.import_module(module_name)
+    try:
+        module = importlib.import_module(module_name)
+    except BackendUnavailable as exc:
+        # Optional-dependency kernel backends (numba) refuse to import
+        # where the dependency is missing — that is their contract, not
+        # a doctest failure.
+        pytest.skip(str(exc))
     results = doctest.testmod(
         module,
         optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,

@@ -124,6 +124,11 @@ def test_property_merge_invariants(entries, incoming, capacity, own):
     """After any merge: size bound, no self entry, no duplicate ids,
     and every kept id carries its freshest known timestamp."""
     view = PartialView(capacity, entries)
+    # Construction already truncates to the capacity-freshest entries;
+    # the merge only ever sees what survived, so "freshest known" is
+    # defined over the view's actual pre-merge contents plus the
+    # incoming batch (not the raw constructor list).
+    known = list(view) + list(incoming)
     view.merge(incoming, own_id=own)
 
     assert len(view) <= capacity
@@ -132,7 +137,7 @@ def test_property_merge_invariants(entries, incoming, capacity, own):
     assert len(ids) == len(set(ids))
 
     freshest: dict[int, float] = {}
-    for desc in list(entries) + list(incoming):
+    for desc in known:
         if desc.timestamp > freshest.get(desc.node_id, -1.0):
             freshest[desc.node_id] = desc.timestamp
     for desc in view:
