@@ -66,6 +66,7 @@ from repro.core import (
 )
 from repro.functions import available_functions, get_function
 from repro.scenario import (
+    ExecutionPolicy,
     Result,
     RunRecord,
     Scenario,
@@ -89,6 +90,7 @@ __all__ = [
     # The documented public surface: declarative scenarios.
     "Scenario",
     "Session",
+    "ExecutionPolicy",
     "Result",
     "RunRecord",
     "TransportSpec",

@@ -172,6 +172,15 @@ class FastEngine:
         dependency is missing fall back to NumPy with a one-time
         warning.  Results are bit-identical across backends (the
         kernel contract; see :mod:`repro.core.kernels`).
+    node_ids:
+        Global node ids this engine owns (default: the whole network,
+        ``0..config.nodes-1``).  The sharding seam: per-node RNG
+        streams, batched draw-block keys and the budget formula all
+        use the global ids, so a shard engine over a contiguous id
+        block evolves its nodes on exactly the streams the
+        whole-network engine would (see :mod:`repro.sharding`).
+        Subset engines must be churn-free and homogeneous, and take a
+        ready ``ViewProvider`` (or run ``gossip=False``).
     """
 
     def __init__(
@@ -183,6 +192,7 @@ class FastEngine:
         topology: str | ViewProvider = "newscast",
         rng_mode: str = "strict",
         kernel_backend: str | KernelBackend = "numpy",
+        node_ids: np.ndarray | None = None,
     ):
         self.config = config
         self.gossip = gossip
@@ -197,13 +207,36 @@ class FastEngine:
         self._tree = tree
         self._init_objectives(config, objective_map)
 
-        n = config.nodes
+        # ``node_ids`` is the sharding seam: an engine may own any
+        # subset of a larger overlay's id space.  Per-node streams and
+        # draw-block keys are derived from the *global* ids, so a
+        # shard's nodes evolve on exactly the streams the whole-network
+        # engine would give them.  Defaults to 0..config.nodes-1 (the
+        # whole network, the ordinary case).
+        if node_ids is None:
+            node_ids = np.arange(config.nodes, dtype=np.int64)
+            self._default_ids = True
+        else:
+            node_ids = np.asarray(node_ids, dtype=np.int64)
+            self._default_ids = False
+            if config.churn.enabled:
+                raise ConfigurationError(
+                    "churn needs the full id space (joins allocate new "
+                    "ids); engines over an id subset must run churn-free"
+                )
+            if objective_map is not None:
+                raise ConfigurationError(
+                    "objective_map covers ids 0..n-1 and cannot drive an "
+                    "engine over an id subset"
+                )
+        n = node_ids.shape[0]
+        id_span = int(node_ids.max(initial=-1)) + 1
         self._gens: list[np.random.Generator] = []
         states = []
-        for nid in range(n):
-            rng = tree.rng("node", nid, "pso")
+        for nid in node_ids:
+            rng = tree.rng("node", int(nid), "pso")
             states.append(
-                initial_swarm_state(self._function_of(nid), config.pso, rng)
+                initial_swarm_state(self._function_of(int(nid)), config.pso, rng)
             )
             self._gens.append(rng)
         self.soa: SwarmStateSoA = stack_states(states)
@@ -212,13 +245,17 @@ class FastEngine:
         # churn victim selection order-compatible with the reference.
         # ``_live`` holds node *ids*; the indirection tables map ids to
         # SoA slots (identical until churn reuses a crashed slot).
-        self._live: list[int] = list(range(n))
-        self._live_pos: dict[int, int] = {i: i for i in range(n)}
+        self._live: list[int] = [int(nid) for nid in node_ids]
+        self._live_pos: dict[int, int] = {
+            int(nid): i for i, nid in enumerate(node_ids)
+        }
         self._initial_size = n
-        self._next_id = n
-        self._slot_of_id = np.arange(n, dtype=np.int64)
-        self._id_of_slot = np.arange(n, dtype=np.int64)
-        self._alive = np.ones(n, dtype=bool)
+        self._next_id = id_span
+        self._slot_of_id = np.full(id_span, -1, dtype=np.int64)
+        self._slot_of_id[node_ids] = np.arange(n, dtype=np.int64)
+        self._id_of_slot = node_ids.copy()
+        self._alive = np.zeros(id_span, dtype=bool)
+        self._alive[node_ids] = True
         self._free_slots: list[int] = []
         self._retired_evaluations = 0
         self._churn_rng = tree.rng("churn") if config.churn.enabled else None
@@ -231,8 +268,14 @@ class FastEngine:
             )
         if isinstance(topology, ViewProvider):
             self.provider: ViewProvider = topology
-            self.provider.ensure_capacity(n)
+            self.provider.ensure_capacity(self._next_id)
         else:
+            if not self._default_ids:
+                raise ConfigurationError(
+                    "named topologies bootstrap the whole id space; an "
+                    "engine over an id subset takes a ready ViewProvider "
+                    "(the sharding layer owns the overlay)"
+                )
             self.provider = make_array_provider(topology, config, tree)
         # Providers that implement the kernel seam route their merge
         # and gather hot paths through the engine's backend/workspace.
@@ -562,7 +605,7 @@ class FastEngine:
             )
             return rng.random((_DRAW_BLOCK, 2, width, d))
 
-        if self.crashes == 0:
+        if self.crashes == 0 and self._default_ids:
             # No churn holes: live row i is node id i — fill by
             # contiguous block slices.
             for block in range((nl + _DRAW_BLOCK - 1) >> _DRAW_BLOCK_BITS):

@@ -44,6 +44,7 @@ __all__ = [
     "available_backends",
     "get_backend",
     "register_backend",
+    "resolve_backend_name",
 ]
 
 #: Names the registry knows how to build (availability not implied:
@@ -115,6 +116,20 @@ def get_backend(
                 stacklevel=2,
             )
         return _build("numpy")
+
+
+def resolve_backend_name(name: str | KernelBackend = "numpy") -> str:
+    """The registry name of the backend that will actually execute.
+
+    Resolves ``name`` through :func:`get_backend` — including the
+    missing-dependency fallback, which warns **at most once in this
+    process** — and returns the resulting backend's name.  Coordinators
+    use this to pin the *resolved* name into job payloads before
+    handing work to spawned workers: each child process then asks for
+    a backend that is genuinely available and never re-triggers the
+    fallback ``RuntimeWarning`` that the parent already issued.
+    """
+    return get_backend(name).name
 
 
 def _register_builtins() -> None:

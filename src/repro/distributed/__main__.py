@@ -34,6 +34,7 @@ from repro.distributed.jobs import jobs_for_sweep
 from repro.distributed.service import collect_from_spool
 from repro.distributed.spool import JobQueue
 from repro.distributed.worker import run_worker
+from repro.scenario.policy import ExecutionPolicy
 from repro.scenario.spec import Scenario
 
 __all__ = ["main"]
@@ -53,10 +54,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Every subcommand addresses the same shared directory; one parent
+    # parser keeps the flag's spelling/help from drifting between them.
+    spool_parent = argparse.ArgumentParser(add_help=False)
+    spool_parent.add_argument("--spool", required=True, help="spool directory")
+
     p_submit = sub.add_parser(
-        "submit", help="enqueue a sweep's jobs (idempotent/resumable)"
+        "submit", parents=[spool_parent],
+        help="enqueue a sweep's jobs (idempotent/resumable)",
     )
-    p_submit.add_argument("--spool", required=True, help="spool directory")
     p_submit.add_argument(
         "--scenarios", required=True,
         help="JSON list of Scenario dicts (--dump-scenarios output)",
@@ -67,9 +73,9 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     p_worker = sub.add_parser(
-        "worker", help="claim and execute jobs from the spool"
+        "worker", parents=[spool_parent],
+        help="claim and execute jobs from the spool",
     )
-    p_worker.add_argument("--spool", required=True, help="spool directory")
     p_worker.add_argument(
         "--poll", type=float, default=0.5,
         help="seconds between polls while idle (default 0.5)",
@@ -98,18 +104,22 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     p_status = sub.add_parser(
-        "status",
+        "status", parents=[spool_parent],
         help="spool state summary: per-state counts, per-claim heartbeat "
         "ages, per-worker jobs done and retry counts",
     )
-    p_status.add_argument("--spool", required=True, help="spool directory")
+    p_status.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the full status as one JSON document (counts, "
+        "per-claim owner/heartbeat-age/attempts, per-worker counters) "
+        "for dashboards and scripts",
+    )
 
     p_requeue = sub.add_parser(
-        "requeue",
+        "requeue", parents=[spool_parent],
         help="recover claims of dead workers (abandoned-owner probe "
         "plus an age threshold for claims on unreachable hosts)",
     )
-    p_requeue.add_argument("--spool", required=True, help="spool directory")
     p_requeue.add_argument(
         "--stale-after", type=float, default=300.0,
         help="also requeue any claim whose last heartbeat stamp is older "
@@ -124,9 +134,9 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     p_collect = sub.add_parser(
-        "collect", help="reassemble per-point results in sweep order"
+        "collect", parents=[spool_parent],
+        help="reassemble per-point results in sweep order",
     )
-    p_collect.add_argument("--spool", required=True, help="spool directory")
     p_collect.add_argument(
         "--scenarios", required=True,
         help="the same JSON scenario list the sweep was submitted from",
@@ -161,8 +171,10 @@ def main(argv: list[str] | None = None) -> int:
             idle_timeout=args.idle_timeout,
             max_jobs=args.max_jobs,
             log=log,
-            heartbeat_interval=args.heartbeat,
-            job_timeout=args.job_timeout,
+            policy=ExecutionPolicy(
+                heartbeat_interval=args.heartbeat,
+                job_timeout=args.job_timeout,
+            ),
         )
         print(f"executed {executed} job(s)")
         return 0
@@ -170,6 +182,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "status":
         queue = JobQueue(args.spool)
         counts = queue.counts()
+        if args.as_json:
+            print(json.dumps(
+                {
+                    "counts": dict(counts),
+                    "claims": queue.claim_info(),
+                    "workers": queue.worker_statuses(),
+                },
+                indent=2,
+                sort_keys=True,
+            ))
+            return 0
         print(
             " ".join(f"{state}={count}" for state, count in counts.items())
         )

@@ -35,6 +35,7 @@ from typing import Callable, Mapping, Sequence
 from repro.distributed.jobs import SweepJob, execute_job, jobs_for_sweep
 from repro.distributed.spool import JobQueue
 from repro.distributed.worker import run_worker
+from repro.scenario.policy import ExecutionPolicy
 from repro.scenario.result import Result, RunRecord
 from repro.scenario.spec import Scenario
 from repro.utils.exceptions import SimulationError
@@ -350,6 +351,7 @@ def run_sweep_jobs(
     stale_after: float | None = None,
     heartbeat_interval: float = 15.0,
     job_timeout: float | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> list[Result]:
     """Execute a sweep through the job machinery; Results in sweep order.
 
@@ -357,6 +359,12 @@ def run_sweep_jobs(
     same records, same order — for any ``workers``/``spool``
     combination (see module docstring).  ``progress`` fires once per
     *point* as its last repetition lands, possibly out of sweep order.
+
+    ``policy`` is the unified execution surface
+    (:class:`~repro.scenario.policy.ExecutionPolicy`); the loose
+    ``workers``/``spool``/``stale_after``/``heartbeat_interval``/
+    ``job_timeout`` parameters are its deprecated aliases, kept for
+    one release (mixing both raises).
 
     ``stale_after`` (spool mode) opts into heartbeat-age reclaim:
     claims of this sweep whose last heartbeat stamp is older than
@@ -373,6 +381,20 @@ def run_sweep_jobs(
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    policy = ExecutionPolicy.from_kwargs(
+        policy,
+        warn=False,
+        workers=workers,
+        spool=None if spool is None else str(spool),
+        stale_after=stale_after,
+        heartbeat_interval=heartbeat_interval,
+        job_timeout=job_timeout,
+    )
+    workers = policy.workers
+    spool = policy.spool
+    stale_after = policy.stale_after
+    heartbeat_interval = policy.heartbeat_interval
+    job_timeout = policy.job_timeout
     scenarios = list(scenarios)
     for index, scenario in enumerate(scenarios):
         if callable(scenario.topology):

@@ -96,8 +96,15 @@ def run_worker(
     log: Callable[[str], None] | None = None,
     heartbeat_interval: float = DEFAULT_HEARTBEAT,
     job_timeout: float | None = None,
+    policy=None,
 ) -> int:
     """Execute spool jobs until there is no more work; returns jobs done.
+
+    ``policy`` (an :class:`~repro.scenario.policy.ExecutionPolicy`)
+    supplies the liveness knobs in one value: its
+    ``heartbeat_interval`` and ``job_timeout`` replace the loose
+    parameters of the same names (which remain as deprecated aliases;
+    mixing both raises).
 
     Parameters
     ----------
@@ -144,6 +151,16 @@ def run_worker(
     released *without* consuming a retry, the status sidecar is
     finalized, and the call returns normally.
     """
+    from repro.scenario.policy import ExecutionPolicy
+
+    policy = ExecutionPolicy.from_kwargs(
+        policy,
+        warn=False,
+        heartbeat_interval=heartbeat_interval,
+        job_timeout=job_timeout,
+    )
+    heartbeat_interval = policy.heartbeat_interval
+    job_timeout = policy.job_timeout
     queue = spool if isinstance(spool, JobQueue) else JobQueue(spool)
     identity = worker_identity()
     rng = random.Random()  # per-process jitter stream (OS-seeded)

@@ -19,6 +19,7 @@ import sys
 from repro.analysis.export import results_to_csv
 from repro.experiments import EXPERIMENTS
 from repro.experiments.common import stderr_progress
+from repro.scenario.policy import ExecutionPolicy
 
 __all__ = ["main"]
 
@@ -104,13 +105,18 @@ def main(argv: list[str] | None = None) -> int:
         print(json.dumps(specs, indent=2))
         return 0
 
+    # One value describes how every experiment executes; the modules
+    # hand it through run_sweep to the distributed service unchanged.
+    policy = ExecutionPolicy(
+        workers=args.workers, spool=args.spool, stale_after=args.stale_after
+    )
+
     all_results = []
     for name in names:
         module = EXPERIMENTS[name]
         data = module.run(
             scale=args.scale, seed=args.seed, progress=progress,
-            engine=args.engine, workers=args.workers, spool=args.spool,
-            stale_after=args.stale_after,
+            engine=args.engine, policy=policy,
         )
         print(module.report(data))
         all_results.extend(res for _, res in data.entries)

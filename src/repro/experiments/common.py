@@ -21,8 +21,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.scenario import Result, Scenario, Session
+from repro.scenario import ExecutionPolicy, Result, Scenario, Session
 from repro.utils.config import ExperimentConfig
+from repro.utils.exceptions import ConfigurationError
 from repro.utils.numerics import safe_log10
 
 __all__ = ["SweepData", "run_sweep", "scenario_points", "stderr_progress"]
@@ -115,6 +116,7 @@ def run_sweep(
     workers: int = 1,
     spool: str | None = None,
     stale_after: float | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> SweepData:
     """Execute every config in order; returns the collected data.
 
@@ -123,17 +125,30 @@ def run_sweep(
     path, which makes the large-``n`` corners of the paper sweeps
     (exp2's ``n = 2^16``) tractable.
 
-    ``workers > 1`` (or a ``spool`` directory) routes the sweep
-    through the distributed job service: every (point, repetition)
+    How the sweep executes is one :class:`ExecutionPolicy` value:
+    ``policy.workers > 1`` (or a ``policy.spool`` directory) routes it
+    through the distributed job service — every (point, repetition)
     pair is an independently scheduled job, executed by local worker
-    processes — plus any ``python -m repro.distributed worker``
-    processes sharing the spool — and reassembled in deterministic
+    processes plus any ``python -m repro.distributed worker``
+    processes sharing the spool, and reassembled in deterministic
     sweep order, with per-point results identical to the sequential
-    run.
+    run.  The loose ``workers``/``spool``/``stale_after`` parameters
+    remain as aliases for one release; mixing them with ``policy=``
+    raises.
     """
+    policy = ExecutionPolicy.from_kwargs(
+        policy, warn=False, workers=workers, spool=spool,
+        stale_after=stale_after,
+    )
+    if policy.shards > 1:
+        raise ConfigurationError(
+            "run_sweep: sweeps schedule (point, repetition) jobs; overlay "
+            "sharding applies to a single scenario — use "
+            "Session(scenario).run(policy=ExecutionPolicy(shards=...))"
+        )
     data = SweepData(name=name, scale=scale)
     t0 = time.perf_counter()
-    if workers > 1 or spool is not None:
+    if policy.workers > 1 or policy.spool is not None:
         from repro.distributed.service import run_sweep_jobs
 
         configs = list(configs)
@@ -150,8 +165,7 @@ def run_sweep(
                 )
 
         results = run_sweep_jobs(
-            points, workers=workers, spool=spool, progress=point_progress,
-            stale_after=stale_after,
+            points, progress=point_progress, policy=policy,
         )
         data.entries = list(zip(configs, results))
         data.elapsed_seconds = time.perf_counter() - t0

@@ -86,6 +86,7 @@ def run(
     workers: int = 1,
     spool: str | None = None,
     stale_after: float | None = None,
+    policy=None,
 ) -> SweepData:
     """Execute the (single-point) sweep; measured counts go in meta.
 
@@ -97,7 +98,7 @@ def run(
     return run_sweep(
         NAME, scale, configs(scale, seed), progress,
         engine=engine, workers=workers, spool=spool,
-        stale_after=stale_after,
+        stale_after=stale_after, policy=policy,
     )
 
 

@@ -31,6 +31,11 @@ warn when called directly, while the baseline runners
 their signatures and quietly build their runs through the facade.
 """
 
+from repro.scenario.policy import (
+    EXECUTION_FIELDS,
+    ExecutionPolicy,
+    ExecutionPolicyError,
+)
 from repro.scenario.result import Result, RunRecord
 from repro.scenario.session import Session
 from repro.scenario.spec import (
@@ -48,6 +53,9 @@ from repro.scenario.spec import (
 __all__ = [
     "Scenario",
     "Session",
+    "ExecutionPolicy",
+    "ExecutionPolicyError",
+    "EXECUTION_FIELDS",
     "Result",
     "RunRecord",
     "TransportSpec",

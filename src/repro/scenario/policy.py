@@ -1,0 +1,209 @@
+"""The unified execution policy: one value for every *how*-to-run knob.
+
+A :class:`Scenario` says *what* to simulate; an :class:`ExecutionPolicy`
+says *how* to execute it — process parallelism, spool-backed
+distribution, overlay sharding, and the liveness thresholds of the
+distributed service.  Before this class the knobs were six loose
+keyword arguments threaded through ``Session.sweep`` →
+``run_sweep_jobs`` → ``run_worker``; now every entry point
+(:meth:`Session.run <repro.scenario.session.Session.run>`,
+:meth:`Session.sweep <repro.scenario.session.Session.sweep>`,
+:func:`run_sweep_jobs <repro.distributed.service.run_sweep_jobs>`,
+and the ``repro.experiments`` / ``repro.distributed`` CLIs) accepts one
+frozen policy value.
+
+The loose kwargs survive for one release as deprecated aliases:
+:meth:`ExecutionPolicy.from_kwargs` merges them into a policy (warning
+when asked to), so existing call sites and old serialized invocations
+keep working unchanged.
+
+>>> ExecutionPolicy(workers=4).workers
+4
+>>> ExecutionPolicy.from_dict({"shards": 2}).shards
+2
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Mapping
+
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["ExecutionPolicy", "EXECUTION_FIELDS"]
+
+#: Field names of :class:`ExecutionPolicy` — the execution knobs that
+#: must *not* appear inside a :class:`~repro.scenario.spec.Scenario`
+#: payload (the scenario layer uses this set to produce a pointed
+#: error message instead of a generic unknown-field rejection).
+EXECUTION_FIELDS = (
+    "workers",
+    "spool",
+    "shards",
+    "stale_after",
+    "heartbeat_interval",
+    "job_timeout",
+)
+
+#: Defaults of the deprecated loose-kwarg surface, used by
+#: :meth:`ExecutionPolicy.from_kwargs` to tell "caller passed the
+#: default" from "caller did not pass it at all".
+_KWARG_DEFAULTS: dict[str, Any] = {
+    "workers": 1,
+    "spool": None,
+    "shards": 1,
+    "stale_after": None,
+    "heartbeat_interval": 15.0,
+    "job_timeout": None,
+}
+
+
+class ExecutionPolicyError(ConfigurationError):
+    """An execution-policy field failed validation.
+
+    The message always starts with ``ExecutionPolicy.<field>:``,
+    mirroring :class:`~repro.scenario.spec.ScenarioValidationError`.
+    """
+
+    def __init__(self, field_name: str, message: str):
+        self.field = field_name
+        super().__init__(f"ExecutionPolicy.{field_name}: {message}")
+
+
+def _require(field_name: str, condition: bool, message: str) -> None:
+    if not condition:
+        raise ExecutionPolicyError(field_name, message)
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a scenario (or sweep) executes; orthogonal to *what* runs.
+
+    Attributes
+    ----------
+    workers:
+        Process-parallel execution: repetitions for
+        :meth:`Session.run`, (point, repetition) jobs for sweeps.
+        Results are identical to the sequential run on every path.
+    spool:
+        Spool directory.  For sweeps this routes jobs through the
+        file-backed :class:`~repro.distributed.spool.JobQueue` (remote
+        workers can join; interrupted sweeps resume).  For sharded
+        runs (``shards > 1``) it holds the cross-shard exchange:
+        shards become separate OS processes whose windowed messages
+        persist as files, which is what makes a killed shard worker
+        recoverable by deterministic replay.
+    shards:
+        Partition one overlay's node ids over this many shard
+        engines (``Session.run`` only; see :mod:`repro.sharding`).
+        ``1`` = the ordinary single-engine fast path.
+    stale_after:
+        Spool sweeps: reclaim claims whose last heartbeat is older
+        than this many seconds (``None`` recovers only provably dead
+        local workers).
+    heartbeat_interval:
+        Spool sweeps: seconds between worker claim-heartbeat stamps.
+    job_timeout:
+        Spool sweeps: per-job wall-clock budget enforced between
+        repetitions.
+    """
+
+    workers: int = 1
+    spool: str | None = None
+    shards: int = 1
+    stale_after: float | None = None
+    heartbeat_interval: float = 15.0
+    job_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        _require("workers", int(self.workers) >= 1, "must be >= 1")
+        _require("shards", int(self.shards) >= 1, "must be >= 1")
+        object.__setattr__(self, "workers", int(self.workers))
+        object.__setattr__(self, "shards", int(self.shards))
+        if self.spool is not None:
+            _require("spool", isinstance(self.spool, str) and bool(self.spool),
+                     "must be a non-empty directory path or None")
+        _require("heartbeat_interval", self.heartbeat_interval > 0,
+                 "must be positive seconds")
+        if self.stale_after is not None:
+            _require("stale_after", self.stale_after > 0,
+                     "must be positive seconds or None")
+        if self.job_timeout is not None:
+            # zero is legal: an immediately-expiring budget (the chaos
+            # suite uses it to force the timeout path deterministically)
+            _require("job_timeout", self.job_timeout >= 0,
+                     "must be >= 0 seconds or None")
+
+    # -- merging the deprecated loose-kwarg surface ---------------------------
+
+    @classmethod
+    def from_kwargs(
+        cls,
+        policy: "ExecutionPolicy | None" = None,
+        warn: bool = True,
+        stacklevel: int = 3,
+        **kwargs: Any,
+    ) -> "ExecutionPolicy":
+        """Merge a policy with the legacy loose kwargs.
+
+        The deprecation shim behind every migrated call site:
+
+        * only ``policy`` given → returned as-is;
+        * only loose kwargs given → a policy is built from them, and a
+          :class:`DeprecationWarning` names the offending kwargs when
+          ``warn`` is true (the public ``Session.sweep`` surface warns;
+          internal plumbing that merely *threads* legacy parameters
+          passes ``warn=False``);
+        * both given (a kwarg differing from its default alongside an
+          explicit policy) → :class:`ExecutionPolicyError`, because
+          silently preferring either would hide a real conflict.
+
+        Unknown kwargs raise, naming the field.
+        """
+        overrides: dict[str, Any] = {}
+        for name, value in kwargs.items():
+            if name not in _KWARG_DEFAULTS:
+                raise ExecutionPolicyError(name, "unknown execution field")
+            if value is not None and value != _KWARG_DEFAULTS[name]:
+                overrides[name] = value
+        if policy is not None:
+            if overrides:
+                raise ExecutionPolicyError(
+                    sorted(overrides)[0],
+                    "passed alongside an explicit policy= — move it into "
+                    "the ExecutionPolicy (the loose kwargs are deprecated "
+                    "aliases, not overrides)",
+                )
+            return policy
+        if overrides and warn:
+            import warnings
+
+            names = ", ".join(f"{k}=..." for k in sorted(overrides))
+            warnings.warn(
+                f"loose execution kwargs ({names}) are deprecated; pass "
+                "policy=ExecutionPolicy(...) instead",
+                DeprecationWarning,
+                stacklevel=stacklevel,
+            )
+        return cls(**overrides)
+
+    # -- JSON round-trip ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict (see :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionPolicy":
+        """Rebuild a policy from :meth:`to_dict` output; validates keys."""
+        known = {f.name for f in fields(cls)}
+        bad = set(data) - known
+        if bad:
+            raise ExecutionPolicyError(sorted(bad)[0], "unknown execution field")
+        return cls(**dict(data))
+
+    def with_(self, **changes: Any) -> "ExecutionPolicy":
+        """Return a modified copy."""
+        from dataclasses import replace
+
+        return replace(self, **changes)

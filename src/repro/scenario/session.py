@@ -21,6 +21,7 @@ import time
 from typing import Callable, Iterator, Sequence
 
 from repro.core.runner import _run_single_reference
+from repro.scenario.policy import ExecutionPolicy
 from repro.scenario.result import Result, RunRecord
 from repro.scenario.spec import Scenario
 from repro.utils.exceptions import ConfigurationError
@@ -297,6 +298,7 @@ class Session:
         self,
         workers: int = 1,
         progress: Callable[[int, RunRecord], None] | None = None,
+        policy: ExecutionPolicy | None = None,
     ) -> Result:
         """Execute every repetition and aggregate into a :class:`Result`.
 
@@ -310,10 +312,24 @@ class Session:
             picklable and require ``workers=1``.
         progress:
             Optional ``(repetition_index, record) -> None`` callback.
+        policy:
+            The unified execution surface
+            (:class:`~repro.scenario.policy.ExecutionPolicy`):
+            ``workers`` parallelism, and — ``run`` only —
+            ``shards > 1`` partitions each repetition's overlay over
+            shard engines (threads, or OS processes when the policy
+            also names a ``spool``); see :mod:`repro.sharding`.
+            Mutually exclusive with a non-default ``workers`` kwarg.
         """
         scenario = self.scenario
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        policy = ExecutionPolicy.from_kwargs(
+            policy, warn=False, workers=workers
+        )
+        workers = policy.workers
+        if policy.shards > 1:
+            return self._run_sharded(policy, progress)
         if workers > 1 and callable(scenario.topology):
             raise ValueError(
                 "parallel execution does not support custom topology factories"
@@ -333,7 +349,17 @@ class Session:
         else:
             import multiprocessing
 
-            jobs = [(scenario, rep) for rep in range(scenario.repetitions)]
+            from repro.core.kernels import resolve_backend_name
+
+            # Resolve the kernel backend in *this* process: spawned
+            # children would each re-run the availability fallback,
+            # re-warning once per worker (and risking divergence if a
+            # backend is flaky).  The resolved name is a plain
+            # registered backend everywhere.
+            picklable = scenario.with_(
+                kernel_backend=resolve_backend_name(scenario.kernel_backend)
+            )
+            jobs = [(picklable, rep) for rep in range(scenario.repetitions)]
             ctx = multiprocessing.get_context("spawn")
             with ctx.Pool(processes=min(workers, scenario.repetitions)) as pool:
                 # imap, not map: map blocks until the *last* repetition,
@@ -344,6 +370,44 @@ class Session:
                     records.append(record)
                     if progress is not None:
                         progress(rep, record)
+        return Result(
+            scenario=scenario,
+            records=records,
+            elapsed_seconds=time.perf_counter() - t0,
+        )
+
+    def _run_sharded(
+        self,
+        policy: ExecutionPolicy,
+        progress: Callable[[int, RunRecord], None] | None,
+    ) -> Result:
+        """Repetition loop of the sharded runtime (``policy.shards > 1``)."""
+        from pathlib import Path
+
+        from repro.sharding import run_sharded, validate_sharded
+
+        scenario = self.scenario
+        if policy.workers > 1:
+            raise ConfigurationError(
+                "shards > 1 already runs one engine per shard; combine "
+                "with workers > 1 is not supported — pick repetition "
+                "parallelism (workers) or overlay sharding (shards)"
+            )
+        validate_sharded(scenario, policy.shards)
+        t0 = time.perf_counter()
+        records: list[RunRecord] = []
+        for rep in range(scenario.repetitions):
+            spool = None
+            if policy.spool is not None:
+                # One exchange directory per repetition: windows of
+                # different repetitions must never mix.
+                spool = Path(policy.spool) / f"rep{rep:05d}"
+            record = run_sharded(
+                scenario, repetition=rep, shards=policy.shards, spool=spool
+            )
+            records.append(record)
+            if progress is not None:
+                progress(rep, record)
         return Result(
             scenario=scenario,
             records=records,
@@ -378,52 +442,63 @@ class Session:
 
     def sweep(
         self,
-        workers: int = 1,
+        workers: int | None = None,
         progress: Callable[[Scenario, Result], None] | None = None,
         spool: str | None = None,
         stale_after: float | None = None,
-        heartbeat_interval: float = 15.0,
+        heartbeat_interval: float | None = None,
         job_timeout: float | None = None,
+        policy: ExecutionPolicy | None = None,
         **axes: Sequence,
     ) -> list[Result]:
         """Run the cartesian sweep over ``axes``; one Result per point.
 
         Parameters
         ----------
-        workers:
-            With ``workers > 1`` the *whole sweep* is one work pool:
-            every (point, repetition) pair is an independent job, so
-            repetitions of different points fill the pool instead of
-            idling when ``repetitions < workers``.  Results are
-            identical to the sequential sweep — same records, same
-            deterministic point order — because each repetition keeps
-            its own seed-tree branch.
-        spool:
-            Optional spool directory: jobs go through the file-backed
-            :class:`~repro.distributed.spool.JobQueue`, so workers on
-            other hosts (``python -m repro.distributed worker --spool
-            DIR``) can join, and an interrupted sweep resumes.
-        stale_after:
-            Spool mode only: reclaim claims of this sweep whose last
-            *heartbeat* is older than this many seconds.  Workers
-            stamp their claims every ``heartbeat_interval`` seconds
-            while executing, so a few heartbeat periods is a safe
-            threshold regardless of job length.  ``None`` recovers
-            only provably dead local workers (owner probe).
-        heartbeat_interval:
-            Spool mode only: seconds between the local workers'
-            claim heartbeat stamps.
-        job_timeout:
-            Spool mode only: per-job wall-clock budget, enforced by
-            workers between repetitions (the job is released with a
-            ``"timeout"`` error past it, retried, then dead-lettered).
+        policy:
+            How the sweep executes, as one
+            :class:`~repro.scenario.policy.ExecutionPolicy` value:
+            ``workers > 1`` makes the whole sweep one work pool (every
+            (point, repetition) pair an independent job, so
+            repetitions of different points fill the pool); ``spool``
+            routes jobs through the file-backed
+            :class:`~repro.distributed.spool.JobQueue` (workers on
+            other hosts join via ``python -m repro.distributed worker
+            --spool DIR``; interrupted sweeps resume); ``stale_after``
+            / ``heartbeat_interval`` / ``job_timeout`` are the spool
+            liveness knobs (see
+            :func:`~repro.distributed.service.run_sweep_jobs`).
+            Results are pinned identical to the sequential sweep on
+            every path — same records, same deterministic point order.
+            ``shards`` is a :meth:`run`-only knob and rejected here.
+        workers, spool, stale_after, heartbeat_interval, job_timeout:
+            .. deprecated:: 2.0
+               Loose aliases of the policy fields, kept for one
+               release.  Passing any of them emits a
+               ``DeprecationWarning``; combining them with an explicit
+               ``policy=`` is an error.
         progress:
             ``(scenario, result) -> None``, fired once per point.
             Sequential sweeps fire in sweep order; parallel sweeps
             fire as points complete (possibly out of order) — the
             returned list is ordered either way.
         """
-        if workers > 1 or spool is not None:
+        policy = ExecutionPolicy.from_kwargs(
+            policy,
+            warn=True,
+            workers=workers,
+            spool=spool,
+            stale_after=stale_after,
+            heartbeat_interval=heartbeat_interval,
+            job_timeout=job_timeout,
+        )
+        if policy.shards > 1:
+            raise ConfigurationError(
+                "sweeps schedule (point, repetition) jobs; overlay "
+                "sharding applies to a single scenario — use "
+                "Session(scenario).run(policy=ExecutionPolicy(shards=...))"
+            )
+        if policy.workers > 1 or policy.spool is not None:
             from repro.distributed.service import run_sweep_jobs
 
             point_progress = None
@@ -433,16 +508,12 @@ class Session:
                 )
             return run_sweep_jobs(
                 list(self.scenarios(**axes)),
-                workers=workers,
-                spool=spool,
                 progress=point_progress,
-                stale_after=stale_after,
-                heartbeat_interval=heartbeat_interval,
-                job_timeout=job_timeout,
+                policy=policy,
             )
         results = []
         for scenario in self.scenarios(**axes):
-            result = Session(scenario).run(workers=workers)
+            result = Session(scenario).run()
             results.append(result)
             if progress is not None:
                 progress(scenario, result)

@@ -593,6 +593,16 @@ class Scenario:
         kwargs: dict[str, Any] = {}
         for key, value in data.items():
             if key not in known or key == "observers":
+                from repro.scenario.policy import EXECUTION_FIELDS
+
+                if key in EXECUTION_FIELDS:
+                    raise ScenarioValidationError(
+                        key,
+                        "is an execution knob, not a scenario field — a "
+                        "scenario says *what* to simulate; pass how-to-run "
+                        "knobs via ExecutionPolicy (e.g. Session(s).run("
+                        "policy=ExecutionPolicy(...)))",
+                    )
                 raise ScenarioValidationError(key, "unknown scenario field")
             if key in nested and isinstance(value, Mapping):
                 ctor = nested[key]

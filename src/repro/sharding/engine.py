@@ -1,0 +1,407 @@
+"""The per-shard driver: SoA PSO locally, gossip split at the boundary.
+
+A :class:`ShardEngine` owns one id block of the overlay.  Optimization
+runs on a churn-free :class:`~repro.core.fastpath.FastEngine` over the
+block (the ``node_ids`` seam keys every per-node stream by *global*
+id, so a shard's particles consume exactly the draws the whole-network
+engine would give them).  The anti-entropy gossip phase splits by
+where each node's drawn partner lives:
+
+* **local partner** — resolved immediately against cycle-start
+  snapshots with the same :func:`scatter_min_fold` semantics as
+  :meth:`FastEngine._gossip_phase`;
+* **remote partner** — the offer (push modes) or blind request (pull)
+  is buffered into the window's outgoing payload; the owning shard
+  folds offers / answers requests at the next barrier leg, and replies
+  land one leg later still.  Remote gossip thus settles with
+  one-window latency — values are monotone (adopt iff strictly
+  better), so the delay costs freshness, never correctness.
+
+Every cycle is one *window* of three message legs:
+
+1. ``begin_cycle``  — view exchanges + PSO + local gossip; posts
+   boundary-view requests and remote offers/requests;
+2. ``exchange_apply`` — serves peers' view requests and folds their
+   gossip traffic; posts the replies;
+3. ``finalize_cycle`` — folds replies, advances the cycle, posts a
+   status summary (local best / evaluations / budget state).
+
+After leg 3 every shard holds every peer's status and derives the
+*same* stop decision (threshold, budget, cycle cap) from the same
+numbers — no coordinator vote, no extra round trip.
+:func:`run_shard` is the loop around these legs; both the in-process
+threads and the spool worker processes execute it, so the two fabrics
+run identical code and produce bit-identical overlays.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.fastpath import FastEngine
+from repro.core.metrics import QualitySample
+from repro.sharding.plan import ShardPlan
+from repro.sharding.views import make_shard_views
+from repro.topology.array_views import OracleViews
+from repro.utils.config import ExperimentConfig
+from repro.utils.rng import SeedSequenceTree
+
+__all__ = ["ShardEngine", "run_shard"]
+
+
+def _parts(incoming, key):
+    """Sources of ``incoming`` that carry a non-empty ``key`` array."""
+    return {
+        src: payload
+        for src, payload in incoming.items()
+        if key in payload and payload[key].size
+    }
+
+
+class ShardEngine:
+    """One shard of a sharded single-overlay run (see module docstring)."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        repetition: int,
+        plan: ShardPlan,
+        shard: int,
+        *,
+        topology: str = "newscast",
+        rng_mode: str = "strict",
+        kernel_backend: str = "numpy",
+        record_history: bool = False,
+    ):
+        self.plan = plan
+        self.shard = shard
+        self.peers = [s for s in range(plan.shards) if s != shard]
+        self.lo, self.hi = plan.block(shard)
+        self.m = self.hi - self.lo
+        self.gids = plan.ids_of(shard)
+        self.mode = config.coordination.mode
+        self.threshold = config.quality_threshold
+        self.record_history = record_history
+
+        # The PSO substrate: gossip disabled (this class owns it), an
+        # inert provider (the shard's overlay slice lives in
+        # ``self.views``), global-id streams via ``node_ids``.
+        self.fast = FastEngine(
+            config,
+            repetition=repetition,
+            gossip=False,
+            topology=OracleViews(),
+            rng_mode=rng_mode,
+            kernel_backend=kernel_backend,
+            node_ids=self.gids,
+        )
+        tree = SeedSequenceTree(config.seed).subtree("rep", repetition)
+        self.views = make_shard_views(
+            topology, plan, shard, config.newscast.view_size,
+            tree.rng("topology", topology, "shard", shard),
+        )
+        self.gossip_rng = tree.rng("fastpath", "gossip", "shard", shard)
+
+        self.cycle = 0
+        self.best_value = float("inf")
+        self.history: list[QualitySample] = []
+        self.threshold_cycle: int | None = None
+        self.threshold_evaluations: int | None = None
+        self.messages_sent = 0
+        self.adoptions = 0
+        self._stopped = False
+        self._stop_reason: str | None = None
+        self._t0 = time.perf_counter()
+
+    # -- control ---------------------------------------------------------------
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def stop(self, reason: str) -> None:
+        if not self._stopped:
+            self._stopped = True
+            self._stop_reason = reason
+
+    # -- leg 1 -----------------------------------------------------------------
+
+    def begin_cycle(self) -> dict[int, dict[str, np.ndarray]]:
+        """Views + PSO + local gossip; returns outgoing leg-1 payloads."""
+        out = self.views.begin_cycle(self.cycle)
+        self.fast._pso_phase(np.arange(self.m, dtype=np.int64))
+        for dst, payload in self._gossip_local().items():
+            out.setdefault(dst, {}).update(payload)
+        return out
+
+    def _gossip_local(self) -> dict[int, dict[str, np.ndarray]]:
+        """The gossip phase's local half; buffers the remote half."""
+        if self.plan.nodes < 2 or self.m == 0:
+            return {}
+        soa = self.fast.soa
+        peers = self.views.gossip_targets(self.gossip_rng)
+        known = peers >= 0
+        if not np.any(known):
+            return {}
+        local = known & (peers >= self.lo) & (peers < self.hi)
+        remote = known & ~local
+        peer_row = np.where(local, peers - self.lo, 0)
+
+        val = soa.best_values.copy()
+        posm = soa.best_positions.copy()
+        has = np.isfinite(val)
+        new_val = val.copy()
+        new_pos = posm.copy()
+
+        out: dict[int, dict[str, np.ndarray]] = {}
+        if self.mode in ("push", "push-pull"):
+            attempted = has & known
+            self.messages_sent += int(attempted.sum())
+            senders = np.nonzero(attempted & local)[0]
+            self.adoptions += self.fast.backend.scatter_min_fold(
+                senders, peer_row, val, posm, val, new_val, new_pos
+            )
+            if self.mode == "push-pull":
+                delivered = attempted & local
+                replied = delivered & has[peer_row] & (val >= val[peer_row])
+                self.messages_sent += int(replied.sum())
+                back = replied & (val[peer_row] < new_val)
+                if np.any(back):
+                    new_val[back] = val[peer_row[back]]
+                    new_pos[back] = posm[peer_row[back]]
+                    self.adoptions += int(back.sum())
+            rsel = attempted & remote
+            if np.any(rsel):
+                out = self._route(peers[rsel], {
+                    "go_init": self.gids[rsel],
+                    "go_tgt": peers[rsel],
+                    "go_val": val[rsel],
+                    "go_pos": posm[rsel],
+                })
+        else:  # pull
+            self.messages_sent += int(known.sum())
+            replied = local & has[peer_row]
+            self.messages_sent += int(replied.sum())
+            back = replied & (val[peer_row] < new_val)
+            if np.any(back):
+                new_val[back] = val[peer_row[back]]
+                new_pos[back] = posm[peer_row[back]]
+                self.adoptions += int(back.sum())
+            if np.any(remote):
+                out = self._route(peers[remote], {
+                    "pq_init": self.gids[remote],
+                    "pq_tgt": peers[remote],
+                })
+
+        soa.best_values[:] = new_val
+        soa.best_positions[:] = new_pos
+        return out
+
+    def _route(self, targets: np.ndarray,
+               payload: dict[str, np.ndarray]) -> dict[int, dict]:
+        """Split a flat payload by the owning shard of ``targets``."""
+        owners = self.plan.owner_of(targets)
+        out: dict[int, dict[str, np.ndarray]] = {}
+        for dst in np.unique(owners):
+            sel = owners == dst
+            out[int(dst)] = {key: arr[sel] for key, arr in payload.items()}
+        return out
+
+    # -- leg 2 -----------------------------------------------------------------
+
+    def exchange_apply(
+        self, incoming: dict[int, dict[str, np.ndarray]]
+    ) -> dict[int, dict[str, np.ndarray]]:
+        """Serve peers' view requests and gossip traffic; emit replies."""
+        replies = self.views.apply_requests(_parts(incoming, "vq_tgt"))
+        for dst, payload in self._gossip_remote(incoming).items():
+            replies.setdefault(dst, {}).update(payload)
+        return replies
+
+    def _gossip_remote(
+        self, incoming: dict[int, dict[str, np.ndarray]]
+    ) -> dict[int, dict[str, np.ndarray]]:
+        soa = self.fast.soa
+        out: dict[int, dict[str, np.ndarray]] = {}
+        if self.mode in ("push", "push-pull"):
+            offers = _parts(incoming, "go_tgt")
+            srcs = sorted(offers)
+            if not srcs:
+                return {}
+            init = np.concatenate([offers[s]["go_init"] for s in srcs])
+            tgt = np.concatenate([offers[s]["go_tgt"] for s in srcs])
+            oval = np.concatenate([offers[s]["go_val"] for s in srcs])
+            opos = np.concatenate([offers[s]["go_pos"] for s in srcs])
+            src_of = np.concatenate([
+                np.full(offers[s]["go_tgt"].shape[0], s, dtype=np.int64)
+                for s in srcs
+            ])
+            rows = tgt - self.lo
+            # Snapshot before folding: replies describe the receiver as
+            # the offer found it, exactly like the local push-pull leg.
+            val2 = soa.best_values.copy()
+            posm2 = soa.best_positions.copy()
+            has2 = np.isfinite(val2)
+            if self.mode == "push-pull":
+                replied = has2[rows] & (oval >= val2[rows])
+                self.messages_sent += int(replied.sum())
+                for s in srcs:
+                    sel = (src_of == s) & replied
+                    if np.any(sel):
+                        out[int(s)] = {
+                            "gr_init": init[sel],
+                            "gr_val": val2[rows[sel]],
+                            "gr_pos": posm2[rows[sel]],
+                        }
+            self.adoptions += self.fast.backend.scatter_min_fold(
+                np.arange(oval.shape[0], dtype=np.int64), rows, oval, opos,
+                val2, soa.best_values, soa.best_positions,
+            )
+        else:  # pull
+            reqs = _parts(incoming, "pq_tgt")
+            srcs = sorted(reqs)
+            if not srcs:
+                return {}
+            val2 = soa.best_values
+            posm2 = soa.best_positions
+            has2 = np.isfinite(val2)
+            for s in srcs:
+                rows = reqs[s]["pq_tgt"] - self.lo
+                replied = has2[rows]
+                self.messages_sent += int(replied.sum())
+                if np.any(replied):
+                    out[int(s)] = {
+                        "gr_init": reqs[s]["pq_init"][replied],
+                        "gr_val": val2[rows[replied]].copy(),
+                        "gr_pos": posm2[rows[replied]].copy(),
+                    }
+        return out
+
+    # -- leg 3 -----------------------------------------------------------------
+
+    def finalize_cycle(
+        self, incoming: dict[int, dict[str, np.ndarray]]
+    ) -> dict[str, np.ndarray]:
+        """Fold replies, advance the clock, emit the status summary."""
+        self.views.apply_replies(_parts(incoming, "vr_init"))
+        replies = _parts(incoming, "gr_init")
+        srcs = sorted(replies)
+        if srcs:
+            # At most one remote exchange per initiator per cycle, so
+            # reply rows are distinct — a plain masked write suffices.
+            init = np.concatenate([replies[s]["gr_init"] for s in srcs])
+            gval = np.concatenate([replies[s]["gr_val"] for s in srcs])
+            gpos = np.concatenate([replies[s]["gr_pos"] for s in srcs])
+            soa = self.fast.soa
+            rows = init - self.lo
+            back = gval < soa.best_values[rows]
+            if np.any(back):
+                soa.best_values[rows[back]] = gval[back]
+                soa.best_positions[rows[back]] = gpos[back]
+                self.adoptions += int(back.sum())
+        self.cycle += 1
+        self.fast.cycle = self.cycle
+        self.fast.now = float(self.cycle)
+        return {
+            "st_best": np.float64(self.fast.global_best()),
+            "st_evals": np.int64(self.fast.total_evaluations()),
+            "st_exhausted": np.bool_(self.fast.budgets_exhausted()),
+        }
+
+    def resolve(self, statuses: dict[int, dict[str, np.ndarray]]) -> None:
+        """Derive the cycle's global stop decision from all statuses.
+
+        Every shard evaluates the same pure function of the same
+        numbers, so all shards stop together without a coordinator.
+        Mirrors the single-process observer order: threshold first,
+        then budget (``run_one_cycle`` breaks its observer loop on the
+        first stop).
+        """
+        best = min(float(p["st_best"]) for p in statuses.values())
+        evals = sum(int(p["st_evals"]) for p in statuses.values())
+        if best < self.best_value:
+            self.best_value = best
+        if self.record_history:
+            self.history.append(
+                QualitySample(self.cycle, evals, self.best_value)
+            )
+        if (
+            self.threshold is not None
+            and self.threshold_cycle is None
+            and self.best_value <= self.threshold
+        ):
+            self.threshold_cycle = self.cycle
+            self.threshold_evaluations = evals
+            self.stop("threshold")
+        elif all(bool(p["st_exhausted"]) for p in statuses.values()):
+            self.stop("budget")
+
+    # -- harvest ---------------------------------------------------------------
+
+    def result_fragment(self) -> dict:
+        """JSON-able summary a coordinator assembles into a RunResult."""
+        vals = self.fast.soa.best_values
+        finite = vals[np.isfinite(vals)]
+        elapsed = time.perf_counter() - self._t0
+        return {
+            "shard": self.shard,
+            "nodes": self.m,
+            "cycles": self.cycle,
+            "stop_reason": self._stop_reason or "cycle cap",
+            "best_value": float(self.best_value),
+            "evaluations": int(self.fast.total_evaluations()),
+            "threshold_cycle": self.threshold_cycle,
+            "threshold_evaluations": self.threshold_evaluations,
+            "spread_lo": float(finite.min()) if finite.size else None,
+            "spread_hi": float(finite.max()) if finite.size else None,
+            "messages_sent": int(self.messages_sent),
+            "adoptions": int(self.adoptions),
+            "exchanges": int(self.views.exchanges),
+            "history": [
+                [s.cycle, s.evaluations, s.best_value] for s in self.history
+            ],
+            "elapsed": elapsed,
+            "node_cycles_per_second": (
+                self.m * self.cycle / elapsed if elapsed > 0 else 0.0
+            ),
+        }
+
+
+def run_shard(engine: ShardEngine, exchange, max_cycles: int,
+              fault_hook=None) -> dict:
+    """Drive one shard to completion over an exchange; return its fragment.
+
+    The single loop body both fabrics execute.  ``fault_hook(cycle)``
+    is the chaos-injection seam (the spool worker arms it from the
+    environment); it runs before the window's first post, so a killed
+    worker leaves the window incomplete and the respawn replays it.
+    """
+    me = engine.shard
+    peers = engine.peers
+    try:
+        while not engine.stopped and engine.cycle < max_cycles:
+            window = engine.cycle
+            if fault_hook is not None:
+                fault_hook(window)
+            out = engine.begin_cycle()
+            for dst in peers:
+                exchange.post(window, 1, me, dst, out.get(dst, {}))
+            out = engine.exchange_apply(
+                exchange.collect(window, 1, me, peers)
+            )
+            for dst in peers:
+                exchange.post(window, 2, me, dst, out.get(dst, {}))
+            status = engine.finalize_cycle(
+                exchange.collect(window, 2, me, peers)
+            )
+            for dst in peers:
+                exchange.post(window, 3, me, dst, status)
+            statuses = exchange.collect(window, 3, me, peers)
+            statuses[me] = status
+            engine.resolve(statuses)
+        return engine.result_fragment()
+    except BaseException as exc:
+        exchange.abort(f"shard {me} failed: {exc!r}")
+        raise

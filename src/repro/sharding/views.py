@@ -1,0 +1,344 @@
+"""Sharded NEWSCAST views: local rows, global entries, boundary messages.
+
+Each shard holds the ``(m, c)`` view matrices of *its own* nodes, but
+the entries are **global** node ids — the overlay is one network, only
+its storage is partitioned.  A cycle's view exchanges split by where
+the drawn partner lives:
+
+* **local** (partner on this shard) — resolved immediately, in the
+  same vertex-disjoint first-come rounds as
+  :class:`~repro.topology.array_views.NewscastArrayViews`, preserving
+  the in-cycle information cascade within the shard;
+* **remote** — buffered as a *boundary-view request* carrying the
+  initiator's current view and fresh self-descriptor.  At the window
+  barrier the owning shard merges the request into the target's row
+  and answers with the target's pre-merge view (a boundary-view
+  reply), which the initiator merges one leg later.  A remote exchange
+  therefore lands with one window of extra latency — the price of
+  distribution, statistically invisible at NEWSCAST's mixing rates
+  (pinned by ``tests/sharding/test_equivalence.py``).
+
+Timestamps, merge semantics and tie-breaking are exactly the array
+backend's (:func:`~repro.topology.array_views.merge_candidates` on
+``cycle * TS_SCALE + frac`` integer stamps), so a 1-shard
+:class:`ShardNewscastViews` degenerates to pure local rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sharding.plan import ShardPlan
+from repro.topology.array_views import TS_SCALE, merge_candidates
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["ShardNewscastViews", "ShardOracleViews", "make_shard_views"]
+
+_EMPTY = np.int64(-1)
+
+#: Payload keys of a boundary-view request / reply (one flat namespace
+#: shared with the gossip keys in repro.sharding.engine).
+_REQ_KEYS = ("vq_init", "vq_tgt", "vq_ids", "vq_ts", "vq_self")
+_REP_KEYS = ("vr_init", "vr_ids", "vr_ts", "vr_peer", "vr_peer_ts")
+
+
+class ShardOracleViews:
+    """The idealized uniform sampler, sharded: no views, no messages."""
+
+    name = "oracle"
+
+    def __init__(self, plan: ShardPlan, shard: int,
+                 rng: np.random.Generator):
+        self.plan = plan
+        self.shard = shard
+        self.rng = rng
+        self.lo, self.hi = plan.block(shard)
+        self.m = self.hi - self.lo
+        self.exchanges = 0
+        self.failed_exchanges = 0
+
+    def begin_cycle(self, cycle: int) -> dict[int, dict[str, np.ndarray]]:
+        return {}
+
+    def apply_requests(self, incoming) -> dict[int, dict[str, np.ndarray]]:
+        return {}
+
+    def apply_replies(self, incoming) -> None:
+        pass
+
+    def gossip_targets(self, rng: np.random.Generator) -> np.ndarray:
+        n = self.plan.nodes
+        if n < 2:
+            return np.full(self.m, _EMPTY, dtype=np.int64)
+        gids = np.arange(self.lo, self.hi, dtype=np.int64)
+        draw = rng.integers(0, n - 1, size=self.m)
+        return draw + (draw >= gids)
+
+    def neighbor_matrix(self) -> np.ndarray | None:
+        return None
+
+
+class ShardNewscastViews:
+    """NEWSCAST view dynamics over one shard's rows of the overlay."""
+
+    name = "newscast"
+
+    def __init__(self, plan: ShardPlan, shard: int, capacity: int,
+                 rng: np.random.Generator):
+        if capacity < 1:
+            raise ConfigurationError("view capacity must be >= 1")
+        self.plan = plan
+        self.shard = shard
+        self.capacity = capacity
+        self.rng = rng
+        self.lo, self.hi = plan.block(shard)
+        self.m = self.hi - self.lo
+        self.gids = np.arange(self.lo, self.hi, dtype=np.int64)
+        self._ids = np.full((self.m, capacity), _EMPTY, dtype=np.int64)
+        self._ts = np.full((self.m, capacity), _EMPTY, dtype=np.int64)
+        self._self_ts = np.zeros(self.m, dtype=np.int64)
+        self.exchanges = 0
+        self.failed_exchanges = 0
+        self._bootstrap()
+
+    # -- setup -----------------------------------------------------------------
+
+    def _bootstrap(self) -> None:
+        """Uniform random t=0 contacts (replacement + merge-kernel dedup).
+
+        The whole-overlay analogue draws exactly-distinct contacts for
+        small populations; sharded bootstrap always uses the
+        replacement path (a view rarely starts an entry or two short —
+        indistinguishable after one cycle of mixing) because no shard
+        can see the full population to partition over.
+        """
+        n = self.plan.nodes
+        if n < 2 or self.m == 0:
+            return
+        wanted = min(self.capacity, n - 1)
+        draw = self.rng.integers(
+            0, n, size=(self.m, wanted + wanted // 2)
+        ).astype(np.int64)
+        collide = draw == self.gids[:, None]
+        draw[collide] = (np.nonzero(collide)[0] + self.lo + 1) % n
+        ids, ts = merge_candidates(
+            np.concatenate([self._ids, draw], axis=1),
+            np.concatenate([self._ts, np.zeros_like(draw)], axis=1),
+            self.gids,
+            self.capacity,
+        )
+        self._ids, self._ts = ids, ts
+
+    # -- sampling --------------------------------------------------------------
+
+    def _draw_from_views(self, rows: np.ndarray,
+                         rng: np.random.Generator) -> np.ndarray:
+        """One uniform view entry per local row (``-1`` = empty view)."""
+        own = self._ids[rows]
+        counts = (own >= 0).sum(axis=1)
+        pick = np.minimum(
+            (rng.random(rows.shape[0]) * counts).astype(np.int64),
+            np.maximum(counts - 1, 0),
+        )
+        peers = own[np.arange(rows.shape[0]), pick]
+        return np.where(counts > 0, peers, _EMPTY)
+
+    def gossip_targets(self, rng: np.random.Generator) -> np.ndarray:
+        """Per local node, one uniform partner (global id) for gossip."""
+        return self._draw_from_views(np.arange(self.m), rng)
+
+    def neighbor_matrix(self) -> np.ndarray:
+        """The shard's ``(m, c)`` global-id view matrix (copy)."""
+        return self._ids.copy()
+
+    # -- the cycle's exchanges -------------------------------------------------
+
+    def begin_cycle(self, cycle: int) -> dict[int, dict[str, np.ndarray]]:
+        """Run local exchanges; return boundary requests keyed by shard.
+
+        Every local node initiates once: partners on this shard
+        resolve through vertex-disjoint matching rounds (re-drawing on
+        collision, like the whole-overlay kernel); a remote draw —
+        whether first try or after losing a matching round — emits one
+        boundary-view request and retires the initiator for the cycle.
+        """
+        rng = self.rng
+        self._self_ts = cycle * TS_SCALE + rng.integers(
+            0, TS_SCALE, size=self.m
+        ).astype(np.int64)
+        out_init: list[np.ndarray] = []
+        out_tgt: list[np.ndarray] = []
+        if self.m == 0:
+            return {}
+
+        pending = self.gids[rng.permutation(self.m)]
+        while pending.size:
+            targets = self._draw_from_views(pending - self.lo, rng)
+            known = targets >= 0
+            remote = known & ((targets < self.lo) | (targets >= self.hi))
+            if np.any(remote):
+                out_init.append(pending[remote])
+                out_tgt.append(targets[remote])
+            local = known & ~remote
+            e_init = pending[local]
+            e_tgt = targets[local]
+            if e_init.size == 0:
+                break
+            accept = self._match_round(e_init, e_tgt)
+            self._merge_pairs(e_init[accept], e_tgt[accept])
+            pending = e_init[~accept]
+
+        if not out_init:
+            return {}
+        init = np.concatenate(out_init)
+        tgt = np.concatenate(out_tgt)
+        owners = self.plan.owner_of(tgt)
+        requests: dict[int, dict[str, np.ndarray]] = {}
+        rows = init - self.lo
+        for dst in np.unique(owners):
+            sel = owners == dst
+            requests[int(dst)] = {
+                "vq_init": init[sel],
+                "vq_tgt": tgt[sel],
+                "vq_ids": self._ids[rows[sel]].copy(),
+                "vq_ts": self._ts[rows[sel]].copy(),
+                "vq_self": self._self_ts[rows[sel]].copy(),
+            }
+        return requests
+
+    def _match_round(self, e_init: np.ndarray,
+                     e_tgt: np.ndarray) -> np.ndarray:
+        """First-come vertex-disjoint matching over local pairs."""
+        e = e_init.shape[0]
+        ks = np.arange(e, dtype=np.int64)
+        key = np.sort(
+            (np.concatenate([e_init, e_tgt]) << 32)
+            | np.concatenate([ks, ks])
+        )
+        first = np.empty(key.shape, dtype=bool)
+        first[0] = True
+        first[1:] = (key[1:] >> 32) != (key[:-1] >> 32)
+        first_k = np.full(self.hi, -1, dtype=np.int64)
+        first_k[key[first] >> 32] = key[first] & 0xFFFFFFFF
+        return (first_k[e_init] == ks) & (first_k[e_tgt] == ks)
+
+    def _merge_pairs(self, a: np.ndarray, b: np.ndarray) -> None:
+        """Symmetric local exchange: both ends merge view + descriptor."""
+        if a.size == 0:
+            return
+        self.exchanges += int(a.size)
+        rows = np.concatenate([a, b])
+        srcs = np.concatenate([b, a])
+        rl = rows - self.lo
+        sl = srcs - self.lo
+        cand_ids = np.concatenate(
+            [self._ids[rl], self._ids[sl], srcs[:, None]], axis=1
+        )
+        cand_ts = np.concatenate(
+            [self._ts[rl], self._ts[sl], self._self_ts[sl][:, None]], axis=1
+        )
+        ids, ts = merge_candidates(cand_ids, cand_ts, rows, self.capacity)
+        self._ids[rl] = ids
+        self._ts[rl] = ts
+
+    # -- barrier legs ----------------------------------------------------------
+
+    def apply_requests(
+        self, incoming: dict[int, dict[str, np.ndarray]]
+    ) -> dict[int, dict[str, np.ndarray]]:
+        """Merge incoming boundary requests; answer with pre-merge views.
+
+        Requests are applied in deterministic order (source shard,
+        then arrival order within the source — itself deterministic),
+        so the in-process and spool fabrics produce bit-identical
+        overlays.  Several requests may target one row; they apply in
+        sequential sub-rounds, like in-cycle collisions do on the
+        whole-overlay kernel.
+        """
+        srcs = sorted(s for s in incoming if incoming[s]["vq_tgt"].size)
+        if not srcs:
+            return {}
+        init = np.concatenate([incoming[s]["vq_init"] for s in srcs])
+        tgt = np.concatenate([incoming[s]["vq_tgt"] for s in srcs])
+        vids = np.concatenate([incoming[s]["vq_ids"] for s in srcs])
+        vts = np.concatenate([incoming[s]["vq_ts"] for s in srcs])
+        sts = np.concatenate([incoming[s]["vq_self"] for s in srcs])
+        src_of = np.concatenate(
+            [np.full(incoming[s]["vq_tgt"].shape[0], s, dtype=np.int64)
+             for s in srcs]
+        )
+        rl = tgt - self.lo
+
+        # Replies first: every initiator receives the target's view as
+        # it stood before this window's remote merges.
+        replies: dict[int, dict[str, np.ndarray]] = {}
+        for s in srcs:
+            sel = src_of == s
+            replies[int(s)] = {
+                "vr_init": init[sel],
+                "vr_ids": self._ids[rl[sel]].copy(),
+                "vr_ts": self._ts[rl[sel]].copy(),
+                "vr_peer": tgt[sel],
+                "vr_peer_ts": self._self_ts[rl[sel]].copy(),
+            }
+
+        # Then merge, one sub-round per same-row occurrence rank.
+        order = np.argsort(rl, kind="stable")
+        rl_sorted = rl[order]
+        new_row = np.empty(rl_sorted.shape, dtype=bool)
+        if rl_sorted.size:
+            new_row[0] = True
+            new_row[1:] = rl_sorted[1:] != rl_sorted[:-1]
+        starts = np.maximum.accumulate(
+            np.where(new_row, np.arange(rl_sorted.size), 0)
+        )
+        rank = np.arange(rl_sorted.size) - starts
+        for r in range(int(rank.max(initial=-1)) + 1):
+            sel = order[rank == r]
+            rows = tgt[sel]
+            rlr = rl[sel]
+            cand_ids = np.concatenate(
+                [self._ids[rlr], vids[sel], init[sel][:, None]], axis=1
+            )
+            cand_ts = np.concatenate(
+                [self._ts[rlr], vts[sel], sts[sel][:, None]], axis=1
+            )
+            ids, ts = merge_candidates(cand_ids, cand_ts, rows, self.capacity)
+            self._ids[rlr] = ids
+            self._ts[rlr] = ts
+        self.exchanges += int(tgt.size)
+        return replies
+
+    def apply_replies(
+        self, incoming: dict[int, dict[str, np.ndarray]]
+    ) -> None:
+        """Fold boundary replies into their initiators' rows."""
+        srcs = sorted(s for s in incoming if incoming[s]["vr_init"].size)
+        if not srcs:
+            return
+        init = np.concatenate([incoming[s]["vr_init"] for s in srcs])
+        vids = np.concatenate([incoming[s]["vr_ids"] for s in srcs])
+        vts = np.concatenate([incoming[s]["vr_ts"] for s in srcs])
+        peer = np.concatenate([incoming[s]["vr_peer"] for s in srcs])
+        pts = np.concatenate([incoming[s]["vr_peer_ts"] for s in srcs])
+        rl = init - self.lo
+        cand_ids = np.concatenate(
+            [self._ids[rl], vids, peer[:, None]], axis=1
+        )
+        cand_ts = np.concatenate([self._ts[rl], vts, pts[:, None]], axis=1)
+        ids, ts = merge_candidates(cand_ids, cand_ts, init, self.capacity)
+        self._ids[rl] = ids
+        self._ts[rl] = ts
+
+
+def make_shard_views(topology: str, plan: ShardPlan, shard: int,
+                     capacity: int, rng: np.random.Generator):
+    """Build the shard's overlay slice for a supported topology name."""
+    if topology == "newscast":
+        return ShardNewscastViews(plan, shard, capacity, rng)
+    if topology == "oracle":
+        return ShardOracleViews(plan, shard, rng)
+    raise ConfigurationError(
+        f"sharded execution supports topologies ('newscast', 'oracle'); "
+        f"got {topology!r}"
+    )

@@ -1,0 +1,58 @@
+"""Job payloads pin the *resolved* kernel backend before workers spawn.
+
+The availability fallback (e.g. ``numba`` → ``numpy`` when the
+dependency is missing) warns once per process; letting each spawned
+worker re-run it would re-warn per job and — because job ids digest
+the scenario payload — make submit/collect disagree on ids.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.kernels import resolve_backend_name
+from repro.distributed.jobs import jobs_for_sweep
+from repro.scenario.spec import Scenario
+
+
+def _scenario(**overrides) -> Scenario:
+    base = dict(
+        function="sphere", nodes=8, total_evaluations=160,
+        engine="fast", repetitions=2, seed=3,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+@pytest.mark.parametrize("name", ["numpy", "numba"])
+def test_payload_backend_is_resolved(name):
+    jobs = jobs_for_sweep([_scenario(kernel_backend=name)])
+    resolved = resolve_backend_name(name)
+    assert all(job.scenario["kernel_backend"] == resolved for job in jobs)
+
+
+def test_job_ids_agree_between_raw_and_resolved_submissions():
+    """submit(raw) and collect(resolved) must digest to the same ids."""
+    raw = jobs_for_sweep([_scenario(kernel_backend="numba")])
+    pinned = jobs_for_sweep(
+        [_scenario(kernel_backend=resolve_backend_name("numba"))]
+    )
+    assert [j.job_id for j in raw] == [j.job_id for j in pinned]
+
+
+def test_unknown_backend_passes_through_to_fail_at_execution():
+    payload = _scenario().to_dict()
+    payload["kernel_backend"] = "no-such-backend"
+    jobs = jobs_for_sweep([payload])
+    assert jobs[0].scenario["kernel_backend"] == "no-such-backend"
+
+
+def test_resolution_does_not_warn_twice():
+    """The fallback warning is once-per-process; a second resolve of
+    the same unavailable backend stays silent."""
+    resolve_backend_name("numba")  # may or may not warn (first use)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        resolve_backend_name("numba")

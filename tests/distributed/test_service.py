@@ -237,6 +237,35 @@ class TestCli:
         assert out.count("mean quality") == 3
         assert csv_path.read_text().startswith("function,")
 
+    def test_status_json_is_machine_readable(self, tmp_path, capsys):
+        import json
+
+        from repro.distributed.__main__ import main
+
+        points = [sweep_points()[0]]
+        scenarios_file = tmp_path / "sweep.json"
+        scenarios_file.write_text(
+            json.dumps([s.to_dict() for s in points])
+        )
+        spool = str(tmp_path / "spool")
+        assert main(["submit", "--spool", spool,
+                     "--scenarios", str(scenarios_file)]) == 0
+        capsys.readouterr()
+
+        assert main(["status", "--spool", spool, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert sorted(doc) == ["claims", "counts", "workers"]
+        assert doc["counts"]["pending"] == 2
+        assert doc["claims"] == [] and doc["workers"] == []
+
+        assert main(["worker", "--spool", spool, "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["status", "--spool", spool, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counts"]["results"] == 2
+        (worker_status,) = doc["workers"]
+        assert worker_status["jobs_done"] == 2
+
     def test_requeue_subcommand_recovers_dead_claims(self, tmp_path, capsys):
         from repro.distributed.__main__ import main
         from repro.distributed.spool import worker_identity

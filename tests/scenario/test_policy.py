@@ -1,0 +1,145 @@
+"""ExecutionPolicy: one frozen value for every how-to-run knob."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenario import (
+    ExecutionPolicy,
+    ExecutionPolicyError,
+    Scenario,
+    ScenarioValidationError,
+    Session,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+def _scenario(**overrides) -> Scenario:
+    base = dict(
+        function="sphere",
+        nodes=16,
+        total_evaluations=320,
+        max_cycles=10,
+        engine="fast",
+        repetitions=1,
+        seed=7,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestValidation:
+    def test_defaults_are_sequential(self):
+        policy = ExecutionPolicy()
+        assert policy.workers == 1
+        assert policy.spool is None
+        assert policy.shards == 1
+
+    @pytest.mark.parametrize(
+        "kwargs,field",
+        [
+            ({"workers": 0}, "workers"),
+            ({"shards": 0}, "shards"),
+            ({"stale_after": -1.0}, "stale_after"),
+            ({"heartbeat_interval": 0.0}, "heartbeat_interval"),
+            ({"job_timeout": -5.0}, "job_timeout"),
+        ],
+    )
+    def test_bad_values_name_the_field(self, kwargs, field):
+        with pytest.raises(ExecutionPolicyError, match=f"ExecutionPolicy.{field}"):
+            ExecutionPolicy(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ExecutionPolicy().workers = 2
+
+    def test_round_trip(self):
+        policy = ExecutionPolicy(
+            workers=3, spool="/tmp/x", shards=2, stale_after=60.0
+        )
+        assert ExecutionPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_with_returns_modified_copy(self):
+        policy = ExecutionPolicy(workers=2)
+        assert policy.with_(shards=4) == ExecutionPolicy(workers=2, shards=4)
+        assert policy.shards == 1
+
+
+class TestFromKwargs:
+    def test_loose_kwargs_become_a_policy(self):
+        policy = ExecutionPolicy.from_kwargs(None, warn=False, workers=4)
+        assert policy == ExecutionPolicy(workers=4)
+
+    def test_default_valued_kwargs_are_ignored(self):
+        policy = ExecutionPolicy.from_kwargs(
+            ExecutionPolicy(workers=4), warn=False, workers=1, spool=None
+        )
+        assert policy.workers == 4
+
+    def test_policy_plus_override_raises(self):
+        with pytest.raises(ExecutionPolicyError, match="deprecated aliases"):
+            ExecutionPolicy.from_kwargs(
+                ExecutionPolicy(workers=4), warn=False, workers=2
+            )
+
+    def test_loose_kwargs_warn_when_asked(self):
+        with pytest.warns(DeprecationWarning, match="workers"):
+            ExecutionPolicy.from_kwargs(None, warn=True, workers=2)
+
+
+class TestSessionSurface:
+    def test_sweep_loose_kwargs_deprecation(self, tmp_path):
+        with pytest.warns(DeprecationWarning, match="ExecutionPolicy"):
+            out = Session(_scenario()).sweep(
+                spool=str(tmp_path / "spool"), nodes=[8]
+            )
+        assert len(out) == 1
+
+    def test_sweep_policy_object_does_not_warn(self, recwarn, tmp_path):
+        Session(_scenario()).sweep(
+            policy=ExecutionPolicy(spool=str(tmp_path / "spool")), nodes=[8]
+        )
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_sweep_rejects_shards(self):
+        with pytest.raises(ConfigurationError, match="shard"):
+            Session(_scenario()).sweep(
+                policy=ExecutionPolicy(shards=2), nodes=[8]
+            )
+
+    def test_run_with_shards_routes_through_sharded_runtime(self):
+        result = Session(_scenario()).run(policy=ExecutionPolicy(shards=2))
+        assert result.records[0].stop_reason in ("budget", "cycle cap")
+
+    def test_run_rejects_workers_combined_with_shards(self):
+        with pytest.raises(ConfigurationError, match="workers"):
+            Session(_scenario()).run(
+                policy=ExecutionPolicy(shards=2, workers=2)
+            )
+
+
+def test_scenario_from_dict_points_execution_keys_at_policy():
+    spec = _scenario().to_dict()
+    spec["workers"] = 4
+    with pytest.raises(ScenarioValidationError) as exc_info:
+        Scenario.from_dict(spec)
+    message = str(exc_info.value)
+    assert "workers" in message
+    assert "ExecutionPolicy" in message
+    assert "execution knob" in message
+
+
+def test_scenario_from_dict_unknown_key_stays_generic():
+    spec = _scenario().to_dict()
+    spec["frobnicate"] = 1
+    with pytest.raises(ScenarioValidationError, match="unknown scenario field"):
+        Scenario.from_dict(spec)
+
+
+def test_scenario_from_dict_round_trip():
+    scenario = _scenario(
+        topology="newscast", record_history=True, quality_threshold=0.5
+    )
+    assert Scenario.from_dict(scenario.to_dict()) == scenario

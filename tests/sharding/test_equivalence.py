@@ -1,0 +1,143 @@
+"""Sharded runs are statistically equivalent to the single-process fast engine.
+
+The partition must be invisible: the same scenario run over 2 or 3
+shards has identical synchronous structure (cycle counts, evaluation
+totals, stop reasons) and quality in the same statistical regime as
+``engine="fast"`` in one process — only the gossip/topology random
+streams differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenario import ExecutionPolicy, Scenario, Session
+from repro.sharding import ShardPlan, run_sharded, validate_sharded
+from repro.sharding.views import make_shard_views
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import SeedSequenceTree
+
+
+def _scenario(**overrides) -> Scenario:
+    base = dict(
+        function="sphere",
+        nodes=32,
+        total_evaluations=2560,
+        max_cycles=60,
+        engine="fast",
+        repetitions=1,
+        seed=11,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def test_budget_structure_matches_single_process_exactly():
+    """Cycles, evaluation totals and stop reason are barrier-exact."""
+    scenario = _scenario()
+    single = Session(scenario).run_one(0)
+    for shards in (2, 3):
+        rec = run_sharded(scenario, repetition=0, shards=shards)
+        assert rec.cycles == single.cycles
+        assert rec.total_evaluations == single.total_evaluations
+        assert rec.stop_reason == single.stop_reason == "budget"
+        assert np.isfinite(rec.best_value)
+
+
+def test_quality_in_same_statistical_regime():
+    """Mean log-quality over repetitions lands in the same regime."""
+    reps = 4
+
+    def log_qualities(runner):
+        out = []
+        for rep in range(reps):
+            q = runner(rep)
+            out.append(np.log10(max(q, 1e-300)))
+        return np.asarray(out)
+
+    scenario = _scenario()
+    single = log_qualities(lambda r: Session(scenario).run_one(r).quality)
+    sharded = log_qualities(
+        lambda r: run_sharded(scenario, repetition=r, shards=2).quality
+    )
+    # different random streams, same optimizer dynamics: the means sit
+    # within a few orders of magnitude on a trajectory spanning dozens
+    assert abs(single.mean() - sharded.mean()) < 3.0
+
+
+def test_threshold_stop_reached_by_both():
+    scenario = _scenario(
+        quality_threshold=1.0, total_evaluations=64000, max_cycles=400
+    )
+    single = Session(scenario).run_one(0)
+    rec = run_sharded(scenario, repetition=0, shards=2)
+    assert single.stop_reason == "threshold"
+    assert rec.stop_reason == "threshold"
+    assert rec.quality <= 1.0
+    # similar time-to-threshold (same dynamics, different streams)
+    assert abs(rec.cycles - single.cycles) <= max(5, single.cycles)
+
+
+def test_session_policy_entry_point_matches_run_sharded():
+    scenario = _scenario()
+    via_session = Session(scenario).run(policy=ExecutionPolicy(shards=2))
+    direct = run_sharded(scenario, repetition=0, shards=2)
+    assert via_session.records[0] == direct
+
+
+def test_sharded_newscast_overlay_mixes_across_shards():
+    """After warm-up the partitioned overlay looks like one overlay:
+    views are full, self-free, and hold a healthy fraction of remote
+    peers on both sides of the cut."""
+    plan = ShardPlan(nodes=64, shards=2)
+    tree = SeedSequenceTree(5)
+    views = [
+        make_shard_views(
+            "newscast", plan, s, 20,
+            tree.rng("topology", "newscast", "shard", s),
+        )
+        for s in range(2)
+    ]
+    for cycle in range(30):
+        outs = [v.begin_cycle(cycle) for v in views]
+        replies = []
+        for d, v in enumerate(views):
+            incoming = {
+                src: outs[src][d]
+                for src in range(2)
+                if src != d and d in outs[src]
+            }
+            replies.append(v.apply_requests(incoming))
+        for d, v in enumerate(views):
+            incoming = {
+                src: replies[src][d]
+                for src in range(2)
+                if src != d and d in replies[src]
+            }
+            v.apply_replies(incoming)
+    for s, v in enumerate(views):
+        matrix = v.neighbor_matrix()
+        lo, hi = plan.block(s)
+        own = np.arange(lo, hi)
+        # full views, valid global ids, no self-loops
+        assert (matrix >= 0).all() and (matrix < plan.nodes).all()
+        assert not (matrix == own[:, None]).any()
+        # cross-shard mixing: a fair share of entries are remote
+        remote = ((matrix < lo) | (matrix >= hi)).mean()
+        assert 0.2 < remote < 0.8
+        assert v.exchanges > 0
+
+
+def test_validate_sharded_rejections():
+    ok = _scenario()
+    validate_sharded(ok, 2)  # baseline: accepted
+    cases = [
+        (_scenario(engine="reference"), 2),
+        (_scenario(topology="ring"), 2),
+        (ok, 0),
+        (ok, 33),
+    ]
+    for scenario, shards in cases:
+        with pytest.raises(ConfigurationError, match="sharded execution"):
+            validate_sharded(scenario, shards)

@@ -1,0 +1,52 @@
+"""ShardPlan: balanced contiguous partition with arithmetic ownership."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sharding import ShardPlan
+from repro.utils.exceptions import ConfigurationError
+
+
+def test_blocks_cover_id_space_exactly():
+    plan = ShardPlan(nodes=10, shards=3)
+    ids = np.concatenate([plan.ids_of(s) for s in range(plan.shards)])
+    assert ids.tolist() == list(range(10))
+
+
+@pytest.mark.parametrize("nodes,shards", [(10, 3), (7, 7), (100, 4), (5, 1)])
+def test_balance_within_one(nodes, shards):
+    plan = ShardPlan(nodes=nodes, shards=shards)
+    sizes = [plan.size(s) for s in range(shards)]
+    assert sum(sizes) == nodes
+    assert max(sizes) - min(sizes) <= 1
+    # the larger blocks come first
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_owner_of_matches_blocks():
+    plan = ShardPlan(nodes=10, shards=3)
+    owners = plan.owner_of(np.arange(10))
+    expected = np.concatenate(
+        [np.full(plan.size(s), s) for s in range(plan.shards)]
+    )
+    np.testing.assert_array_equal(owners, expected)
+    # boundary ids specifically
+    assert plan.owner_of(np.array([3, 4, 6, 7])).tolist() == [0, 1, 1, 2]
+
+
+def test_block_bounds_are_half_open():
+    plan = ShardPlan(nodes=10, shards=3)
+    assert [plan.block(s) for s in range(3)] == [(0, 4), (4, 7), (7, 10)]
+
+
+def test_invalid_plans_rejected():
+    with pytest.raises(ConfigurationError):
+        ShardPlan(nodes=0, shards=1)
+    with pytest.raises(ConfigurationError):
+        ShardPlan(nodes=4, shards=5)
+    with pytest.raises(ConfigurationError):
+        ShardPlan(nodes=4, shards=0)
+    with pytest.raises(ConfigurationError):
+        ShardPlan(nodes=4, shards=2).block(2)

@@ -1,0 +1,65 @@
+"""Spool-mode sharded runs: process fabric equivalence and crash replay.
+
+The spool fabric must be *bit-identical* to the in-process fabric (the
+exchange is deterministic and application order is sorted by source
+shard), and a shard worker killed mid-run must be respawned and replay
+the message log to the same record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenario import Scenario
+from repro.sharding import run_sharded
+from repro.sharding.coordinator import FAULT_ENV, run_sharded_detailed
+
+
+def _scenario() -> Scenario:
+    return Scenario(
+        function="sphere",
+        nodes=24,
+        total_evaluations=2880,
+        max_cycles=30,
+        engine="fast",
+        repetitions=1,
+        seed=19,
+    )
+
+
+@pytest.fixture(scope="module")
+def inproc_record():
+    return run_sharded(_scenario(), repetition=0, shards=2)
+
+
+def test_spool_run_bit_identical_to_in_process(tmp_path, inproc_record):
+    rec = run_sharded(
+        _scenario(), repetition=0, shards=2, spool=tmp_path / "spool"
+    )
+    assert rec == inproc_record
+
+
+def test_killed_shard_worker_replays_to_same_record(
+    tmp_path, monkeypatch, inproc_record
+):
+    """SIGKILL one shard mid-run; the respawn replays the spool log."""
+    monkeypatch.setenv(FAULT_ENV, "1:7")
+    spool = tmp_path / "spool"
+    rec, fragments = run_sharded_detailed(
+        _scenario(), repetition=0, shards=2, spool=spool
+    )
+    # the fault genuinely fired (the marker is the once-only latch)
+    assert (spool / "fault-1.fired").exists()
+    assert rec == inproc_record
+    assert len(fragments) == 2
+    assert all(f["cycles"] == rec.cycles for f in fragments)
+
+
+def test_fragments_carry_throughput(tmp_path):
+    _, fragments = run_sharded_detailed(
+        _scenario(), repetition=0, shards=2, spool=tmp_path / "spool"
+    )
+    for fragment in fragments:
+        assert fragment["elapsed"] > 0
+        assert fragment["node_cycles_per_second"] > 0
+        assert fragment["nodes"] == 12
