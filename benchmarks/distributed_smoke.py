@@ -19,7 +19,7 @@ from __future__ import annotations
 import tempfile
 
 from repro.distributed import run_sweep_jobs
-from repro.scenario import Scenario, Session
+from repro.scenario import ExecutionPolicy, Scenario, Session
 
 
 def main() -> int:
@@ -38,8 +38,11 @@ def main() -> int:
         # pre-heartbeat setting — exercises the heartbeat-age reclaim
         # policy end-to-end: live claims must never be stolen.
         distributed = run_sweep_jobs(
-            scenarios, workers=2, spool=spool, stale_after=2.0,
-            heartbeat_interval=0.5, job_timeout=300.0,
+            scenarios,
+            policy=ExecutionPolicy(
+                workers=2, spool=spool, stale_after=2.0,
+                heartbeat_interval=0.5, job_timeout=300.0,
+            ),
         )
     same_order = [r.scenario for r in distributed] == scenarios
     same_records = [r.records for r in distributed] == [

@@ -70,6 +70,11 @@ class CoordinationProtocol(CycleProtocol, EventProtocol, CoordinationService):
         Attachment name of the node's peer-sampling protocol.
     rng:
         Private stream for partner selection.
+    adversary:
+        Optional :class:`~repro.simulator.adversary.Adversary` shared
+        by the whole run.  Byzantine senders transform (or drop) every
+        outgoing optimum payload; with its defense flag on, receivers
+        re-evaluate offered positions before adoption.
     """
 
     PROTOCOL_NAME = "coordination"
@@ -80,11 +85,13 @@ class CoordinationProtocol(CycleProtocol, EventProtocol, CoordinationService):
         optimizer: OptimizationService,
         topology_protocol: str,
         rng: np.random.Generator,
+        adversary=None,
     ):
         self.config = config
         self.optimizer = optimizer
         self.topology_protocol = topology_protocol
         self.rng = rng
+        self.adversary = adversary
         self.exchanges_initiated = 0
         self.messages_sent = 0
         self.adoptions = 0
@@ -99,14 +106,22 @@ class CoordinationProtocol(CycleProtocol, EventProtocol, CoordinationService):
             return False
 
         mode = self.config.mode
+        adv = self.adversary
         if mode in ("push", "push-pull"):
-            best = self.optimizer.current_best()
+            best = self._outgoing_best(node.node_id)
             if best is None:
-                return False  # nothing to push yet
+                return False  # nothing to push yet (or dropped)
             payload = (_OFFER if mode == "push-pull" else _REPLY, best)
             # push mode sends a REPLY-tagged optimum: receivers adopt
             # but never respond, which is exactly push semantics.
         else:  # pull
+            if (
+                adv is not None
+                and adv.spec.behavior == "drop"
+                and adv.is_byzantine(node.node_id)
+            ):
+                adv.dropped += 1
+                return False
             payload = (_REQUEST, None)
 
         self.send(engine, node.node_id, peer_id, payload)
@@ -130,7 +145,7 @@ class CoordinationProtocol(CycleProtocol, EventProtocol, CoordinationService):
         kind, remote = message.payload
 
         if kind == _REQUEST:
-            best = self.optimizer.current_best()
+            best = self._outgoing_best(node.node_id)
             if best is not None:
                 self.send(engine, node.node_id, message.src, (_REPLY, best))
                 self.messages_sent += 1
@@ -154,13 +169,49 @@ class CoordinationProtocol(CycleProtocol, EventProtocol, CoordinationService):
                         engine, "coordination.adopt", node.node_id, remote.value
                     )
             elif mine is not None:
-                self.send(engine, node.node_id, message.src, (_REPLY, mine))
-                self.messages_sent += 1
+                reply = self._outgoing_best(node.node_id)
+                if reply is not None:
+                    self.send(engine, node.node_id, message.src, (_REPLY, reply))
+                    self.messages_sent += 1
             return
 
         raise ValueError(f"unknown coordination payload kind {kind!r}")
 
+    def _outgoing_best(self, node_id: int) -> Optimum | None:
+        """The optimum this node *sends* — honest, tampered, or dropped.
+
+        Without an adversary this is exactly ``current_best()``.  A
+        Byzantine sender lies per its behavior (``None`` = the message
+        is silently discarded); ``"false-best"`` fabricates even when
+        the node has no incumbent yet.
+        """
+        best = self.optimizer.current_best()
+        adv = self.adversary
+        if adv is None:
+            return best
+        fn = self.optimizer.function  # type: ignore[attr-defined]
+        out = adv.outgoing(
+            node_id,
+            best.position if best is not None else None,
+            best.value if best is not None else None,
+            fn.lower,
+            fn.upper,
+        )
+        if out is None:
+            return None
+        return Optimum(out[0], float(out[1]))
+
     def _adopt(self, remote: Optimum) -> bool:
+        adv = self.adversary
+        if adv is not None and adv.spec.defense:
+            # Plausibility filter: fold on the re-evaluated value, so a
+            # fabricated claim carries no weight beyond its position.
+            verified = adv.screen(
+                remote.position,
+                remote.value,
+                self.optimizer.evaluate_point,  # type: ignore[attr-defined]
+            )
+            remote = Optimum(remote.position, verified)
         accepted = self.optimizer.offer(remote)
         if accepted:
             self.adoptions += 1

@@ -105,6 +105,27 @@ class DistributedPSOService(OptimizationService):
     def evaluations(self) -> int:
         return self.swarm.state.evaluations
 
+    @property
+    def function(self) -> Function:
+        """The objective this service evaluates against."""
+        return self.swarm.function
+
+    def refresh_stale_bests(self) -> int:
+        """Re-measure remembered bests after a landscape shift.
+
+        Delegates to :meth:`~repro.pso.swarm.Swarm.refresh_stale_bests`;
+        never charged to the optimization budget.
+        """
+        return self.swarm.refresh_stale_bests()
+
+    def evaluate_point(self, position: np.ndarray) -> float:
+        """Oracle evaluation of one point (plausibility-filter hook).
+
+        Not counted as an optimization evaluation.
+        """
+        arr = np.asarray(position, dtype=float)
+        return float(self.swarm.function.batch(arr[None, :])[0])
+
     # -- introspection ---------------------------------------------------------------
 
     @property

@@ -114,6 +114,8 @@ class CohortEventEngine(FastEngine):
         repetition: int = 0,
         window: float | None = None,
         rng_mode: str = "strict",
+        dynamics=None,
+        adversary=None,
     ):
         self.deployment = config
         if window is None:
@@ -149,7 +151,14 @@ class CohortEventEngine(FastEngine):
             gossip=True,
             topology="newscast",
             rng_mode=rng_mode,
+            dynamics=dynamics,
+            adversary=adversary,
         )
+        self._dyn_tracker = None
+        if self._dynamic:
+            from repro.core.metrics import DynamicsTracker
+
+            self._dyn_tracker = DynamicsTracker()
         n = config.nodes
         rng = self._tree.rng("eventpath", "timers")
         # Per-id next-firing clocks, random initial phase in [0, period)
@@ -303,39 +312,110 @@ class CohortEventEngine(FastEngine):
                 return mask
             return mask & (rng.random(m) >= cfg.loss_rate)
 
+        # Hostile seam (same structure as FastEngine._gossip_phase):
+        # honest cohorts alias the snapshots; Byzantine rows are
+        # transformed and offer_ok masks who offers at all.
+        adv = self._adversary
+        if adv is None:
+            send_val, send_pos = val, posm
+            offer_ok = has
+            sendable = None
+        else:
+            send_val, send_pos, sendable = adv.tamper(
+                ids, val, posm, self.function.lower, self.function.upper
+            )
+            offer_ok = np.isfinite(send_val) & sendable
+
         if mode in ("push", "push-pull"):
-            attempted = has & known
+            attempted = offer_ok & known
             self.messages_sent += int(attempted.sum())
             carried = survives(attempted)
             self.transport_to_dead += int((carried & ~peer_alive).sum())
             delivered = carried & peer_alive
+            senders = np.nonzero(delivered)[0]
+            fold_val = send_val
+            if adv is not None and adv.spec.defense and senders.size:
+                fold_val = send_val.copy()
+                verified = self._verify_values(send_pos[senders])
+                adv.screen_batch(send_val[senders], verified)
+                fold_val[senders] = verified
             # Offers fold straight onto the receivers' global SoA rows
             # (receivers may be outside the cohort).
             self.adoptions += scatter_min_fold(
-                np.nonzero(delivered)[0], pslots, val, posm,
+                senders, pslots, fold_val, send_pos,
                 soa.best_values, soa.best_values, soa.best_positions,
             )
             if mode == "push-pull":
                 # Receiver at least as good -> replies with its own
                 # (pre-fold) optimum; initiator adopts iff better.
-                replied = delivered & p_has & (val >= pval)
+                if adv is None:
+                    replied = delivered & p_has & (val >= pval)
+                    self.messages_sent += int(replied.sum())
+                    back = survives(replied) & (pval < soa.best_values[slots])
+                    if np.any(back):
+                        soa.best_values[slots[back]] = pval[back]
+                        soa.best_positions[slots[back]] = ppos[back]
+                        self.adoptions += int(back.sum())
+                else:
+                    replied = delivered & p_has & (fold_val >= pval)
+                    self.messages_sent += int(replied.sum())
+                    self._cohort_reply_fold(
+                        adv, survives(replied), peers_safe, pval, ppos, slots
+                    )
+        else:  # pull: blind requests, reply iff the peer knows anything
+            if adv is None:
+                self.messages_sent += int(known.sum())
+                carried = survives(known)
+                self.transport_to_dead += int((carried & ~peer_alive).sum())
+                replied = carried & p_has
                 self.messages_sent += int(replied.sum())
                 back = survives(replied) & (pval < soa.best_values[slots])
                 if np.any(back):
                     soa.best_values[slots[back]] = pval[back]
                     soa.best_positions[slots[back]] = ppos[back]
                     self.adoptions += int(back.sum())
-        else:  # pull: blind requests, reply iff the peer knows anything
-            self.messages_sent += int(known.sum())
-            carried = survives(known)
-            self.transport_to_dead += int((carried & ~peer_alive).sum())
-            replied = carried & p_has
-            self.messages_sent += int(replied.sum())
-            back = survives(replied) & (pval < soa.best_values[slots])
-            if np.any(back):
-                soa.best_values[slots[back]] = pval[back]
-                soa.best_positions[slots[back]] = ppos[back]
-                self.adoptions += int(back.sum())
+            else:
+                requests = known & sendable  # "drop" nodes ask nothing
+                self.messages_sent += int(requests.sum())
+                carried = survives(requests)
+                self.transport_to_dead += int((carried & ~peer_alive).sum())
+                replied = carried & p_has
+                self.messages_sent += int(replied.sum())
+                self._cohort_reply_fold(
+                    adv, survives(replied), peers_safe, pval, ppos, slots
+                )
+
+    def _cohort_reply_fold(
+        self, adv, replied, peer_ids, pval, ppos, slots
+    ) -> None:
+        """Adversary-aware reply fold onto the initiators' global rows.
+
+        Replying peers may themselves be Byzantine — their reply
+        payloads go through the same transformation as offers (and the
+        same plausibility filter at the receiving initiators).
+        """
+        soa = self.soa
+        rows = np.nonzero(replied)[0]
+        if rows.size == 0:
+            return
+        r_val, r_pos, r_send = adv.tamper(
+            peer_ids[rows], pval[rows], ppos[rows],
+            self.function.lower, self.function.upper,
+        )
+        keep = np.nonzero(r_send)[0]
+        if keep.size == 0:
+            return
+        rows, r_val, r_pos = rows[keep], r_val[keep], r_pos[keep]
+        if adv.spec.defense:
+            verified = self._verify_values(r_pos)
+            adv.screen_batch(r_val, verified)
+            r_val = verified
+        better = r_val < soa.best_values[slots[rows]]
+        if np.any(better):
+            win = rows[better]
+            soa.best_values[slots[win]] = r_val[better]
+            soa.best_positions[slots[win]] = r_pos[better]
+            self.adoptions += int(better.sum())
 
     # -- batched draws over arbitrary cohorts --------------------------------------
 
@@ -377,6 +457,12 @@ class CohortEventEngine(FastEngine):
             best = self.global_best()
             evals = self.total_evaluations()
             self.history.append((t, evals, best))
+            if self._dyn_tracker is not None:
+                self._dyn_tracker.sample(
+                    t,
+                    self._problem.epoch_at(t),
+                    self.current_true_error(),
+                )
             if (
                 cfg.quality_threshold is not None
                 and self.threshold_time is None
@@ -421,6 +507,10 @@ class CohortEventEngine(FastEngine):
         cfg = self.deployment
         churning = cfg.crash_rate > 0 or cfg.join_rate > 0
         while not self._stopped and self.now < until:
+            if self._dynamic:
+                # Window-start epoch sync: shifts land on the first
+                # window boundary at/after the period multiple.
+                self._sync_epoch()
             w_end = min(self.now + self.window, until)
             rng = self._tree.rng("eventpath", "window", self._window_index)
             if churning:
@@ -433,6 +523,16 @@ class CohortEventEngine(FastEngine):
             self._window_index += 1
             self._monitor()
         best = self.global_best()
+        dynamics_dict = None
+        if self._dyn_tracker is not None:
+            dynamics_dict = self._dyn_tracker.metrics(
+                final_error=self.current_true_error()
+            )
+            dynamics_dict["reevaluations"] = int(self.reevaluations)
+        adversary_dict = None
+        if self._adversary is not None:
+            adversary_dict = self._adversary.tally_dict()
+            adversary_dict["final_true_error"] = self.current_true_error()
         return DeploymentResult(
             best_value=best,
             quality=self.quality_of(best),
@@ -444,6 +544,8 @@ class CohortEventEngine(FastEngine):
             crashes=self.crashes,
             joins=self.joins,
             history=list(self.history),
+            dynamics=dynamics_dict,
+            adversary=adversary_dict,
         )
 
 
@@ -453,6 +555,8 @@ def run_single_event_fast(
     repetition: int = 0,
     window: float | None = None,
     rng_mode: str = "strict",
+    dynamics=None,
+    adversary=None,
 ) -> DeploymentResult:
     """One cohort-batched asynchronous run (functional convenience).
 
@@ -461,5 +565,6 @@ def run_single_event_fast(
     through ``Scenario(engine="event", event_backend="fast")``.
     """
     return CohortEventEngine(
-        config, repetition=repetition, window=window, rng_mode=rng_mode
+        config, repetition=repetition, window=window, rng_mode=rng_mode,
+        dynamics=dynamics, adversary=adversary,
     ).run(until=until)

@@ -91,12 +91,19 @@ import numpy as np
 
 from repro.core.kernels import KernelBackend, Workspace, get_backend
 from repro.core.kernels.numpy_backend import scatter_min_fold
-from repro.core.metrics import GlobalQualityObserver, MessageTally
+from repro.core.metrics import (
+    DynamicsObserver,
+    DynamicsTracker,
+    GlobalQualityObserver,
+    MessageTally,
+)
 from repro.core.runner import RunResult
 from repro.functions.base import Function, get_function
+from repro.functions.problem import DynamicsSpec, EvalContext, build_problem
 from repro.pso.state import SwarmStateSoA, stack_states
 from repro.pso.swarm import initial_swarm_state
 from repro.pso.velocity import resolve_vmax
+from repro.simulator.adversary import Adversary, AdversarySpec
 from repro.simulator.observers import StopCondition
 from repro.topology.provider import ViewProvider, make_array_provider
 from repro.utils.config import ExperimentConfig
@@ -193,6 +200,8 @@ class FastEngine:
         rng_mode: str = "strict",
         kernel_backend: str | KernelBackend = "numpy",
         node_ids: np.ndarray | None = None,
+        dynamics: DynamicsSpec | None = None,
+        adversary: AdversarySpec | None = None,
     ):
         self.config = config
         self.gossip = gossip
@@ -206,6 +215,31 @@ class FastEngine:
         tree = SeedSequenceTree(config.seed).subtree("rep", repetition)
         self._tree = tree
         self._init_objectives(config, objective_map)
+
+        # Time-aware objective: a Problem wrapping self.function.  For
+        # static scenarios the wrapper is inert and the evaluation hot
+        # path passes ctx=None through the kernels — same operations,
+        # same bit stream as before the Problem layer existed.
+        if dynamics is not None and dynamics.enabled and objective_map is not None:
+            raise ConfigurationError(
+                "dynamics requires a homogeneous network (no objective_map)"
+            )
+        self._problem = build_problem(self.function, dynamics, tree)
+        self._dynamic = self._problem.is_dynamic
+        self._problems = [self._problem]
+        self._epoch = 0
+        self.reevaluations = 0
+
+        if adversary is not None and adversary.enabled:
+            if objective_map is not None:
+                raise ConfigurationError(
+                    "adversary requires a homogeneous network (no objective_map)"
+                )
+            self._adversary: Adversary | None = Adversary(
+                adversary, config.nodes, tree.rng("adversary")
+            )
+        else:
+            self._adversary = None
 
         # ``node_ids`` is the sharding seam: an engine may own any
         # subset of a larger overlay's id space.  Per-node streams and
@@ -228,6 +262,11 @@ class FastEngine:
                 raise ConfigurationError(
                     "objective_map covers ids 0..n-1 and cannot drive an "
                     "engine over an id subset"
+                )
+            if self._dynamic or self._adversary is not None:
+                raise ConfigurationError(
+                    "dynamics/adversary scenarios are not shardable: epoch "
+                    "refresh and Byzantine membership span the whole overlay"
                 )
         n = node_ids.shape[0]
         id_span = int(node_ids.max(initial=-1)) + 1
@@ -355,9 +394,19 @@ class FastEngine:
     def _batch_eval(
         self, live: np.ndarray, pos: np.ndarray, out: np.ndarray | None = None
     ) -> np.ndarray:
-        """Evaluate ``(nl, width, d)`` positions: one batch per function group."""
+        """Evaluate ``(nl, width, d)`` positions: one batch per function group.
+
+        Static scenarios dispatch with ``ctx=None`` — the pinned
+        bit-identical path.  Dynamic scenarios hand the kernels the
+        Problem plus the engine's virtual clock.
+        """
+        if not self._dynamic:
+            return self.backend.batch_eval(
+                self._functions, self._node_group, live, pos, out=out
+            )
         return self.backend.batch_eval(
-            self._functions, self._node_group, live, pos, out=out
+            self._problems, self._node_group, live, pos, out=out,
+            ctx=EvalContext(time=self.now, cycle=self.cycle),
         )
 
     def _draw_buffer(self, shape: tuple[int, ...]) -> np.ndarray:
@@ -519,6 +568,82 @@ class FastEngine:
             transport_sent=self.messages_sent,
             transport_to_dead=self.transport_to_dead,
         )
+
+    # -- time-aware landscape (epoch sync + stale-best refresh) -------------------
+
+    def _sync_epoch(self) -> None:
+        """Advance the landscape epoch; refresh stale bests on a change."""
+        epoch = self._problem.epoch_at(self.now)
+        if epoch != self._epoch:
+            self._epoch = epoch
+            self.refresh_stale_bests()
+
+    def refresh_stale_bests(self) -> int:
+        """Re-evaluate every live node's bests under the current landscape.
+
+        On a shift event the remembered pbest/incumbent *values* are
+        measurements of a landscape that no longer exists; positions
+        are kept, values are re-evaluated, and node incumbents re-fold
+        against the refreshed pbests (a pbest may now beat a stale
+        injected optimum).  Never-evaluated particles (pbest = inf)
+        stay invalid so first-visit move semantics hold.  Returns the
+        number of re-evaluations (tracked in ``reevaluations``, never
+        charged to the optimization budget).
+        """
+        rows = self.live_slots()
+        if rows.size == 0:
+            return 0
+        soa = self.soa
+        ctx = EvalContext(time=self.now, cycle=self.cycle)
+        nl, k, d = rows.size, soa.k, soa.d
+        pb = soa.pbest_positions[rows].reshape(-1, d)
+        pbv = self._problem.batch_at(pb, ctx).reshape(nl, k)
+        finite = np.isfinite(soa.pbest_values[rows])
+        soa.pbest_values[rows] = np.where(finite, pbv, np.inf)
+        count = int(finite.sum())
+        bv = self._problem.batch_at(soa.best_positions[rows], ctx)
+        bfin = np.isfinite(soa.best_values[rows])
+        new_best = np.where(bfin, bv, np.inf)
+        count += int(bfin.sum())
+        # Re-fold: under the new landscape a pbest may beat the incumbent.
+        refreshed = soa.pbest_values[rows]
+        arg = np.argmin(refreshed, axis=1)
+        idx = np.arange(nl)
+        cand = refreshed[idx, arg]
+        better = cand < new_best
+        new_best = np.where(better, cand, new_best)
+        soa.best_values[rows] = new_best
+        if np.any(better):
+            win = np.nonzero(better)[0]
+            soa.best_positions[rows[win]] = soa.pbest_positions[
+                rows[win], arg[win]
+            ]
+        self.reevaluations += count
+        return count
+
+    def _verify_values(self, positions: np.ndarray) -> np.ndarray:
+        """Oracle re-evaluation of claimed positions (plausibility filter)."""
+        return self._problem.batch_at(
+            positions, EvalContext(time=self.now, cycle=self.cycle)
+        )
+
+    def current_true_error(self) -> float:
+        """True error of the best *position* any live node believes in.
+
+        Re-evaluates incumbents under the landscape as of now — immune
+        to both stale values (dynamics) and fabricated values
+        (Byzantine false bests), which is what the dynamic/robustness
+        metrics measure.
+        """
+        rows = self.live_slots()
+        if rows.size == 0:
+            return float("inf")
+        vals = self.soa.best_values[rows]
+        mask = np.isfinite(vals)
+        if not mask.any():
+            return float("inf")
+        verified = self._verify_values(self.soa.best_positions[rows[mask]])
+        return max(0.0, float(verified.min()) - self._problem.optimum_value)
 
     # -- cycle phases ------------------------------------------------------------
 
@@ -807,45 +932,121 @@ class FastEngine:
         new_pos = ws.take("gp_new_pos", (nl, soa.d))
         np.copyto(new_pos, posm)
 
+        # Hostile seam: with no adversary the outgoing offers alias the
+        # honest snapshots (no copies, no new operations — the static
+        # path stays bit-identical).  With one, Byzantine rows are
+        # transformed and ``offer_ok`` masks who offers at all.
+        adv = self._adversary
+        if adv is None:
+            send_val, send_pos = val, posm
+            offer_ok = has
+            sendable = None
+        else:
+            send_val, send_pos, sendable = adv.tamper(
+                live_ids, val, posm, self.function.lower, self.function.upper
+            )
+            offer_ok = np.isfinite(send_val) & sendable
+
         if mode in ("push", "push-pull"):
-            attempted = has & known
+            attempted = offer_ok & known
             self.messages_sent += int(attempted.sum())
             lost = attempted & ~peer_alive
             self.transport_to_dead += int(lost.sum())
             senders = np.nonzero(attempted & peer_alive)[0]
+            fold_val = send_val
+            if adv is not None and adv.spec.defense and senders.size:
+                # Plausibility filter: receivers fold on re-evaluated
+                # values, so fabricated claims die on arrival.
+                fold_val = send_val.copy()
+                verified = self._verify_values(send_pos[senders])
+                adv.screen_batch(send_val[senders], verified)
+                fold_val[senders] = verified
             self.adoptions += self.backend.scatter_min_fold(
-                senders, peer_pos, val, posm, val, new_val, new_pos
+                senders, peer_pos, fold_val, send_pos, val, new_val, new_pos
             )
             if mode == "push-pull":
                 # Receiver at least as good -> it replies; initiator
                 # adopts iff the reply strictly improves on it.
                 delivered = attempted & peer_alive
-                replied = delivered & has[peer_pos] & (val >= val[peer_pos])
+                if adv is None:
+                    replied = (
+                        delivered & has[peer_pos] & (val >= val[peer_pos])
+                    )
+                    self.messages_sent += int(replied.sum())
+                    back = replied & (val[peer_pos] < new_val)
+                    if np.any(back):
+                        new_val[back] = val[peer_pos[back]]
+                        new_pos[back] = posm[peer_pos[back]]
+                        self.adoptions += int(back.sum())
+                else:
+                    replied = (
+                        delivered
+                        & offer_ok[peer_pos]
+                        & (fold_val >= val[peer_pos])
+                    )
+                    self.messages_sent += int(replied.sum())
+                    self._fold_replies(
+                        adv, replied, peer_pos, send_val, send_pos,
+                        new_val, new_pos,
+                    )
+        else:  # pull: blind requests, reply iff the peer knows anything
+            if adv is None:
+                self.messages_sent += int(known.sum())
+                lost = known & ~peer_alive
+                self.transport_to_dead += int(lost.sum())
+                replied = peer_alive & has[peer_pos]
                 self.messages_sent += int(replied.sum())
                 back = replied & (val[peer_pos] < new_val)
                 if np.any(back):
                     new_val[back] = val[peer_pos[back]]
                     new_pos[back] = posm[peer_pos[back]]
                     self.adoptions += int(back.sum())
-        else:  # pull: blind requests, reply iff the peer knows anything
-            self.messages_sent += int(known.sum())
-            lost = known & ~peer_alive
-            self.transport_to_dead += int(lost.sum())
-            replied = peer_alive & has[peer_pos]
-            self.messages_sent += int(replied.sum())
-            back = replied & (val[peer_pos] < new_val)
-            if np.any(back):
-                new_val[back] = val[peer_pos[back]]
-                new_pos[back] = posm[peer_pos[back]]
-                self.adoptions += int(back.sum())
+            else:
+                requests = known & sendable  # "drop" nodes ask nothing
+                self.messages_sent += int(requests.sum())
+                lost = requests & ~peer_alive
+                self.transport_to_dead += int(lost.sum())
+                replied = requests & peer_alive & offer_ok[peer_pos]
+                self.messages_sent += int(replied.sum())
+                self._fold_replies(
+                    adv, replied, peer_pos, send_val, send_pos,
+                    new_val, new_pos,
+                )
 
         soa.best_values[live] = new_val
         soa.best_positions[live] = new_pos
+
+    def _fold_replies(
+        self, adv, replied, peer_pos, send_val, send_pos, new_val, new_pos
+    ) -> None:
+        """Adversary-aware reply fold (push-pull / pull back legs).
+
+        Replying peers send their (possibly tampered) offer; with the
+        defense on, initiators fold on re-evaluated values instead of
+        the claims.
+        """
+        rows = np.nonzero(replied)[0]
+        if rows.size == 0:
+            return
+        r_val = send_val[peer_pos[rows]].copy()
+        r_pos = send_pos[peer_pos[rows]]
+        if adv.spec.defense:
+            verified = self._verify_values(r_pos)
+            adv.screen_batch(r_val, verified)
+            r_val = verified
+        better = r_val < new_val[rows]
+        if np.any(better):
+            win = rows[better]
+            new_val[win] = r_val[better]
+            new_pos[win] = r_pos[better]
+            self.adoptions += int(better.sum())
 
     # -- driving -----------------------------------------------------------------
 
     def run_one_cycle(self) -> bool:
         """Run one cycle; returns False if aborted before completion."""
+        if self._dynamic:
+            self._sync_epoch()
         if self.config.churn.enabled:
             self._churn_phase()
         live_ids = self.live_ids()
@@ -894,6 +1095,8 @@ def run_single_fast(
     topology: str | ViewProvider = "newscast",
     rng_mode: str = "strict",
     kernel_backend: str | KernelBackend = "numpy",
+    dynamics: DynamicsSpec | None = None,
+    adversary: AdversarySpec | None = None,
 ) -> RunResult:
     """Fast-path counterpart of the reference single-repetition runner.
 
@@ -919,6 +1122,8 @@ def run_single_fast(
         topology=topology,
         rng_mode=rng_mode,
         kernel_backend=kernel_backend,
+        dynamics=dynamics,
+        adversary=adversary,
     )
     quality_obs = GlobalQualityObserver(
         threshold=config.quality_threshold, record_history=record_history
@@ -926,7 +1131,15 @@ def run_single_fast(
     budget_stop = StopCondition(
         lambda eng: eng.budgets_exhausted(), reason="budget"
     )
-    engine.observers = [quality_obs, budget_stop, *extra_observers]
+    dyn_tracker = None
+    observers = []
+    if engine._problem.is_dynamic:
+        # Ordered first: the observer loop breaks on stop, and the last
+        # cycle's sample must land even when the budget trips.
+        dyn_tracker = DynamicsTracker()
+        observers.append(DynamicsObserver(engine._problem, dyn_tracker))
+    observers += [quality_obs, budget_stop, *extra_observers]
+    engine.observers = observers
 
     if max_cycles is None:
         # Same safety cap as the reference runner.
@@ -943,6 +1156,17 @@ def run_single_fast(
     if quality_obs.threshold_cycle is not None:
         threshold_local = quality_obs.threshold_cycle * config.gossip_cycle
 
+    dynamics_dict = None
+    if dyn_tracker is not None:
+        dynamics_dict = dyn_tracker.metrics(
+            final_error=engine.current_true_error()
+        )
+        dynamics_dict["reevaluations"] = int(engine.reevaluations)
+    adversary_dict = None
+    if engine._adversary is not None:
+        adversary_dict = engine._adversary.tally_dict()
+        adversary_dict["final_true_error"] = engine.current_true_error()
+
     return RunResult(
         best_value=best,
         quality=quality,
@@ -956,4 +1180,6 @@ def run_single_fast(
         history=list(quality_obs.history),
         crashes=engine.crashes,
         joins=engine.joins,
+        dynamics=dynamics_dict,
+        adversary=adversary_dict,
     )

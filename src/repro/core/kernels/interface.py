@@ -106,6 +106,7 @@ class KernelBackend(abc.ABC):
         live: np.ndarray,
         pos: np.ndarray,
         out: np.ndarray | None = None,
+        ctx=None,
     ) -> np.ndarray:
         """Evaluate ``(m, w, d)`` positions, one batched call per function group.
 
@@ -113,6 +114,14 @@ class KernelBackend(abc.ABC):
         (``None`` = homogeneous: ``functions[0]`` evaluates everything);
         ``live`` holds the SoA slot of each row of ``pos``.  Returns the
         ``(m, w)`` objective values.
+
+        ``ctx`` is the time-aware dispatch seam: ``None`` (the static
+        case) calls ``fn.batch(points)`` exactly as before — same
+        operations, same bit stream.  With an
+        :class:`~repro.functions.problem.EvalContext`, ``functions``
+        holds :class:`~repro.functions.problem.Problem` objects and
+        each group evaluates via ``fn.batch_at(points, ctx)`` — the
+        landscape as of the engine's virtual clock.
         """
 
     @abc.abstractmethod

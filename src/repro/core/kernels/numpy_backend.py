@@ -242,18 +242,26 @@ class NumpyKernelBackend(KernelBackend):
         np.copyto(out_pb, pos, where=improved[:, :, None])
         return out_pbv, out_pb
 
-    def batch_eval(self, functions, node_group, live, pos, out=None):
+    def batch_eval(self, functions, node_group, live, pos, out=None, ctx=None):
         m, w, d = pos.shape
         if out is None:
             out = np.empty((m, w))
+
+        def evaluate(fn, points):
+            # ctx=None is the pinned static path; with a context the
+            # objective is a Problem evaluated as of the virtual clock.
+            if ctx is None:
+                return fn.batch(points)
+            return fn.batch_at(points, ctx)
+
         if node_group is None:
-            out[...] = functions[0].batch(pos.reshape(-1, d)).reshape(m, w)
+            out[...] = evaluate(functions[0], pos.reshape(-1, d)).reshape(m, w)
             return out
         groups = node_group[live]
         for gi, fn in enumerate(functions):
             rows = np.nonzero(groups == gi)[0]
             if rows.size:
-                out[rows] = fn.batch(pos[rows].reshape(-1, d)).reshape(
+                out[rows] = evaluate(fn, pos[rows].reshape(-1, d)).reshape(
                     rows.size, w
                 )
         return out

@@ -37,8 +37,37 @@ __all__ = [
     "total_evaluations",
     "GlobalQualityObserver",
     "MessageTally",
+    "DynamicsTracker",
+    "DynamicsObserver",
+    "network_true_error",
     "estimate_overhead_bytes",
 ]
+
+
+def network_true_error(
+    network: "Network", problem, t: float,
+    protocol: str = PSOStepProtocol.PROTOCOL_NAME,
+) -> float:
+    """Oracle true error of the best believed position in the network.
+
+    Re-evaluates every live node's believed-best *position* under
+    ``problem`` as of time ``t`` — immune to stale values (dynamic
+    landscapes) and fabricated ones (Byzantine false bests).  ``inf``
+    when no node believes anything yet.
+    """
+    from repro.functions.problem import EvalContext
+
+    ctx = EvalContext(time=float(t))
+    error = float("inf")
+    for node in network.live_nodes():
+        if not node.has_protocol(protocol):
+            continue
+        opt = node.protocol(protocol).service.current_best()  # type: ignore[attr-defined]
+        if opt is None:
+            continue
+        true_val = problem.call_at(opt.position, ctx)
+        error = min(error, max(0.0, true_val - problem.optimum_value))
+    return error
 
 
 def global_best(network: "Network", protocol: str = PSOStepProtocol.PROTOCOL_NAME) -> float:
@@ -185,6 +214,113 @@ class MessageTally:
             "transport_sent": self.transport_sent,
             "transport_to_dead": self.transport_to_dead,
         }
+
+
+class DynamicsTracker:
+    """Accumulate the dynamic-optimization figures of merit.
+
+    Fed one ``(time, epoch, true_error)`` sample per cycle by a
+    :class:`DynamicsObserver`; :meth:`metrics` then derives the
+    standard dynamic-PSO quantities:
+
+    * **offline error** — mean true error over all samples (the
+      classic time-averaged measure for moving optima);
+    * **best error after change** — true error at the first sample of
+      each new epoch, averaged (how hard each shift hits);
+    * **recovery time** — per shift, time from the transition until
+      the error first returns to (or below) its pre-shift level;
+      averaged over the shifts that recover before the run ends.
+    """
+
+    def __init__(self) -> None:
+        self.samples: list[tuple[float, int, float]] = []
+
+    def sample(self, t: float, epoch: int, error: float) -> None:
+        self.samples.append((float(t), int(epoch), float(error)))
+
+    def metrics(self, final_error: float | None = None) -> dict:
+        """Summarize the trajectory into a JSON-safe metrics dict."""
+        finite = [s for s in self.samples if s[2] != float("inf")]
+        offline = (
+            sum(s[2] for s in finite) / len(finite) if finite else None
+        )
+        shifts = 0
+        after_change: list[float] = []
+        recoveries: list[float] = []
+        prev_epoch: int | None = None
+        prev_error: float | None = None
+        pending: list[tuple[float, float]] = []  # (t_shift, target error)
+        for t, epoch, error in self.samples:
+            if prev_epoch is not None and epoch != prev_epoch:
+                shifts += 1
+                after_change.append(error)
+                if prev_error is not None and prev_error != float("inf"):
+                    pending.append((t, prev_error))
+            still = []
+            for t_shift, target in pending:
+                if error <= target:
+                    recoveries.append(t - t_shift)
+                else:
+                    still.append((t_shift, target))
+            pending = still
+            prev_epoch, prev_error = epoch, error
+        finite_after = [e for e in after_change if e != float("inf")]
+        return {
+            "samples": len(self.samples),
+            "shifts": shifts,
+            "offline_error": offline,
+            "best_error_after_change": (
+                sum(finite_after) / len(finite_after)
+                if finite_after
+                else None
+            ),
+            "recovery_time": (
+                sum(recoveries) / len(recoveries) if recoveries else None
+            ),
+            "recovered": len(recoveries),
+            "final_error": final_error,
+        }
+
+
+class DynamicsObserver(Observer):
+    """Per-cycle oracle sampling of the *true* error under a moving landscape.
+
+    For SoA engines (``engine.current_true_error`` exists) the engine
+    re-evaluates incumbents itself.  For node-graph engines the
+    observer walks the network, re-evaluating each live node's believed
+    best position under ``problem`` as of the engine clock — and, when
+    a ``clock`` (:class:`~repro.functions.problem.ProblemClock`) is
+    bound, it also advances that clock and triggers the per-node
+    stale-best refresh on epoch transitions (the reference stack's
+    counterpart of the fast engine's ``_sync_epoch``).
+    """
+
+    def __init__(self, problem, tracker: DynamicsTracker, clock=None):
+        self.problem = problem
+        self.tracker = tracker
+        self.clock = clock
+        self.reevaluations = 0
+
+    def observe(self, engine) -> None:
+        t = float(engine.now)
+        epoch = self.problem.epoch_at(t)
+        network = getattr(engine, "network", None)
+        if self.clock is not None:
+            shifted = epoch != self.clock.epoch
+            self.clock.time = t
+            self.clock.epoch = epoch
+            if shifted and network is not None:
+                for node in network.live_nodes():
+                    if node.has_protocol(PSOStepProtocol.PROTOCOL_NAME):
+                        proto = node.protocol(PSOStepProtocol.PROTOCOL_NAME)
+                        self.reevaluations += (
+                            proto.service.refresh_stale_bests()
+                        )
+        if hasattr(engine, "current_true_error"):
+            error = engine.current_true_error()
+        else:
+            error = network_true_error(network, self.problem, t)
+        self.tracker.sample(t, epoch, error)
 
 
 def estimate_overhead_bytes(

@@ -67,6 +67,11 @@ class OptimizationNodeSpec:
         ``None`` (default) builds the paper's distributed PSO.  Used by
         the multi-solver extension (heterogeneous networks mixing PSO,
         DE and random search — see :mod:`repro.core.solvers`).
+    adversary:
+        Optional run-wide :class:`~repro.simulator.adversary.Adversary`
+        handed to every node's coordination protocol (joiners included
+        — they share the instance, though joiner ids are always
+        honest).
     """
 
     function: Function
@@ -78,6 +83,7 @@ class OptimizationNodeSpec:
     budget_per_node: int | None
     topology_factory: Callable[[int], tuple[str, object]] | None = None
     optimizer_factory: Callable[[int], object] | None = None
+    adversary: object | None = None
 
     def __call__(self, node: "Node", engine: "CycleDrivenEngine") -> None:
         """NodeFactory interface: outfit ``node`` (used by churn joins)."""
@@ -120,5 +126,6 @@ def build_optimization_node(node: "Node", spec: OptimizationNodeSpec) -> None:
         service,
         topology_protocol=topo_name,
         rng=tree.rng("node", nid, "coordination"),
+        adversary=spec.adversary,
     )
     node.attach(CoordinationProtocol.PROTOCOL_NAME, coord)

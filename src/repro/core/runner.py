@@ -77,6 +77,13 @@ class RunResult:
         Per-cycle quality trajectory (empty unless requested).
     crashes / joins:
         Churn events observed during the run (0 without churn).
+    dynamics:
+        Dynamic-optimization metrics (offline error, recovery times,
+        ...) when the scenario has a moving landscape; None otherwise.
+    adversary:
+        Attack/defense tallies plus the oracle-verified
+        ``final_true_error`` when the scenario has Byzantine nodes;
+        None otherwise.
     """
 
     best_value: float
@@ -91,6 +98,8 @@ class RunResult:
     history: list[QualitySample] = field(default_factory=list)
     crashes: int = 0
     joins: int = 0
+    dynamics: dict | None = None
+    adversary: dict | None = None
 
     @property
     def reached_threshold(self) -> bool:
@@ -156,6 +165,7 @@ def _build_network(
     tree: SeedSequenceTree,
     topology_factory=None,
     optimizer_factory=None,
+    adversary=None,
 ) -> tuple[Network, OptimizationNodeSpec]:
     """Materialize the population with its topology attached.
 
@@ -183,6 +193,7 @@ def _build_network(
         budget_per_node=config.evaluations_per_node,
         topology_factory=per_node,
         optimizer_factory=optimizer_factory,
+        adversary=adversary,
     )
     network = Network(rng=tree.rng("network"))
 
@@ -225,6 +236,8 @@ def _run_single_reference(
     optimizer_builder: Callable[[Function, SeedSequenceTree], Callable] | None = None,
     extra_observers=(),
     max_cycles: int | None = None,
+    dynamics=None,
+    adversary=None,
 ) -> RunResult:
     """Reference-engine implementation of one repetition.
 
@@ -242,11 +255,45 @@ def _run_single_reference(
         )
     tree = SeedSequenceTree(config.seed).subtree("rep", repetition)
     function = get_function(config.function)
+
+    # Time-aware landscape: every node evaluates through one shared
+    # problem-bound function reading a run-wide virtual clock; the
+    # dynamics observer advances the clock and triggers the per-node
+    # stale-best refresh on epoch transitions.
+    from repro.functions.problem import (
+        ProblemBoundFunction,
+        ProblemClock,
+        as_problem,
+        build_problem,
+    )
+
+    problem = None
+    clock = None
+    if dynamics is not None and dynamics.enabled:
+        if optimizer_builder is not None:
+            raise ConfigurationError(
+                "dynamics require the standard PSO solver stack"
+            )
+        problem = build_problem(function, dynamics, tree)
+        clock = ProblemClock()
+        function = ProblemBoundFunction(problem, clock)
+
+    actor = None
+    if adversary is not None and adversary.enabled:
+        from repro.simulator.adversary import Adversary
+
+        if optimizer_builder is not None:
+            raise ConfigurationError(
+                "adversary scenarios require the standard PSO solver stack"
+            )
+        actor = Adversary(adversary, config.nodes, tree.rng("adversary"))
+
     optimizer_factory = (
         optimizer_builder(function, tree) if optimizer_builder is not None else None
     )
     network, spec = _build_network(
-        config, function, tree, topology_factory, optimizer_factory
+        config, function, tree, topology_factory, optimizer_factory,
+        adversary=actor,
     )
 
     churn = None
@@ -257,11 +304,22 @@ def _run_single_reference(
         threshold=config.quality_threshold, record_history=record_history
     )
     budget_stop = StopCondition(_all_budgets_exhausted, reason="budget")
+    dyn_tracker = None
+    observers = []
+    if problem is not None and problem.is_dynamic:
+        # Ordered first: the observer loop breaks on stop, and the last
+        # cycle's sample must land even when the budget trips.
+        from repro.core.metrics import DynamicsObserver, DynamicsTracker
+
+        dyn_tracker = DynamicsTracker()
+        dyn_obs = DynamicsObserver(problem, dyn_tracker, clock=clock)
+        observers.append(dyn_obs)
+    observers += [quality_obs, budget_stop, *extra_observers]
     engine = CycleDrivenEngine(
         network,
         rng=tree.rng("engine"),
         churn=churn,
-        observers=[quality_obs, budget_stop, *extra_observers],
+        observers=observers,
     )
 
     if max_cycles is None:
@@ -284,6 +342,20 @@ def _run_single_reference(
     if quality_obs.threshold_cycle is not None:
         threshold_local = quality_obs.threshold_cycle * config.gossip_cycle
 
+    dynamics_dict = None
+    adversary_dict = None
+    if dyn_tracker is not None or actor is not None:
+        from repro.core.metrics import network_true_error
+
+        oracle = problem if problem is not None else as_problem(function)
+        final_true = network_true_error(network, oracle, engine.now)
+        if dyn_tracker is not None:
+            dynamics_dict = dyn_tracker.metrics(final_error=final_true)
+            dynamics_dict["reevaluations"] = int(dyn_obs.reevaluations)
+        if actor is not None:
+            adversary_dict = actor.tally_dict()
+            adversary_dict["final_true_error"] = final_true
+
     return RunResult(
         best_value=best,
         quality=quality,
@@ -297,6 +369,8 @@ def _run_single_reference(
         history=list(quality_obs.history),
         crashes=churn.crashes if churn is not None else 0,
         joins=churn.joins if churn is not None else 0,
+        dynamics=dynamics_dict,
+        adversary=adversary_dict,
     )
 
 
@@ -363,14 +437,16 @@ def run_experiment(
 
     .. deprecated::
         Thin shim over the scenario facade — prefer
-        ``Session(Scenario(...)).run(workers=...)``.  The facade's
-        :class:`~repro.scenario.result.Result` exposes the same
-        statistics surface; this shim repackages its records into the
-        legacy :class:`ExperimentResult` unchanged.
+        ``Session(Scenario(...)).run(policy=ExecutionPolicy(...))``.
+        The facade's :class:`~repro.scenario.result.Result` exposes
+        the same statistics surface; this shim repackages its records
+        into the legacy :class:`ExperimentResult` unchanged.
     """
     _deprecated("run_experiment", "Session(Scenario(...)).run(...)")
-    from repro.scenario import Session
+    from repro.scenario import ExecutionPolicy, Session
 
     scenario = _legacy_scenario(config, engine, topology_factory, record_history)
-    result = Session(scenario).run(workers=workers, progress=progress)
+    result = Session(scenario).run(
+        progress=progress, policy=ExecutionPolicy(workers=workers)
+    )
     return ExperimentResult(config=config, runs=list(result.records))

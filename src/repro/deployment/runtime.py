@@ -161,6 +161,10 @@ class DeploymentResult:
     joins: int
     history: list[tuple[float, int, float]] = field(default_factory=list)
     #: (time, evaluations, best) samples from the monitor.
+    dynamics: dict | None = None
+    #: dynamic-landscape metrics (None for static scenarios).
+    adversary: dict | None = None
+    #: attack/defense tallies (None without Byzantine nodes).
 
 
 class AsyncRuntime:
@@ -177,11 +181,49 @@ class AsyncRuntime:
         result = AsyncRuntime(config).run(until=600.0)
     """
 
-    def __init__(self, config: DeploymentConfig, repetition: int = 0):
+    def __init__(
+        self,
+        config: DeploymentConfig,
+        repetition: int = 0,
+        dynamics=None,
+        adversary=None,
+    ):
         self.config = config
         self.tree = SeedSequenceTree(config.seed).subtree("rep", repetition)
         self.function: Function = get_function(config.function)
         self.network = Network(rng=self.tree.rng("network"))
+
+        # Time-aware landscape: all nodes evaluate through one shared
+        # problem-bound function reading the runtime's virtual clock;
+        # compute/gossip timer actions refresh the clock, and a
+        # dedicated periodic event fires the epoch shift + per-node
+        # stale-best refresh on the *exact* boundary.
+        from repro.functions.problem import (
+            ProblemBoundFunction,
+            ProblemClock,
+            build_problem,
+        )
+
+        self.problem = None
+        self.clock = None
+        self._dyn_tracker = None
+        self._dyn_reevals = 0
+        self._dynamics_spec = dynamics
+        if dynamics is not None and dynamics.enabled:
+            from repro.core.metrics import DynamicsTracker
+
+            self.problem = build_problem(self.function, dynamics, self.tree)
+            self.clock = ProblemClock()
+            self.function = ProblemBoundFunction(self.problem, self.clock)
+            self._dyn_tracker = DynamicsTracker()
+
+        self.adversary_actor = None
+        if adversary is not None and adversary.enabled:
+            from repro.simulator.adversary import Adversary
+
+            self.adversary_actor = Adversary(
+                adversary, config.nodes, self.tree.rng("adversary")
+            )
 
         transport = UniformLatencyTransport(
             self.tree.rng("latency"),
@@ -209,6 +251,8 @@ class AsyncRuntime:
             protocol_name=EventNewscastProtocol.PROTOCOL_NAME,
         )
         self._schedule_monitor()
+        if self.problem is not None and self.problem.is_dynamic:
+            self._schedule_shifts()
         if config.crash_rate > 0:
             self._schedule_crash()
         if config.join_rate > 0:
@@ -239,24 +283,33 @@ class AsyncRuntime:
             service,
             topology_protocol=EventNewscastProtocol.PROTOCOL_NAME,
             rng=self.tree.rng("node", nid, "coordination"),
+            adversary=self.adversary_actor,
         )
         node.attach(CoordinationProtocol.PROTOCOL_NAME, coordination)
 
         if bootstrap:
             newscast.on_join(node, self.engine)
 
+        def compute(n, e):
+            if self.clock is not None:
+                self.clock.time = e.now
+            n.protocol("pso").next_cycle(n, e)
+
+        def gossip(n, e):
+            if self.clock is not None:
+                self.clock.time = e.now
+            n.protocol("coordination").maybe_exchange(n, e)
+
         timer_rng = self.tree.rng("node", nid, "timers")
         self._schedule_node_timer(
-            node, cfg.compute_period, timer_rng,
-            lambda n, e: n.protocol("pso").next_cycle(n, e),
+            node, cfg.compute_period, timer_rng, compute
         )
         self._schedule_node_timer(
             node, cfg.newscast_period, timer_rng,
             lambda n, e: n.protocol("newscast").initiate(n, e),
         )
         self._schedule_node_timer(
-            node, cfg.gossip_period, timer_rng,
-            lambda n, e: n.protocol("coordination").maybe_exchange(n, e),
+            node, cfg.gossip_period, timer_rng, gossip
         )
         return node
 
@@ -317,6 +370,35 @@ class AsyncRuntime:
             float(rng.exponential(1.0 / cfg.join_rate)), fire
         )
 
+    # -- dynamic landscape --------------------------------------------------------
+
+    def _schedule_shifts(self) -> None:
+        """Fire the epoch transition on the exact virtual-time boundary.
+
+        Advances the shared clock's epoch and re-evaluates every live
+        node's remembered bests under the new landscape (see
+        :meth:`~repro.pso.swarm.Swarm.refresh_stale_bests`); the
+        re-evaluations are tallied, never budget-charged.
+        """
+        period = float(self._dynamics_spec.period)
+
+        def fire(engine) -> None:
+            if engine.stopped:
+                return
+            self.clock.time = engine.now
+            epoch = self.problem.epoch_at(engine.now)
+            if epoch != self.clock.epoch:
+                self.clock.epoch = epoch
+                for node in self.network.live_nodes():
+                    if node.has_protocol(PSOStepProtocol.PROTOCOL_NAME):
+                        proto = node.protocol(PSOStepProtocol.PROTOCOL_NAME)
+                        self._dyn_reevals += (
+                            proto.service.refresh_stale_bests()
+                        )
+            engine.schedule(engine.now + period, fire)
+
+        self.engine.schedule(period, fire)
+
     # -- monitoring and stopping ------------------------------------------------------
 
     def _schedule_monitor(self) -> None:
@@ -328,6 +410,15 @@ class AsyncRuntime:
             best = global_best(self.network)
             evals = total_evaluations(self.network)
             self.history.append((engine.now, evals, best))
+            if self._dyn_tracker is not None:
+                from repro.core.metrics import network_true_error
+
+                self.clock.time = engine.now
+                self._dyn_tracker.sample(
+                    engine.now,
+                    self.problem.epoch_at(engine.now),
+                    network_true_error(self.network, self.problem, engine.now),
+                )
             if (
                 cfg.quality_threshold is not None
                 and self.threshold_time is None
@@ -359,6 +450,28 @@ class AsyncRuntime:
             raise ValueError("until must be positive")
         self.engine.run(until=until)
         best = global_best(self.network)
+        dynamics_dict = None
+        adversary_dict = None
+        if self._dyn_tracker is not None or self.adversary_actor is not None:
+            from repro.core.metrics import network_true_error
+            from repro.functions.problem import as_problem
+
+            oracle = (
+                self.problem
+                if self.problem is not None
+                else as_problem(self.function)
+            )
+            final_true = network_true_error(
+                self.network, oracle, self.engine.now
+            )
+            if self._dyn_tracker is not None:
+                dynamics_dict = self._dyn_tracker.metrics(
+                    final_error=final_true
+                )
+                dynamics_dict["reevaluations"] = int(self._dyn_reevals)
+            if self.adversary_actor is not None:
+                adversary_dict = self.adversary_actor.tally_dict()
+                adversary_dict["final_true_error"] = final_true
         return DeploymentResult(
             best_value=best,
             quality=self.function.quality(best),
@@ -370,6 +483,8 @@ class AsyncRuntime:
             crashes=self.crashes,
             joins=self.joins,
             history=list(self.history),
+            dynamics=dynamics_dict,
+            adversary=adversary_dict,
         )
 
 

@@ -47,6 +47,41 @@ def _load_scenarios(path: str) -> list[Scenario]:
     return [Scenario.from_dict(spec) for spec in data]
 
 
+def _status_payload(queue: JobQueue) -> dict:
+    """One spool-state snapshot — the same document ``--json`` emits."""
+    return {
+        "counts": dict(queue.counts()),
+        "claims": queue.claim_info(),
+        "workers": queue.worker_statuses(),
+    }
+
+
+def _render_status(payload: dict, as_json: bool) -> str:
+    if as_json:
+        return json.dumps(payload, indent=2, sort_keys=True)
+    lines = [
+        " ".join(
+            f"{state}={count}" for state, count in payload["counts"].items()
+        )
+    ]
+    for claim in payload["claims"]:
+        lines.append(
+            f"claim {claim['job_id']} owner={claim['owner']} "
+            f"heartbeat={claim['heartbeat_age']:.1f}s "
+            f"attempt={claim['attempts'] + 1}"
+        )
+    for status in payload["workers"]:
+        current = status.get("current_job") or "idle"
+        lines.append(
+            f"worker {status['worker']} "
+            f"heartbeat={status['heartbeat_age']:.1f}s "
+            f"jobs={status.get('jobs_done', 0)} "
+            f"retries={status.get('retries', 0)} "
+            f"current={current}"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.distributed",
@@ -113,6 +148,15 @@ def main(argv: list[str] | None = None) -> int:
         help="emit the full status as one JSON document (counts, "
         "per-claim owner/heartbeat-age/attempts, per-worker counters) "
         "for dashboards and scripts",
+    )
+    p_status.add_argument(
+        "--watch", action="store_true",
+        help="clear the screen and redraw the status every --interval "
+        "seconds until interrupted (Ctrl-C exits cleanly)",
+    )
+    p_status.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between --watch redraws (default 2)",
     )
 
     p_requeue = sub.add_parser(
@@ -181,37 +225,22 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "status":
         queue = JobQueue(args.spool)
-        counts = queue.counts()
-        if args.as_json:
-            print(json.dumps(
-                {
-                    "counts": dict(counts),
-                    "claims": queue.claim_info(),
-                    "workers": queue.worker_statuses(),
-                },
-                indent=2,
-                sort_keys=True,
-            ))
+        if not args.watch:
+            print(_render_status(_status_payload(queue), args.as_json))
             return 0
-        print(
-            " ".join(f"{state}={count}" for state, count in counts.items())
-        )
-        for claim in queue.claim_info():
-            print(
-                f"claim {claim['job_id']} owner={claim['owner']} "
-                f"heartbeat={claim['heartbeat_age']:.1f}s "
-                f"attempt={claim['attempts'] + 1}"
-            )
-        for status in queue.worker_statuses():
-            current = status.get("current_job") or "idle"
-            print(
-                f"worker {status['worker']} "
-                f"heartbeat={status['heartbeat_age']:.1f}s "
-                f"jobs={status.get('jobs_done', 0)} "
-                f"retries={status.get('retries', 0)} "
-                f"current={current}"
-            )
-        return 0
+        if args.interval <= 0:
+            parser.error("--interval must be positive")
+        import time
+
+        try:
+            while True:
+                body = _render_status(_status_payload(queue), args.as_json)
+                # ANSI clear-screen + cursor-home: a flicker-free
+                # redraw without a curses dependency.
+                print(f"\x1b[2J\x1b[H{body}", flush=True)
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
     if args.command == "requeue":
         queue = JobQueue(args.spool)

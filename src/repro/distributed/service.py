@@ -258,15 +258,14 @@ def _run_jobs_spool(
         queue.submit(job)
     expected = {job.job_id for job in jobs}
     ctx = multiprocessing.get_context("spawn")
-    worker_kwargs = {
-        "heartbeat_interval": heartbeat_interval,
-        "job_timeout": job_timeout,
-    }
+    worker_policy = ExecutionPolicy(
+        heartbeat_interval=heartbeat_interval, job_timeout=job_timeout
+    )
     procs = [
         ctx.Process(
             target=run_worker,
             args=(str(spool),),
-            kwargs=worker_kwargs,
+            kwargs={"policy": worker_policy},
             daemon=True,
         )
         for _ in range(workers)
@@ -317,11 +316,7 @@ def _run_jobs_spool(
             # finish requeued work inline.
             queue.requeue_abandoned(owners=local_owners, job_ids=expected)
             if queue.pending_ids():
-                run_worker(
-                    queue,
-                    heartbeat_interval=heartbeat_interval,
-                    job_timeout=job_timeout,
-                )
+                run_worker(queue, policy=worker_policy)
                 continue
             if expected & set(queue.claimed_ids()):
                 # External workers still own jobs: wait for them.
@@ -343,14 +338,9 @@ def _run_jobs_spool(
 
 def run_sweep_jobs(
     scenarios: Sequence[Scenario],
-    workers: int = 1,
-    spool: str | Path | None = None,
     progress: PointProgress | None = None,
     reps_per_job: int = 1,
     poll_interval: float = 0.25,
-    stale_after: float | None = None,
-    heartbeat_interval: float = 15.0,
-    job_timeout: float | None = None,
     policy: ExecutionPolicy | None = None,
 ) -> list[Result]:
     """Execute a sweep through the job machinery; Results in sweep order.
@@ -361,10 +351,10 @@ def run_sweep_jobs(
     *point* as its last repetition lands, possibly out of sweep order.
 
     ``policy`` is the unified execution surface
-    (:class:`~repro.scenario.policy.ExecutionPolicy`); the loose
-    ``workers``/``spool``/``stale_after``/``heartbeat_interval``/
-    ``job_timeout`` parameters are its deprecated aliases, kept for
-    one release (mixing both raises).
+    (:class:`~repro.scenario.policy.ExecutionPolicy`): ``workers``
+    sizes the in-process pool, ``spool`` routes jobs through the
+    file-backed queue, and ``stale_after`` / ``heartbeat_interval`` /
+    ``job_timeout`` are the spool liveness knobs.
 
     ``stale_after`` (spool mode) opts into heartbeat-age reclaim:
     claims of this sweep whose last heartbeat stamp is older than
@@ -379,17 +369,13 @@ def run_sweep_jobs(
     (released with a ``"timeout"`` error past it).  Both knobs apply
     to spool mode; the in-process pool ignores them.
     """
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
-    policy = ExecutionPolicy.from_kwargs(
-        policy,
-        warn=False,
-        workers=workers,
-        spool=None if spool is None else str(spool),
-        stale_after=stale_after,
-        heartbeat_interval=heartbeat_interval,
-        job_timeout=job_timeout,
-    )
+    if policy is None:
+        policy = ExecutionPolicy()
+    if not isinstance(policy, ExecutionPolicy):
+        raise TypeError(
+            "run_sweep_jobs takes policy=ExecutionPolicy(...); the loose "
+            "execution kwargs (workers=..., spool=..., ...) were removed"
+        )
     workers = policy.workers
     spool = policy.spool
     stale_after = policy.stale_after

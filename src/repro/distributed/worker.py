@@ -94,17 +94,22 @@ def run_worker(
     idle_timeout: float | None = None,
     max_jobs: int | None = None,
     log: Callable[[str], None] | None = None,
-    heartbeat_interval: float = DEFAULT_HEARTBEAT,
-    job_timeout: float | None = None,
     policy=None,
 ) -> int:
     """Execute spool jobs until there is no more work; returns jobs done.
 
     ``policy`` (an :class:`~repro.scenario.policy.ExecutionPolicy`)
-    supplies the liveness knobs in one value: its
-    ``heartbeat_interval`` and ``job_timeout`` replace the loose
-    parameters of the same names (which remain as deprecated aliases;
-    mixing both raises).
+    supplies the liveness knobs in one value — its
+    ``heartbeat_interval`` (seconds between claim-file heartbeat
+    stamps while executing; stamps happen between repetitions *and*
+    from a fallback timer thread, so the claim never goes silent
+    longer than this while its worker lives, which is what lets
+    ``stale_after`` drop to a few heartbeat periods) and its
+    ``job_timeout`` (optional wall-clock budget per job, checked
+    cooperatively between repetitions: a job past its deadline is
+    released with a ``"timeout"`` error, counting as an attempt and
+    dead-lettered past ``max_retries``; a single repetition is never
+    interrupted mid-flight).
 
     Parameters
     ----------
@@ -122,18 +127,6 @@ def run_worker(
         may still be submitted or requeued after a lull.
     max_jobs:
         Optional cap on jobs to execute (testing/chaos knob).
-    heartbeat_interval:
-        Seconds between claim-file heartbeat stamps while executing.
-        Stamps happen between repetitions *and* from a fallback timer
-        thread, so the claim never goes silent longer than this while
-        its worker lives — which is what lets ``stale_after`` drop to
-        a few heartbeat periods.
-    job_timeout:
-        Optional wall-clock budget per job.  Checked cooperatively
-        between repetitions: a job past its deadline is released with
-        a ``"timeout"`` error (counts as an attempt; dead-lettered
-        past ``max_retries``).  A single repetition is never
-        interrupted mid-flight.
 
     A job that raises is released back to the queue — immediately
     dead-lettered when the failure is deterministic (see
@@ -153,12 +146,13 @@ def run_worker(
     """
     from repro.scenario.policy import ExecutionPolicy
 
-    policy = ExecutionPolicy.from_kwargs(
-        policy,
-        warn=False,
-        heartbeat_interval=heartbeat_interval,
-        job_timeout=job_timeout,
-    )
+    if policy is None:
+        policy = ExecutionPolicy(heartbeat_interval=DEFAULT_HEARTBEAT)
+    if not isinstance(policy, ExecutionPolicy):
+        raise TypeError(
+            "run_worker takes policy=ExecutionPolicy(...); the loose "
+            "heartbeat_interval/job_timeout kwargs were removed"
+        )
     heartbeat_interval = policy.heartbeat_interval
     job_timeout = policy.job_timeout
     queue = spool if isinstance(spool, JobQueue) else JobQueue(spool)

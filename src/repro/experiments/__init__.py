@@ -9,6 +9,7 @@ Module    Paper artefact        Question
                                 *total* budget
 ``exp3``  Table 3 / Figure 3    quality vs gossip cycle length ``r``
 ``exp4``  Table 4 / Figure 4    time to reach quality 1e-10 vs ``n``
+``exp6``  (beyond the paper)    dynamic x hostile factorial on sphere
 ========  ====================  =======================================
 
 Every module exposes the same interface:
@@ -37,6 +38,7 @@ from repro.experiments import (
     exp3_cycle_length,
     exp4_time_to_quality,
     exp5_overhead,
+    exp6_dynamic_hostile,
 )
 from repro.experiments.common import SweepData, run_sweep
 
@@ -46,6 +48,7 @@ EXPERIMENTS = {
     "exp3": exp3_cycle_length,
     "exp4": exp4_time_to_quality,
     "exp5": exp5_overhead,
+    "exp6": exp6_dynamic_hostile,
 }
 
 __all__ = [
@@ -57,4 +60,5 @@ __all__ = [
     "exp3_cycle_length",
     "exp4_time_to_quality",
     "exp5_overhead",
+    "exp6_dynamic_hostile",
 ]

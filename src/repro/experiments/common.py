@@ -113,9 +113,6 @@ def run_sweep(
     configs: Sequence[ExperimentConfig],
     progress: Callable[[str], None] | None = None,
     engine: str = "reference",
-    workers: int = 1,
-    spool: str | None = None,
-    stale_after: float | None = None,
     policy: ExecutionPolicy | None = None,
 ) -> SweepData:
     """Execute every config in order; returns the collected data.
@@ -132,14 +129,10 @@ def run_sweep(
     processes plus any ``python -m repro.distributed worker``
     processes sharing the spool, and reassembled in deterministic
     sweep order, with per-point results identical to the sequential
-    run.  The loose ``workers``/``spool``/``stale_after`` parameters
-    remain as aliases for one release; mixing them with ``policy=``
-    raises.
+    run.
     """
-    policy = ExecutionPolicy.from_kwargs(
-        policy, warn=False, workers=workers, spool=spool,
-        stale_after=stale_after,
-    )
+    if policy is None:
+        policy = ExecutionPolicy()
     if policy.shards > 1:
         raise ConfigurationError(
             "run_sweep: sweeps schedule (point, repetition) jobs; overlay "

@@ -104,15 +104,11 @@ def run(
     seed: int = 42,
     progress: Callable[[str], None] | None = None,
     engine: str = "reference",
-    workers: int = 1,
-    spool: str | None = None,
-    stale_after: float | None = None,
     policy=None,
 ) -> SweepData:
     """Execute the sweep; see module docstring for the setup."""
     return run_sweep(NAME, scale, configs(scale, seed), progress,
-                     engine=engine, workers=workers, spool=spool,
-                     stale_after=stale_after, policy=policy)
+                     engine=engine, policy=policy)
 
 
 def report(data: SweepData) -> str:

@@ -83,9 +83,6 @@ def run(
     seed: int = 42,
     progress: Callable[[str], None] | None = None,
     engine: str = "reference",
-    workers: int = 1,
-    spool: str | None = None,
-    stale_after: float | None = None,
     policy=None,
 ) -> SweepData:
     """Execute the (single-point) sweep; measured counts go in meta.
@@ -97,8 +94,7 @@ def run(
     """
     return run_sweep(
         NAME, scale, configs(scale, seed), progress,
-        engine=engine, workers=workers, spool=spool,
-        stale_after=stale_after, policy=policy,
+        engine=engine, policy=policy,
     )
 
 

@@ -1,0 +1,307 @@
+"""Experiment 6 — dynamic landscapes and hostile overlays (beyond the paper).
+
+The paper evaluates gossip-based PSO on static, honest deployments.
+This factorial probes the two assumptions the time-aware Problem layer
+relaxes:
+
+* **dynamics** — the objective drifts (seeded random-walk optimum) or
+  shifts on a schedule, so swarms must re-converge after every change;
+* **adversary** — a fraction of overlay nodes is Byzantine and gossips
+  fabricated bests, with and without the plausibility-filter defense.
+
+The grid is ``dynamics x adversary`` on sphere (the paper's cleanest
+landscape, so any degradation is attributable to the perturbation, not
+to multimodality), run on the fast engine with >= 30 seeded
+repetitions per cell at full scale.  Reported per cell: mean final
+quality, offline error / recovery (dynamic cells) and filter tallies
+(hostile cells).
+
+Standalone CLI (also the CI ``scenario-matrix`` smoke)::
+
+    python -m repro.experiments.exp6_dynamic_hostile --tiny
+    python -m repro.experiments.exp6_dynamic_hostile --tiny --spool DIR
+
+``--spool`` additionally re-runs one cell through the spool-backed
+distributed service (submit -> worker -> collect), proving the new
+scenario fields survive the job queue's JSON round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.tables import format_paper_table, format_value
+from repro.experiments.common import SweepData, stderr_progress
+from repro.functions.problem import DynamicsSpec
+from repro.scenario import ExecutionPolicy, Scenario, Session
+from repro.simulator.adversary import AdversarySpec
+from repro.utils.config import ExperimentConfig
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["SCALES", "CELLS", "configs", "scenarios", "run", "report", "main"]
+
+NAME = "exp6"
+TITLE = (
+    "Experiment 6: dynamic x hostile factorial on sphere "
+    "(beyond the paper's static honest setting)"
+)
+
+SCALES: dict[str, dict] = {
+    "tiny": {
+        "nodes": 8, "particles": 4, "evals_per_node": 200,
+        "repetitions": 2,
+    },
+    "smoke": {
+        "nodes": 16, "particles": 8, "evals_per_node": 500,
+        "repetitions": 3,
+    },
+    "reduced": {
+        "nodes": 64, "particles": 16, "evals_per_node": 1000,
+        "repetitions": 10,
+    },
+    "full": {
+        "nodes": 256, "particles": 16, "evals_per_node": 2000,
+        "repetitions": 30,
+    },
+}
+
+#: The factorial grid, in deterministic sweep order.  Each cell is
+#: (label, dynamics ctor kwargs, adversary ctor kwargs).
+CELLS: tuple[tuple[str, dict, dict], ...] = (
+    ("static/honest", {}, {}),
+    ("static/false-best", {}, {"fraction": 0.25}),
+    ("static/defended", {}, {"fraction": 0.25, "defense": True}),
+    ("drift/honest", {"kind": "drift"}, {}),
+    ("drift/false-best", {"kind": "drift"}, {"fraction": 0.25}),
+    ("drift/defended", {"kind": "drift"}, {"fraction": 0.25, "defense": True}),
+    ("shift/honest", {"kind": "shift"}, {}),
+    ("shift/false-best", {"kind": "shift"}, {"fraction": 0.25}),
+    ("shift/defended", {"kind": "shift"}, {"fraction": 0.25, "defense": True}),
+)
+
+
+def _params(scale: str) -> dict:
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale {scale!r}; available: {sorted(SCALES)}"
+        ) from None
+
+
+def configs(scale: str = "reduced", seed: int = 42) -> list[ExperimentConfig]:
+    """The grid's shared base point, one copy per cell (legacy view)."""
+    p = _params(scale)
+    return [
+        ExperimentConfig(
+            function="sphere",
+            nodes=p["nodes"],
+            particles_per_node=p["particles"],
+            total_evaluations=p["evals_per_node"] * p["nodes"],
+            gossip_cycle=16,
+            repetitions=p["repetitions"],
+            seed=seed,
+        )
+        for _ in CELLS
+    ]
+
+
+def scenarios(
+    scale: str = "reduced", seed: int = 42, engine: str = "fast"
+) -> list[Scenario]:
+    """One Scenario per factorial cell, dynamics/adversary attached."""
+    return [
+        Scenario.from_experiment_config(
+            cfg,
+            engine=engine,
+            dynamics=DynamicsSpec(**dyn),
+            adversary=AdversarySpec(**adv),
+        )
+        for cfg, (_, dyn, adv) in zip(configs(scale, seed), CELLS)
+    ]
+
+
+def run(
+    scale: str = "reduced",
+    seed: int = 42,
+    progress: Callable[[str], None] | None = None,
+    engine: str = "fast",
+    policy: ExecutionPolicy | None = None,
+) -> SweepData:
+    """Execute the factorial; entries follow ``CELLS`` order.
+
+    Unlike exp1-5 this sweep varies :class:`Scenario` fields that have
+    no :class:`ExperimentConfig` equivalent, so it schedules the
+    scenarios directly instead of going through ``run_sweep``'s
+    config-lifting path.  ``policy.workers > 1`` or ``policy.spool``
+    still routes every (cell, repetition) pair through the distributed
+    job service.
+    """
+    import time
+
+    if policy is None:
+        policy = ExecutionPolicy()
+    if policy.shards > 1:
+        raise ConfigurationError(
+            "exp6: dynamic/hostile scenarios cannot run sharded — "
+            "see validate_sharded"
+        )
+    points = scenarios(scale, seed, engine=engine)
+    cfgs = configs(scale, seed)
+    data = SweepData(name=NAME, scale=scale)
+    t0 = time.perf_counter()
+    if policy.workers > 1 or policy.spool is not None:
+        from repro.distributed.service import run_sweep_jobs
+
+        done = [0]
+
+        def point_progress(index: int, scenario: Scenario, res) -> None:
+            done[0] += 1
+            if progress is not None:
+                progress(
+                    f"[{NAME}:{scale}] {done[0]}/{len(points)} "
+                    f"{CELLS[index][0]} -> mean quality "
+                    f"{res.quality_stats.mean:.3e}"
+                )
+
+        results = run_sweep_jobs(points, progress=point_progress, policy=policy)
+        data.entries = list(zip(cfgs, results))
+    else:
+        for i, scenario in enumerate(points):
+            res = Session(scenario).run()
+            data.entries.append((cfgs[i], res))
+            if progress is not None:
+                progress(
+                    f"[{NAME}:{scale}] {i + 1}/{len(points)} "
+                    f"{CELLS[i][0]} -> mean quality "
+                    f"{res.quality_stats.mean:.3e}"
+                )
+    data.elapsed_seconds = time.perf_counter() - t0
+    return data
+
+
+def _cell_metric(res, group: str, key: str) -> float | None:
+    """Mean of one dynamics/adversary metric over the cell's runs."""
+    values = []
+    for run_rec in res.records:
+        metrics = getattr(run_rec, group)
+        if metrics and key in metrics:
+            try:
+                values.append(float(metrics[key]))
+            except (TypeError, ValueError):
+                return None
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+def report(data: SweepData) -> str:
+    """Per-cell table: quality, dynamic recovery, adversary tallies."""
+    sections = [TITLE, f"(scale={data.scale}, {data.elapsed_seconds:.1f}s)", ""]
+    rows = []
+    for (label, _, _), (_, res) in zip(CELLS, data.entries):
+        offline = _cell_metric(res, "dynamics", "offline_error")
+        filtered = _cell_metric(res, "adversary", "filtered")
+        true_err = _cell_metric(res, "adversary", "final_true_error")
+        rows.append(
+            {
+                "function": label,
+                "avg": format_value(res.quality_stats.mean),
+                "min": format_value(offline) if offline is not None else "-",
+                "max": f"{filtered:.0f}" if filtered is not None else "-",
+                "var": (
+                    format_value(true_err) if true_err is not None else "-"
+                ),
+            }
+        )
+    sections.append(
+        format_paper_table(
+            rows,
+            columns=("function", "avg", "min", "max", "var"),
+            title=(
+                "cell | mean believed quality | mean offline error | "
+                "mean filtered msgs | mean true error"
+            ),
+        )
+    )
+    sections.append("")
+    sections.append(
+        "Static cells reproduce the paper's setting (offline error '-'); "
+        "defended cells should show filtered > 0 and a finite true error."
+    )
+    return "\n".join(sections)
+
+
+def _spool_leg(spool: str, scale: str, seed: int, log) -> None:
+    """One cell through submit -> worker -> collect on a real spool."""
+    from repro.distributed.jobs import jobs_for_sweep
+    from repro.distributed.service import collect_from_spool
+    from repro.distributed.spool import JobQueue
+    from repro.distributed.worker import run_worker
+
+    # The defended dynamic cell exercises every new field at once.
+    cell = scenarios(scale, seed)[CELLS.index(
+        ("drift/defended", {"kind": "drift"},
+         {"fraction": 0.25, "defense": True}),
+    )]
+    queue = JobQueue(spool)
+    submitted = sum(queue.submit(job) for job in jobs_for_sweep([cell]))
+    log(f"[exp6 spool leg] submitted {submitted} job(s) to {spool}")
+    executed = run_worker(spool, policy=ExecutionPolicy())
+    log(f"[exp6 spool leg] worker executed {executed} job(s)")
+    (result,) = collect_from_spool(spool, [cell])
+    tallies = result.records[0].adversary or {}
+    log(
+        f"[exp6 spool leg] collected mean quality "
+        f"{result.quality_stats.mean:.3e}, "
+        f"filtered={tallies.get('filtered', 0)}"
+    )
+    if not result.records[0].dynamics:
+        raise RuntimeError("spool leg lost the dynamics metrics in transit")
+    if not tallies:
+        raise RuntimeError("spool leg lost the adversary tallies in transit")
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.exp6_dynamic_hostile",
+        description="Dynamic x hostile factorial (paper extension).",
+    )
+    parser.add_argument(
+        "--scale", default="reduced", choices=sorted(SCALES),
+        help="sweep extent (full = 30 repetitions per cell)",
+    )
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="shorthand for --scale tiny (the CI smoke grid)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="master seed")
+    parser.add_argument(
+        "--engine", default="fast", choices=("reference", "fast"),
+        help="simulation engine (default fast)",
+    )
+    parser.add_argument(
+        "--spool", default=None,
+        help="also run one cell through the spool-backed distributed "
+        "service in this directory (submit -> worker -> collect)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress on stderr"
+    )
+    args = parser.parse_args(argv)
+    scale = "tiny" if args.tiny else args.scale
+    progress = None if args.quiet else stderr_progress
+
+    data = run(scale=scale, seed=args.seed, progress=progress,
+               engine=args.engine)
+    print(report(data))
+    if args.spool is not None:
+        _spool_leg(args.spool, scale, args.seed,
+                   progress or (lambda _msg: None))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

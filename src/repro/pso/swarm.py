@@ -140,6 +140,36 @@ class Swarm:
             return True
         return False
 
+    def refresh_stale_bests(self) -> int:
+        """Re-evaluate remembered bests under the (possibly shifted) objective.
+
+        After a landscape shift the stored pbest/swarm-optimum *values*
+        measure a landscape that no longer exists.  Positions are kept;
+        values are re-measured, and the swarm optimum re-folds against
+        the refreshed pbests (one may now beat a stale injected
+        optimum).  Never-evaluated particles (pbest = inf) stay invalid
+        so first-visit stepping semantics hold.  The re-evaluations are
+        **not** counted in ``state.evaluations`` — they are maintenance,
+        not optimization budget.  Returns how many were performed.
+        """
+        st = self.state
+        finite = np.isfinite(st.pbest_values)
+        count = int(finite.sum())
+        if count:
+            st.pbest_values[finite] = self.function.batch(
+                st.pbest_positions[finite]
+            )
+        if np.isfinite(st.best_value):
+            st.best_value = float(
+                self.function.batch(st.best_position[None, :])[0]
+            )
+            count += 1
+            best_i = int(np.argmin(st.pbest_values))
+            if st.pbest_values[best_i] < st.best_value:
+                st.best_value = float(st.pbest_values[best_i])
+                st.best_position = st.pbest_positions[best_i].copy()
+        return count
+
     def _record_evaluation(self, index: int, value: float) -> None:
         """Fold one evaluation result into pbest/swarm-optimum."""
         st = self.state

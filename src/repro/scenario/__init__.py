@@ -45,6 +45,8 @@ from repro.scenario.spec import (
     KERNEL_BACKENDS,
     SOLVERS,
     TOPOLOGIES,
+    AdversarySpec,
+    DynamicsSpec,
     Scenario,
     ScenarioValidationError,
     TransportSpec,
@@ -59,6 +61,8 @@ __all__ = [
     "Result",
     "RunRecord",
     "TransportSpec",
+    "DynamicsSpec",
+    "AdversarySpec",
     "ScenarioValidationError",
     "ENGINES",
     "EVENT_BACKENDS",

@@ -3,19 +3,14 @@
 A :class:`Scenario` says *what* to simulate; an :class:`ExecutionPolicy`
 says *how* to execute it — process parallelism, spool-backed
 distribution, overlay sharding, and the liveness thresholds of the
-distributed service.  Before this class the knobs were six loose
-keyword arguments threaded through ``Session.sweep`` →
-``run_sweep_jobs`` → ``run_worker``; now every entry point
+distributed service.  The knobs used to be six loose keyword arguments
+threaded through ``Session.sweep`` → ``run_sweep_jobs`` →
+``run_worker``; now every entry point
 (:meth:`Session.run <repro.scenario.session.Session.run>`,
 :meth:`Session.sweep <repro.scenario.session.Session.sweep>`,
 :func:`run_sweep_jobs <repro.distributed.service.run_sweep_jobs>`,
-and the ``repro.experiments`` / ``repro.distributed`` CLIs) accepts one
-frozen policy value.
-
-The loose kwargs survive for one release as deprecated aliases:
-:meth:`ExecutionPolicy.from_kwargs` merges them into a policy (warning
-when asked to), so existing call sites and old serialized invocations
-keep working unchanged.
+and the ``repro.experiments`` / ``repro.distributed`` CLIs) accepts
+exactly one frozen policy value — the loose kwargs are gone.
 
 >>> ExecutionPolicy(workers=4).workers
 4
@@ -44,19 +39,6 @@ EXECUTION_FIELDS = (
     "heartbeat_interval",
     "job_timeout",
 )
-
-#: Defaults of the deprecated loose-kwarg surface, used by
-#: :meth:`ExecutionPolicy.from_kwargs` to tell "caller passed the
-#: default" from "caller did not pass it at all".
-_KWARG_DEFAULTS: dict[str, Any] = {
-    "workers": 1,
-    "spool": None,
-    "shards": 1,
-    "stale_after": None,
-    "heartbeat_interval": 15.0,
-    "job_timeout": None,
-}
-
 
 class ExecutionPolicyError(ConfigurationError):
     """An execution-policy field failed validation.
@@ -133,59 +115,6 @@ class ExecutionPolicy:
             # suite uses it to force the timeout path deterministically)
             _require("job_timeout", self.job_timeout >= 0,
                      "must be >= 0 seconds or None")
-
-    # -- merging the deprecated loose-kwarg surface ---------------------------
-
-    @classmethod
-    def from_kwargs(
-        cls,
-        policy: "ExecutionPolicy | None" = None,
-        warn: bool = True,
-        stacklevel: int = 3,
-        **kwargs: Any,
-    ) -> "ExecutionPolicy":
-        """Merge a policy with the legacy loose kwargs.
-
-        The deprecation shim behind every migrated call site:
-
-        * only ``policy`` given → returned as-is;
-        * only loose kwargs given → a policy is built from them, and a
-          :class:`DeprecationWarning` names the offending kwargs when
-          ``warn`` is true (the public ``Session.sweep`` surface warns;
-          internal plumbing that merely *threads* legacy parameters
-          passes ``warn=False``);
-        * both given (a kwarg differing from its default alongside an
-          explicit policy) → :class:`ExecutionPolicyError`, because
-          silently preferring either would hide a real conflict.
-
-        Unknown kwargs raise, naming the field.
-        """
-        overrides: dict[str, Any] = {}
-        for name, value in kwargs.items():
-            if name not in _KWARG_DEFAULTS:
-                raise ExecutionPolicyError(name, "unknown execution field")
-            if value is not None and value != _KWARG_DEFAULTS[name]:
-                overrides[name] = value
-        if policy is not None:
-            if overrides:
-                raise ExecutionPolicyError(
-                    sorted(overrides)[0],
-                    "passed alongside an explicit policy= — move it into "
-                    "the ExecutionPolicy (the loose kwargs are deprecated "
-                    "aliases, not overrides)",
-                )
-            return policy
-        if overrides and warn:
-            import warnings
-
-            names = ", ".join(f"{k}=..." for k in sorted(overrides))
-            warnings.warn(
-                f"loose execution kwargs ({names}) are deprecated; pass "
-                "policy=ExecutionPolicy(...) instead",
-                DeprecationWarning,
-                stacklevel=stacklevel,
-            )
-        return cls(**overrides)
 
     # -- JSON round-trip ------------------------------------------------------
 

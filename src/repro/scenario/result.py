@@ -47,6 +47,37 @@ def _float_in(value: float | str | None) -> float | None:
     return float(value)
 
 
+#: Keys of the dynamics/adversary metric dicts holding (possibly
+#: non-finite) floats; everything else in those dicts is an int, bool
+#: or plain string and travels untouched.
+_METRIC_FLOAT_KEYS = frozenset({
+    "offline_error",
+    "best_error_after_change",
+    "recovery_time",
+    "final_error",
+    "final_true_error",
+})
+
+
+def _metrics_out(metrics: Mapping[str, Any] | None) -> dict | None:
+    """JSON-safe copy of a dynamics/adversary metrics dict."""
+    if metrics is None:
+        return None
+    return {
+        k: (_float_out(v) if k in _METRIC_FLOAT_KEYS else v)
+        for k, v in metrics.items()
+    }
+
+
+def _metrics_in(metrics: Mapping[str, Any] | None) -> dict | None:
+    if metrics is None:
+        return None
+    return {
+        k: (_float_in(v) if k in _METRIC_FLOAT_KEYS else v)
+        for k, v in metrics.items()
+    }
+
+
 def _required(data: Mapping[str, Any], key: str, what: str) -> Any:
     try:
         return data[key]
@@ -61,7 +92,8 @@ class RunRecord(RunResult):
     Inherits every :class:`~repro.core.runner.RunResult` field
     (best_value, quality, total_evaluations, cycles, stop_reason,
     threshold_local_time, threshold_total_evaluations, messages,
-    node_best_spread, history, crashes, joins) and adds:
+    node_best_spread, history, crashes, joins, dynamics, adversary)
+    and adds:
 
     Attributes
     ----------
@@ -105,6 +137,8 @@ class RunRecord(RunResult):
             threshold_time=res.threshold_time,
             crashes=res.crashes,
             joins=res.joins,
+            dynamics=res.dynamics,
+            adversary=res.adversary,
         )
 
     @property
@@ -156,6 +190,8 @@ class RunRecord(RunResult):
                 if self.node_qualities is None
                 else [_float_out(q) for q in self.node_qualities]
             ),
+            "dynamics": _metrics_out(self.dynamics),
+            "adversary": _metrics_out(self.adversary),
         }
 
     @classmethod
@@ -204,6 +240,8 @@ class RunRecord(RunResult):
                 if node_qualities is None
                 else [_float_in(q) for q in node_qualities]
             ),
+            dynamics=_metrics_in(data.get("dynamics")),
+            adversary=_metrics_in(data.get("adversary")),
         )
 
 

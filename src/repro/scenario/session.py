@@ -217,6 +217,8 @@ class Session:
             optimizer_builder=_optimizer_builder(scenario),
             extra_observers=scenario.observers,
             max_cycles=scenario.max_cycles,
+            dynamics=scenario.dynamics,
+            adversary=scenario.adversary,
         )
         return RunRecord.from_run_result(run)
 
@@ -234,6 +236,8 @@ class Session:
             topology=scenario.topology,
             rng_mode=scenario.rng_mode,
             kernel_backend=scenario.kernel_backend,
+            dynamics=scenario.dynamics,
+            adversary=scenario.adversary,
         )
         return RunRecord.from_run_result(run)
 
@@ -247,13 +251,20 @@ class Session:
                 repetition=repetition,
                 window=scenario.event_window,
                 rng_mode=scenario.rng_mode,
+                dynamics=scenario.dynamics,
+                adversary=scenario.adversary,
             )
             return RunRecord.from_deployment_result(
                 engine.run(until=scenario.horizon)
             )
         from repro.deployment.runtime import AsyncRuntime
 
-        runtime = AsyncRuntime(self.deployment_config(), repetition=repetition)
+        runtime = AsyncRuntime(
+            self.deployment_config(),
+            repetition=repetition,
+            dynamics=scenario.dynamics,
+            adversary=scenario.adversary,
+        )
         return RunRecord.from_deployment_result(runtime.run(until=scenario.horizon))
 
     def deployment_config(self):
@@ -296,7 +307,6 @@ class Session:
 
     def run(
         self,
-        workers: int = 1,
         progress: Callable[[int, RunRecord], None] | None = None,
         policy: ExecutionPolicy | None = None,
     ) -> Result:
@@ -304,29 +314,29 @@ class Session:
 
         Parameters
         ----------
-        workers:
-            Process-parallel repetitions.  Results are identical to
-            the sequential run (each repetition's randomness derives
-            from its own seed-tree branch).  Scenarios holding live
-            callables (a topology factory, observers) are not
-            picklable and require ``workers=1``.
         progress:
             Optional ``(repetition_index, record) -> None`` callback.
         policy:
             The unified execution surface
             (:class:`~repro.scenario.policy.ExecutionPolicy`):
-            ``workers`` parallelism, and — ``run`` only —
-            ``shards > 1`` partitions each repetition's overlay over
-            shard engines (threads, or OS processes when the policy
-            also names a ``spool``); see :mod:`repro.sharding`.
-            Mutually exclusive with a non-default ``workers`` kwarg.
+            ``workers`` runs repetitions process-parallel (results are
+            identical to the sequential run — each repetition's
+            randomness derives from its own seed-tree branch;
+            scenarios holding live callables are not picklable and
+            need ``workers=1``), and — ``run`` only — ``shards > 1``
+            partitions each repetition's overlay over shard engines
+            (threads, or OS processes when the policy also names a
+            ``spool``); see :mod:`repro.sharding`.  ``None`` means the
+            sequential default ``ExecutionPolicy()``.
         """
         scenario = self.scenario
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
-        policy = ExecutionPolicy.from_kwargs(
-            policy, warn=False, workers=workers
-        )
+        if policy is None:
+            policy = ExecutionPolicy()
+        if not isinstance(policy, ExecutionPolicy):
+            raise TypeError(
+                "Session.run takes policy=ExecutionPolicy(...); the loose "
+                "execution kwargs (workers=...) were removed"
+            )
         workers = policy.workers
         if policy.shards > 1:
             return self._run_sharded(policy, progress)
@@ -429,6 +439,13 @@ class Session:
         valid = {f.name for f in fields(Scenario)}
         for name in names:
             if name not in valid:
+                from repro.scenario.policy import EXECUTION_FIELDS
+
+                if name in EXECUTION_FIELDS:
+                    raise ConfigurationError(
+                        f"{name!r} is an execution knob, not a sweep axis — "
+                        "pass policy=ExecutionPolicy(...)"
+                    )
                 raise ConfigurationError(f"unknown sweep axis {name!r}")
 
         def rec(i: int, current: Scenario) -> Iterator[Scenario]:
@@ -442,12 +459,7 @@ class Session:
 
     def sweep(
         self,
-        workers: int | None = None,
         progress: Callable[[Scenario, Result], None] | None = None,
-        spool: str | None = None,
-        stale_after: float | None = None,
-        heartbeat_interval: float | None = None,
-        job_timeout: float | None = None,
         policy: ExecutionPolicy | None = None,
         **axes: Sequence,
     ) -> list[Result]:
@@ -471,27 +483,20 @@ class Session:
             Results are pinned identical to the sequential sweep on
             every path — same records, same deterministic point order.
             ``shards`` is a :meth:`run`-only knob and rejected here.
-        workers, spool, stale_after, heartbeat_interval, job_timeout:
-            .. deprecated:: 2.0
-               Loose aliases of the policy fields, kept for one
-               release.  Passing any of them emits a
-               ``DeprecationWarning``; combining them with an explicit
-               ``policy=`` is an error.
+            ``None`` means the sequential default.
         progress:
             ``(scenario, result) -> None``, fired once per point.
             Sequential sweeps fire in sweep order; parallel sweeps
             fire as points complete (possibly out of order) — the
             returned list is ordered either way.
         """
-        policy = ExecutionPolicy.from_kwargs(
-            policy,
-            warn=True,
-            workers=workers,
-            spool=spool,
-            stale_after=stale_after,
-            heartbeat_interval=heartbeat_interval,
-            job_timeout=job_timeout,
-        )
+        if policy is None:
+            policy = ExecutionPolicy()
+        if not isinstance(policy, ExecutionPolicy):
+            raise TypeError(
+                "Session.sweep takes policy=ExecutionPolicy(...); the loose "
+                "execution kwargs (workers=..., spool=..., ...) were removed"
+            )
         if policy.shards > 1:
             raise ConfigurationError(
                 "sweeps schedule (point, repetition) jobs; overlay "

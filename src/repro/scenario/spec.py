@@ -32,6 +32,8 @@ from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Callable, Mapping
 
 from repro.core.kernels import KERNEL_BACKENDS
+from repro.functions.problem import DynamicsSpec
+from repro.simulator.adversary import AdversarySpec
 from repro.utils.config import (
     ChurnConfig,
     CoordinationConfig,
@@ -51,6 +53,8 @@ __all__ = [
     "BASELINES",
     "Scenario",
     "TransportSpec",
+    "DynamicsSpec",
+    "AdversarySpec",
     "ScenarioValidationError",
 ]
 
@@ -212,6 +216,22 @@ class Scenario:
         Subsystem parameter bundles.  For the ``event`` engine the
         churn rates are events per simulated second (Poisson) rather
         than per-cycle fractions.
+    dynamics:
+        Time-varying landscape bundle
+        (:class:`~repro.functions.problem.DynamicsSpec`): a drifting
+        or shifting optimum with severity/period knobs.  ``period`` is
+        in cycles on the cycle engines and simulated seconds on the
+        event engines.  Default (``kind="none"``) is the static
+        objective, bit-identical to scenarios predating this field.
+    adversary:
+        Hostile-overlay bundle
+        (:class:`~repro.simulator.adversary.AdversarySpec`): a
+        Byzantine fraction of nodes injecting false bests, corrupting
+        positions or dropping gossip, plus the plausibility-filter
+        defense toggle.  Default (``fraction=0``) is the honest
+        network.  Dynamics and adversary both require the standard
+        PSO solver stack (no objective maps, baselines, partitioning
+        or mixed solvers) and are not shardable.
     observers:
         Extra engine observers (cycle engines only).  Not
         serializable — :meth:`to_dict` requires this empty.
@@ -245,6 +265,8 @@ class Scenario:
     newscast: NewscastConfig = field(default_factory=NewscastConfig)
     pso: PSOConfig = field(default_factory=PSOConfig)
     coordination: CoordinationConfig = field(default_factory=CoordinationConfig)
+    dynamics: DynamicsSpec = field(default_factory=DynamicsSpec)
+    adversary: AdversarySpec = field(default_factory=AdversarySpec)
     observers: tuple = ()
 
     # -- validation -----------------------------------------------------------
@@ -264,6 +286,7 @@ class Scenario:
         self._validate_topology()
         self._validate_solver()
         self._validate_baseline()
+        self._validate_problem_layer()
         if self.quality_threshold is not None:
             _require("quality_threshold", self.quality_threshold > 0,
                      "must be > 0 or None")
@@ -403,6 +426,25 @@ class Scenario:
                      "partitioned search needs the reference engine")
             _require("partitioned", self.baseline is None,
                      "baselines do not partition the domain")
+
+    def _validate_problem_layer(self) -> None:
+        for name, spec in (("dynamics", self.dynamics),
+                           ("adversary", self.adversary)):
+            if not spec.enabled:
+                continue
+            _require(name, self.baseline is None,
+                     "baselines model the static honest setting")
+            _require(name, self.objective_map is None,
+                     "requires one shared objective, not an objective_map")
+            _require(name, not self.partitioned,
+                     "cannot combine with partitioned search")
+            solvers = (self.solver if isinstance(self.solver, tuple)
+                       else (self.solver,))
+            _require(name, tuple(solvers) == ("pso",),
+                     "requires the standard PSO solver stack")
+        if self.adversary.enabled:
+            _require("adversary", self.nodes >= 2,
+                     "a hostile overlay needs at least one honest node")
 
     def _validate_baseline(self) -> None:
         if self.baseline is None:
@@ -568,7 +610,7 @@ class Scenario:
             elif f.name == "solver" and isinstance(value, tuple):
                 value = list(value)
             elif f.name in ("churn", "transport", "newscast", "pso",
-                            "coordination"):
+                            "coordination", "dynamics", "adversary"):
                 value = asdict(value)
             out[f.name] = value
         return out
@@ -588,6 +630,8 @@ class Scenario:
             "newscast": NewscastConfig,
             "pso": PSOConfig,
             "coordination": CoordinationConfig,
+            "dynamics": DynamicsSpec,
+            "adversary": AdversarySpec,
         }
         known = {f.name for f in fields(cls)}
         kwargs: dict[str, Any] = {}

@@ -86,6 +86,17 @@ def validate_sharded(scenario: Scenario, shards: int) -> None:
         raise bad("baselines are single-process by definition")
     if scenario.observers:
         raise bad("live observer objects cannot cross shard boundaries")
+    if scenario.dynamics.enabled:
+        raise bad(
+            "dynamic landscapes are not supported (epoch transitions "
+            "must refresh every node's stale bests atomically, which "
+            "shard windows cannot order)"
+        )
+    if scenario.adversary.enabled:
+        raise bad(
+            "hostile overlays are not supported (the Byzantine subset "
+            "and its tallies are engine-global state)"
+        )
     if scenario.topology not in SHARDABLE_TOPOLOGIES:
         raise bad(
             f"topology must be one of {SHARDABLE_TOPOLOGIES}, "

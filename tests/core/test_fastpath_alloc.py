@@ -22,6 +22,8 @@ import pytest
 
 from repro.core.fastpath import FastEngine, run_single_fast
 from repro.functions.base import Function, register_function
+from repro.functions.problem import DynamicsSpec
+from repro.simulator.adversary import AdversarySpec
 from repro.utils.config import ChurnConfig, ExperimentConfig
 
 CONFIG_A = dict(function="sphere", nodes=32, particles_per_node=4,
@@ -85,6 +87,34 @@ class TestPinnedBitIdentity:
         assert res.joins == 20
         assert res.messages.coordination_messages == 1465
         assert res.messages.newscast_exchanges == 664
+
+    @pytest.mark.parametrize(
+        "topology,want_hex,evals,cycles,msgs,adoptions,exchanges",
+        PINNED_STRICT, ids=[row[0] for row in PINNED_STRICT],
+    )
+    def test_default_problem_layer_specs_stay_bit_identical(
+            self, topology, want_hex, evals, cycles, msgs, adoptions,
+            exchanges):
+        """Explicit default-disabled Dynamics/Adversary specs are no-ops.
+
+        The time-aware Problem layer threads ``dynamics=``/``adversary=``
+        through every engine; a scenario that leaves both at their
+        defaults must keep producing the exact pre-Problem-layer bit
+        streams — the same pins as ``test_strict_topologies``.
+        """
+        res = run_single_fast(
+            ExperimentConfig(**CONFIG_A), repetition=1, topology=topology,
+            rng_mode="strict", kernel_backend="numpy",
+            dynamics=DynamicsSpec(), adversary=AdversarySpec(),
+        )
+        assert float(res.best_value).hex() == want_hex
+        assert res.total_evaluations == evals
+        assert res.cycles == cycles
+        assert res.messages.coordination_messages == msgs
+        assert res.messages.coordination_adoptions == adoptions
+        assert res.messages.newscast_exchanges == exchanges
+        assert res.dynamics is None
+        assert res.adversary is None
 
     def test_strict_r_not_dividing_k(self):
         config = ExperimentConfig(

@@ -40,7 +40,7 @@ from repro.distributed.jobs import jobs_for_sweep
 from repro.distributed.service import collect_from_spool
 from repro.distributed.spool import ClaimHeartbeat, JobQueue, worker_identity
 from repro.distributed.worker import run_worker
-from repro.scenario import Scenario, Session
+from repro.scenario import ExecutionPolicy, Scenario, Session
 
 _SRC = str(Path(repro.__file__).resolve().parents[1])
 
@@ -94,7 +94,9 @@ def drain_with_restarts(
     for _ in range(max_restarts):
         try:
             executed += run_worker(
-                queue, heartbeat_interval=0.05, poll_interval=0.01,
+                queue,
+                policy=ExecutionPolicy(heartbeat_interval=0.05),
+                poll_interval=0.01,
                 **worker_kwargs,
             )
         except OSError:
@@ -180,7 +182,7 @@ class TestChaosSweep:
 
         queue = ChaosJobQueue(tmp_path, FailFirstN(3))
         queue.submit(jobs_for_sweep([make(repetitions=1)])[0])
-        assert run_worker(queue, heartbeat_interval=0.05) == 1
+        assert run_worker(queue, policy=ExecutionPolicy(heartbeat_interval=0.05)) == 1
         assert queue.counts()["results"] == 1
 
     def test_persistent_spool_failure_surfaces(self, tmp_path):
@@ -191,7 +193,7 @@ class TestChaosSweep:
         )
         queue.submit(jobs_for_sweep([make(repetitions=1)])[0])
         with pytest.raises(OSError, match="chaos"):
-            run_worker(queue, heartbeat_interval=0.05)
+            run_worker(queue, policy=ExecutionPolicy(heartbeat_interval=0.05))
 
 
 class TestHeartbeats:
@@ -240,7 +242,7 @@ class TestHeartbeats:
 
         queue = Recording(tmp_path)
         queue.submit(jobs_for_sweep([make(repetitions=3)], reps_per_job=3)[0])
-        assert run_worker(queue, heartbeat_interval=3600.0) == 1
+        assert run_worker(queue, policy=ExecutionPolicy(heartbeat_interval=3600.0)) == 1
         assert len(stamps) >= 3  # one per repetition (fallback timer idle)
 
     def test_claim_heartbeat_detects_lost_claim(self, tmp_path):
@@ -271,7 +273,10 @@ class TestJobTimeout:
         # Deadline of 0s: the between-repetition check trips before the
         # first repetition, releases with a timeout error, the retry
         # trips again, and the job dead-letters.
-        assert run_worker(queue, job_timeout=0.0, heartbeat_interval=0.05) == 0
+        assert run_worker(
+            queue,
+            policy=ExecutionPolicy(job_timeout=0.0, heartbeat_interval=0.05),
+        ) == 0
         assert queue.failed_ids() == [job.job_id]
         failed = queue.load_failed(job.job_id)
         assert failed["error"].startswith("timeout:")
@@ -280,7 +285,10 @@ class TestJobTimeout:
     def test_generous_timeout_does_not_interfere(self, tmp_path):
         queue = JobQueue(tmp_path)
         queue.submit(jobs_for_sweep([make(repetitions=2)], reps_per_job=2)[0])
-        assert run_worker(queue, job_timeout=3600.0, heartbeat_interval=0.05) == 1
+        assert run_worker(
+            queue,
+            policy=ExecutionPolicy(job_timeout=3600.0, heartbeat_interval=0.05),
+        ) == 1
         assert queue.counts()["results"] == 1
 
 
@@ -296,7 +304,7 @@ class TestFailureClassification:
             [make(nodes=4, total_evaluations=2, repetitions=1)]
         )[0]
         queue.submit(job)
-        assert run_worker(queue, heartbeat_interval=0.05) == 0
+        assert run_worker(queue, policy=ExecutionPolicy(heartbeat_interval=0.05)) == 0
         assert queue.failed_ids() == [job.job_id]
         failed = queue.load_failed(job.job_id)
         assert "ConfigurationError" in failed["error"]
@@ -356,7 +364,11 @@ class TestKillAndResume:
 
         # The replacement worker's idle recovery probes the dead pid,
         # requeues its claim, and finishes the sweep.
-        run_worker(queue, poll_interval=0.01, heartbeat_interval=0.05)
+        run_worker(
+            queue,
+            poll_interval=0.01,
+            policy=ExecutionPolicy(heartbeat_interval=0.05),
+        )
 
         assert queue.counts()["failed"] == 0
         assert queue.claimed_ids() == []

@@ -11,7 +11,7 @@ from repro.distributed.service import (
     run_sweep_jobs,
 )
 from repro.distributed.spool import JobQueue
-from repro.scenario import Scenario, Session
+from repro.scenario import ExecutionPolicy, Scenario, Session
 from repro.utils.exceptions import SimulationError
 
 
@@ -60,14 +60,21 @@ class TestInlineService:
 
     def test_rejects_invalid_workers(self):
         with pytest.raises(ValueError):
-            run_sweep_jobs(sweep_points(), workers=0)
+            run_sweep_jobs(sweep_points(), policy=ExecutionPolicy(workers=0))
+
+    def test_rejects_loose_workers_kwarg(self):
+        with pytest.raises(TypeError):
+            run_sweep_jobs(sweep_points(), workers=2)
 
 
 class TestProcessPool:
     def test_two_workers_equal_to_sequential(self, sequential):
         """Cross-point scheduling: 6 jobs fill a 2-process pool."""
         assert_pinned_equal(
-            run_sweep_jobs(sweep_points(), workers=2), sequential
+            run_sweep_jobs(
+                sweep_points(), policy=ExecutionPolicy(workers=2)
+            ),
+            sequential,
         )
 
 
@@ -80,7 +87,10 @@ class TestSpoolService:
         same records, same deterministic point order — even though
         every record crossed process boundaries as JSON."""
         results = run_sweep_jobs(
-            sweep_points(), workers=2, spool=str(tmp_path), stale_after=5.0
+            sweep_points(),
+            policy=ExecutionPolicy(
+                workers=2, spool=str(tmp_path), stale_after=5.0
+            ),
         )
         assert_pinned_equal(results, sequential)
 
@@ -94,7 +104,9 @@ class TestSpoolService:
         queue.submit(jobs[0])
         claim = queue.claim()
         queue.complete(claim, execute_job(jobs[0]), elapsed_seconds=0.1)
-        results = run_sweep_jobs(points, workers=1, spool=str(tmp_path))
+        results = run_sweep_jobs(
+            points, policy=ExecutionPolicy(workers=1, spool=str(tmp_path))
+        )
         assert_pinned_equal(results, sequential)
 
     def test_stranded_claim_recovered_by_coordinator(
@@ -111,7 +123,10 @@ class TestSpoolService:
         # The claimant's recorded pid does not exist: a dead worker.
         assert queue.claim(owner=worker_identity(999_999_999)) is not None
         results = run_sweep_jobs(
-            points, workers=1, spool=str(tmp_path), stale_after=60.0
+            points,
+            policy=ExecutionPolicy(
+                workers=1, spool=str(tmp_path), stale_after=60.0
+            ),
         )
         assert_pinned_equal(results, sequential)
 
@@ -163,14 +178,17 @@ class TestSessionSweepIntegration:
     def test_sweep_workers_equal_to_sequential(self):
         session = Session(make())
         seq = session.sweep(gossip_cycle=[4, 2])
-        par = session.sweep(workers=2, gossip_cycle=[4, 2])
+        par = session.sweep(
+            policy=ExecutionPolicy(workers=2), gossip_cycle=[4, 2]
+        )
         assert_pinned_equal(par, seq)
 
     def test_sweep_spool_equal_to_sequential(self, tmp_path):
         session = Session(make())
         seq = session.sweep(gossip_cycle=[4, 2])
         spooled = session.sweep(
-            workers=2, spool=str(tmp_path), gossip_cycle=[4, 2]
+            policy=ExecutionPolicy(workers=2, spool=str(tmp_path)),
+            gossip_cycle=[4, 2],
         )
         assert_pinned_equal(spooled, seq)
 
@@ -178,10 +196,10 @@ class TestSessionSweepIntegration:
         session = Session(make())
         seq = session.sweep(gossip_cycle=[4, 2])
         par = session.sweep(
-            workers=2,
-            spool=str(tmp_path),
-            heartbeat_interval=0.1,
-            job_timeout=120.0,
+            policy=ExecutionPolicy(
+                workers=2, spool=str(tmp_path),
+                heartbeat_interval=0.1, job_timeout=120.0,
+            ),
             gossip_cycle=[4, 2],
         )
         assert_pinned_equal(par, seq)
@@ -189,7 +207,7 @@ class TestSessionSweepIntegration:
     def test_sweep_progress_covers_every_point(self):
         seen = []
         Session(make()).sweep(
-            workers=2,
+            policy=ExecutionPolicy(workers=2),
             progress=lambda s, r: seen.append(s.gossip_cycle),
             gossip_cycle=[4, 2],
         )
@@ -265,6 +283,37 @@ class TestCli:
         assert doc["counts"]["results"] == 2
         (worker_status,) = doc["workers"]
         assert worker_status["jobs_done"] == 2
+
+    def test_status_watch_redraws_until_interrupted(
+            self, tmp_path, capsys, monkeypatch):
+        import time
+
+        from repro.distributed.__main__ import main
+
+        spool = str(tmp_path / "spool")
+        JobQueue(spool)
+        sleeps = []
+
+        def fake_sleep(seconds):
+            sleeps.append(seconds)
+            if len(sleeps) >= 2:
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(time, "sleep", fake_sleep)
+        assert main(["status", "--spool", spool,
+                     "--watch", "--interval", "0.5"]) == 0
+        out = capsys.readouterr().out
+        # One ANSI clear-and-home per redraw, Ctrl-C exits cleanly.
+        assert out.count("\x1b[2J\x1b[H") == 2
+        assert sleeps == [0.5, 0.5]
+
+    def test_status_watch_rejects_nonpositive_interval(self, tmp_path):
+        from repro.distributed.__main__ import main
+
+        spool = str(tmp_path / "spool")
+        JobQueue(spool)
+        with pytest.raises(SystemExit):
+            main(["status", "--spool", spool, "--watch", "--interval", "0"])
 
     def test_requeue_subcommand_recovers_dead_claims(self, tmp_path, capsys):
         from repro.distributed.__main__ import main

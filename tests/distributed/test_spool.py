@@ -20,7 +20,7 @@ from repro.distributed.spool import (
     worker_identity,
 )
 from repro.distributed.worker import run_worker
-from repro.scenario import Scenario
+from repro.scenario import ExecutionPolicy, Scenario
 
 #: A pid far above any real pid_max: worker_identity(_DEAD_PID) names a
 #: process on this host that provably does not exist.
@@ -407,7 +407,7 @@ class TestWorkerStatusSidecars:
     def test_run_worker_publishes_status(self, tmp_path):
         queue = JobQueue(tmp_path)
         submit_one(queue)
-        run_worker(queue, heartbeat_interval=0.05)
+        run_worker(queue, policy=ExecutionPolicy(heartbeat_interval=0.05))
         (status,) = queue.worker_statuses()
         assert status["worker"] == worker_identity()
         assert status["jobs_done"] == 1

@@ -17,16 +17,23 @@ from repro.utils.exceptions import ConfigurationError
 
 class TestRegistry:
     def test_experiments_registered(self):
-        assert sorted(EXPERIMENTS) == ["exp1", "exp2", "exp3", "exp4", "exp5"]
+        assert sorted(EXPERIMENTS) == [
+            "exp1", "exp2", "exp3", "exp4", "exp5", "exp6",
+        ]
 
-    @pytest.mark.parametrize("name", sorted(["exp1", "exp2", "exp3", "exp4", "exp5"]))
+    @pytest.mark.parametrize(
+        "name", sorted(["exp1", "exp2", "exp3", "exp4", "exp5", "exp6"])
+    )
     def test_module_interface(self, name):
         module = EXPERIMENTS[name]
         for attr in ("configs", "run", "report", "SCALES", "NAME", "TITLE"):
             assert hasattr(module, attr)
-        assert set(module.SCALES) == {"smoke", "reduced", "full"}
+        # exp6 additionally defines a "tiny" CI-smoke scale.
+        assert {"smoke", "reduced", "full"} <= set(module.SCALES)
 
-    @pytest.mark.parametrize("name", ["exp1", "exp2", "exp3", "exp4", "exp5"])
+    @pytest.mark.parametrize(
+        "name", ["exp1", "exp2", "exp3", "exp4", "exp5", "exp6"]
+    )
     def test_unknown_scale_raises(self, name):
         with pytest.raises(ConfigurationError):
             EXPERIMENTS[name].configs("gigantic")

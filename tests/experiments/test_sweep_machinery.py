@@ -9,7 +9,7 @@ import pytest
 from repro.core.metrics import MessageTally
 from repro.experiments import exp3_cycle_length
 from repro.experiments.common import SweepData, run_sweep
-from repro.scenario import Result, RunRecord, Scenario
+from repro.scenario import ExecutionPolicy, Result, RunRecord, Scenario
 from repro.utils.config import ExperimentConfig
 
 
@@ -122,7 +122,10 @@ class TestSweepData:
 class TestDistributedSweep:
     def test_workers_match_sequential_entries(self, sweep_data):
         """Cross-point scheduling returns the sequential sweep verbatim."""
-        parallel = run_sweep("tiny", "test", tiny_configs(), workers=2)
+        parallel = run_sweep(
+            "tiny", "test", tiny_configs(),
+            policy=ExecutionPolicy(workers=2),
+        )
         assert [cfg for cfg, _ in parallel.entries] == [
             cfg for cfg, _ in sweep_data.entries
         ]
@@ -132,7 +135,8 @@ class TestDistributedSweep:
 
     def test_spool_matches_sequential_entries(self, sweep_data, tmp_path):
         spooled = run_sweep(
-            "tiny", "test", tiny_configs(), workers=2, spool=str(tmp_path)
+            "tiny", "test", tiny_configs(),
+            policy=ExecutionPolicy(workers=2, spool=str(tmp_path)),
         )
         assert [res.records for _, res in spooled.entries] == [
             res.records for _, res in sweep_data.entries
@@ -140,7 +144,10 @@ class TestDistributedSweep:
 
     def test_workers_progress_counts_completions(self):
         messages = []
-        run_sweep("t", "s", tiny_configs(), progress=messages.append, workers=2)
+        run_sweep(
+            "t", "s", tiny_configs(), progress=messages.append,
+            policy=ExecutionPolicy(workers=2),
+        )
         assert len(messages) == 3
         assert any("3/3" in m for m in messages)
 

@@ -1,0 +1,126 @@
+"""Cross-engine equivalence and serialization of the Problem layer.
+
+The acceptance contract of the time-aware Problem layer:
+
+* a *dynamic* scenario sees the same landscape schedule on the fast
+  and the reference engine (equal shift counts) and degrades
+  comparably (bounded offline-error ratio);
+* a *hostile* scenario is poisoned identically without the defense
+  (believed best == the injected ``-magnitude``, true error > 0) and
+  recovers with it (filtered messages, finite believed best);
+* the new per-run ``dynamics``/``adversary`` metric dicts survive the
+  strict-JSON round trip, non-finite floats included.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.functions.problem import DynamicsSpec
+from repro.scenario import Result, RunRecord, Scenario, Session
+from repro.simulator.adversary import AdversarySpec
+
+
+def _scenario(engine: str, **overrides) -> Scenario:
+    base = dict(
+        function="sphere",
+        nodes=8,
+        particles_per_node=4,
+        total_evaluations=8 * 320,
+        gossip_cycle=16,
+        repetitions=1,
+        seed=1234,
+        engine=engine,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+DYNAMIC = dict(dynamics=DynamicsSpec(kind="shift", severity=0.2, period=4.0))
+HOSTILE = dict(adversary=AdversarySpec(fraction=0.25))
+DEFENDED = dict(adversary=AdversarySpec(fraction=0.25, defense=True))
+
+
+class TestDynamicEquivalence:
+    def test_fast_and_reference_see_the_same_schedule(self):
+        records = {
+            engine: Session(_scenario(engine, **DYNAMIC)).run_one(0)
+            for engine in ("fast", "reference")
+        }
+        for engine, rec in records.items():
+            assert rec.dynamics is not None, engine
+            assert rec.dynamics["shifts"] >= 2, engine
+            assert rec.dynamics["offline_error"] > 0, engine
+            assert rec.dynamics["reevaluations"] > 0, engine
+        assert (records["fast"].dynamics["shifts"]
+                == records["reference"].dynamics["shifts"])
+        # Statistical, not bitwise: both engines must degrade on the
+        # same order of magnitude under the same schedule.
+        ratio = (records["fast"].dynamics["offline_error"]
+                 / records["reference"].dynamics["offline_error"])
+        assert 0.02 < ratio < 50.0
+
+    def test_static_run_reports_no_dynamics(self):
+        rec = Session(_scenario("fast")).run_one(0)
+        assert rec.dynamics is None
+        assert rec.adversary is None
+
+
+class TestHostileEquivalence:
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_undefended_overlay_is_poisoned(self, engine):
+        spec = HOSTILE["adversary"]
+        rec = Session(_scenario(engine, **HOSTILE)).run_one(0)
+        assert rec.adversary is not None
+        assert rec.adversary["false_offers"] > 0
+        assert rec.adversary["defense"] is False
+        # Every honest node ends up believing the injected lure ...
+        assert rec.best_value == -spec.magnitude
+        # ... while the swarm's true progress is strictly worse.
+        assert rec.adversary["final_true_error"] > 0
+
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_plausibility_filter_holds_the_line(self, engine):
+        spec = DEFENDED["adversary"]
+        rec = Session(_scenario(engine, **DEFENDED)).run_one(0)
+        assert rec.adversary is not None
+        assert rec.adversary["defense"] is True
+        assert rec.adversary["filtered"] > 0
+        assert math.isfinite(rec.best_value)
+        assert rec.best_value > -spec.magnitude
+
+
+class TestSerialization:
+    def test_scenario_json_round_trip(self):
+        scenario = _scenario("fast", **DYNAMIC, **DEFENDED)
+        clone = Scenario.from_dict(json.loads(json.dumps(scenario.to_dict())))
+        assert clone == scenario
+        assert clone.dynamics.enabled
+        assert clone.adversary.defense
+
+    def test_result_round_trip_keeps_metrics(self):
+        scenario = _scenario("fast", **DYNAMIC, **DEFENDED)
+        result = Session(scenario).run()
+        clone = Result.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert clone.records[0].dynamics == result.records[0].dynamics
+        assert clone.records[0].adversary == result.records[0].adversary
+
+    def test_non_finite_metric_floats_survive(self):
+        rec = Session(_scenario("fast", **DYNAMIC)).run_one(0)
+        rigged = replace(
+            rec,
+            dynamics={**rec.dynamics, "recovery_time": float("inf")},
+            adversary={"byzantine_nodes": 0, "behavior": "false-best",
+                       "defense": False, "false_offers": 0, "corrupted": 0,
+                       "dropped": 0, "filtered": 0, "verifications": 0,
+                       "final_true_error": float("inf")},
+        )
+        clone = RunRecord.from_dict(json.loads(json.dumps(rigged.to_dict())))
+        assert clone.dynamics["recovery_time"] == float("inf")
+        assert clone.adversary["final_true_error"] == float("inf")
+        assert clone.dynamics == rigged.dynamics
+        assert clone.adversary == rigged.adversary

@@ -65,43 +65,27 @@ class TestValidation:
         assert policy.shards == 1
 
 
-class TestFromKwargs:
-    def test_loose_kwargs_become_a_policy(self):
-        policy = ExecutionPolicy.from_kwargs(None, warn=False, workers=4)
-        assert policy == ExecutionPolicy(workers=4)
+class TestLooseKwargsRemoved:
+    def test_from_kwargs_is_gone(self):
+        assert not hasattr(ExecutionPolicy, "from_kwargs")
 
-    def test_default_valued_kwargs_are_ignored(self):
-        policy = ExecutionPolicy.from_kwargs(
-            ExecutionPolicy(workers=4), warn=False, workers=1, spool=None
-        )
-        assert policy.workers == 4
+    def test_run_rejects_non_policy_value(self):
+        with pytest.raises(TypeError, match="ExecutionPolicy"):
+            Session(_scenario()).run(policy={"workers": 2})
 
-    def test_policy_plus_override_raises(self):
-        with pytest.raises(ExecutionPolicyError, match="deprecated aliases"):
-            ExecutionPolicy.from_kwargs(
-                ExecutionPolicy(workers=4), warn=False, workers=2
-            )
-
-    def test_loose_kwargs_warn_when_asked(self):
-        with pytest.warns(DeprecationWarning, match="workers"):
-            ExecutionPolicy.from_kwargs(None, warn=True, workers=2)
+    def test_sweep_rejects_loose_spool_kwarg(self, tmp_path):
+        # `spool` is no longer a sweep parameter; it lands in **axes
+        # and is rejected as an execution knob, pointing at the policy.
+        with pytest.raises(ConfigurationError, match="ExecutionPolicy"):
+            Session(_scenario()).sweep(spool=str(tmp_path / "s"), nodes=[8])
 
 
 class TestSessionSurface:
-    def test_sweep_loose_kwargs_deprecation(self, tmp_path):
-        with pytest.warns(DeprecationWarning, match="ExecutionPolicy"):
-            out = Session(_scenario()).sweep(
-                spool=str(tmp_path / "spool"), nodes=[8]
-            )
-        assert len(out) == 1
-
-    def test_sweep_policy_object_does_not_warn(self, recwarn, tmp_path):
-        Session(_scenario()).sweep(
+    def test_sweep_policy_object_spool(self, tmp_path):
+        out = Session(_scenario()).sweep(
             policy=ExecutionPolicy(spool=str(tmp_path / "spool")), nodes=[8]
         )
-        assert not [
-            w for w in recwarn if issubclass(w.category, DeprecationWarning)
-        ]
+        assert len(out) == 1
 
     def test_sweep_rejects_shards(self):
         with pytest.raises(ConfigurationError, match="shard"):

@@ -6,7 +6,14 @@ import numpy as np
 import pytest
 
 from repro.core.metrics import QualitySample
-from repro.scenario import Result, RunRecord, Scenario, Session, TransportSpec
+from repro.scenario import (
+    ExecutionPolicy,
+    Result,
+    RunRecord,
+    Scenario,
+    Session,
+    TransportSpec,
+)
 from repro.utils.config import ChurnConfig
 from repro.utils.exceptions import ConfigurationError
 
@@ -56,15 +63,19 @@ class TestRunReference:
         assert Spy.cycles > 0
 
     def test_workers_match_sequential(self):
-        seq = Session(make()).run(workers=1)
-        par = Session(make()).run(workers=2)
+        seq = Session(make()).run(policy=ExecutionPolicy(workers=1))
+        par = Session(make()).run(policy=ExecutionPolicy(workers=2))
         assert [r.best_value for r in seq.records] == [
             r.best_value for r in par.records
         ]
 
     def test_workers_invalid(self):
         with pytest.raises(ValueError):
-            Session(make()).run(workers=0)
+            Session(make()).run(policy=ExecutionPolicy(workers=0))
+
+    def test_loose_workers_kwarg_removed(self):
+        with pytest.raises(TypeError):
+            Session(make()).run(workers=2)
 
     def test_parallel_progress_streams_incrementally(self, monkeypatch):
         """Regression: ``pool.map`` blocked until the *last* repetition,
@@ -105,7 +116,8 @@ class TestRunReference:
             multiprocessing, "get_context", lambda method: InlineCtx()
         )
         Session(make(repetitions=3)).run(
-            workers=2, progress=lambda i, r: events.append(f"progress:{i}")
+            policy=ExecutionPolicy(workers=2),
+            progress=lambda i, r: events.append(f"progress:{i}"),
         )
         assert events == [
             "compute:0", "progress:0",
@@ -116,7 +128,7 @@ class TestRunReference:
     def test_workers_reject_callable_topology(self):
         scenario = make(topology=lambda nid: None)
         with pytest.raises(ValueError):
-            Session(scenario).run(workers=2)
+            Session(scenario).run(policy=ExecutionPolicy(workers=2))
 
     def test_session_requires_scenario(self):
         with pytest.raises(TypeError):
